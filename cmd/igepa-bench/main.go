@@ -1,0 +1,119 @@
+// Command igepa-bench regenerates every table and figure of the paper's
+// evaluation (§IV): Fig. 1(a)–(f) utility sweeps on synthetic data, Table II
+// on the Meetup-like dataset, the empirical approximation-ratio experiment
+// behind Theorem 2, and the reproduction's own ablations.
+//
+// Usage:
+//
+//	igepa-bench -exp all                 # everything (fig1b is the slow one)
+//	igepa-bench -exp fig1c -reps 50      # one experiment at paper repetitions
+//	igepa-bench -exp table2 -csv out/    # also write CSV series
+//	igepa-bench -exp ratio
+//
+// Results print as aligned text tables (one series per algorithm — the same
+// series the paper plots); -csv additionally writes machine-readable files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/ebsn/igepa/internal/eval"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: all, ratio, or one of "+strings.Join(eval.PaperExperimentIDs(), ", "))
+		reps  = flag.Int("reps", 5, "repetitions per point (the paper uses 50)")
+		seed  = flag.Int64("seed", 1, "base seed")
+		csv   = flag.String("csv", "", "directory for CSV output (optional)")
+		chart = flag.Bool("chart", false, "also draw each experiment as an ASCII line chart")
+		par   = flag.Int("parallel", 0, "max concurrent repetitions (0 = all cores)")
+		q     = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+	if err := run(*exp, *reps, *seed, *csv, *par, *q, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "igepa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, reps int, seed int64, csvDir string, par int, quiet, chart bool) error {
+	ids := []string{exp}
+	if exp == "all" {
+		ids = append(eval.PaperExperimentIDs(), "ratio")
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if id == "ratio" {
+			if err := runRatio(seed, quiet); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := runExperiment(id, reps, seed, csvDir, par, quiet, chart); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiment(id string, reps int, seed int64, csvDir string, par int, quiet, chart bool) error {
+	e, err := eval.Paper(id, seed)
+	if err != nil {
+		return err
+	}
+	cfg := eval.RunConfig{Reps: reps, Seed: seed, Parallelism: par, Validate: true}
+	if !quiet {
+		cfg.Progress = os.Stderr
+	}
+	start := time.Now()
+	table, err := eval.Run(e, cfg)
+	if err != nil {
+		return err
+	}
+	if err := eval.RenderText(os.Stdout, table); err != nil {
+		return err
+	}
+	if chart {
+		fmt.Println()
+		if err := eval.RenderChart(os.Stdout, table); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("(%s completed in %v)\n", id, time.Since(start).Round(time.Second))
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, id+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := eval.RenderCSV(f, table); err != nil {
+			return err
+		}
+		fmt.Printf("CSV written to %s\n", path)
+	}
+	return nil
+}
+
+func runRatio(seed int64, quiet bool) error {
+	var progress *os.File
+	if !quiet {
+		progress = os.Stderr
+	}
+	res, err := eval.RunRatio(eval.RatioConfig{Seed: seed}, progress)
+	if err != nil {
+		return err
+	}
+	return eval.RenderRatioText(os.Stdout, res)
+}

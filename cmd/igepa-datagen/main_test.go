@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ebsn/igepa"
+)
+
+func TestGenerateSyntheticRoundTrips(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "synthetic.json")
+	if err := run("synthetic", 1, out, 12, 30, 4, 2, 0.3, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in, err := igepa.LoadInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumEvents() != 12 || in.NumUsers() != 30 {
+		t.Errorf("dimensions %dx%d, want 12x30", in.NumEvents(), in.NumUsers())
+	}
+	// the generated file must be solvable end to end
+	arr, err := igepa.Solve(in, "greedy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := igepa.Validate(in, arr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMeetup(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "meetup.json")
+	if err := run("meetup", 1, out, 25, 60, 0, 0, 0, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in, err := igepa.LoadInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumEvents() != 25 || in.NumUsers() != 60 {
+		t.Errorf("dimensions %dx%d, want 25x60", in.NumEvents(), in.NumUsers())
+	}
+}
+
+func TestGenerateRejectsUnknownKind(t *testing.T) {
+	if err := run("bogus", 1, "", 0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenerateBadPath(t *testing.T) {
+	if err := run("synthetic", 1, "/nonexistent-dir/x.json", 5, 5, 2, 2, 0.1, 0.1, 0.5); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

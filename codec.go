@@ -1,0 +1,145 @@
+package igepa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/model"
+)
+
+// The JSON codec materializes an instance into a self-contained document:
+// conflicts become an explicit pair list and interests an explicit value per
+// (user, bid) pair — algorithms only ever evaluate SI on bid pairs, so this
+// is lossless for solving while keeping files small. Round-tripping any
+// instance through Save/Load yields identical algorithm behaviour.
+
+type instanceJSON struct {
+	Beta   string      `json:"beta"` // printed as %g for stable diffs
+	Events []eventJSON `json:"events"`
+	Users  []userJSON  `json:"users"`
+	// Conflicts lists unordered conflicting event pairs (v < w).
+	Conflicts [][2]int `json:"conflicts"`
+}
+
+type eventJSON struct {
+	Capacity int       `json:"capacity"`
+	Attrs    []float64 `json:"attrs,omitempty"`
+	Start    int64     `json:"start,omitempty"`
+	End      int64     `json:"end,omitempty"`
+}
+
+type userJSON struct {
+	Capacity int       `json:"capacity"`
+	Attrs    []float64 `json:"attrs,omitempty"`
+	Degree   int       `json:"degree"`
+	Bids     []int     `json:"bids"`
+	// Interest[i] is SI(u, Bids[i]).
+	Interest []float64 `json:"interest"`
+}
+
+// SaveInstance writes the instance as JSON. Conflicts and bid-pair interests
+// are materialized so the file is self-contained.
+func SaveInstance(w io.Writer, in *Instance) error {
+	if err := in.Check(); err != nil {
+		return err
+	}
+	doc := instanceJSON{Beta: fmt.Sprintf("%g", in.Beta)}
+	for v := range in.Events {
+		ev := &in.Events[v]
+		doc.Events = append(doc.Events, eventJSON{
+			Capacity: ev.Capacity, Attrs: ev.Attrs, Start: ev.Start, End: ev.End,
+		})
+	}
+	for u := range in.Users {
+		us := &in.Users[u]
+		uj := userJSON{
+			Capacity: us.Capacity, Attrs: us.Attrs, Degree: us.Degree,
+			Bids: us.Bids, Interest: make([]float64, len(us.Bids)),
+		}
+		for i, v := range us.Bids {
+			uj.Interest[i] = in.Interest(u, v)
+		}
+		doc.Users = append(doc.Users, uj)
+	}
+	doc.Conflicts = conflict.FromFunc(in.NumEvents(), in.Conflicts).Pairs()
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// LoadInstance reads an instance saved by SaveInstance. Interests outside
+// the stored bid pairs are 0.
+func LoadInstance(r io.Reader) (*Instance, error) {
+	var doc instanceJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("igepa: decode instance: %w", err)
+	}
+	var beta float64
+	if _, err := fmt.Sscanf(doc.Beta, "%g", &beta); err != nil {
+		return nil, fmt.Errorf("igepa: bad beta %q: %w", doc.Beta, err)
+	}
+	in := &Instance{Beta: beta}
+	for _, ej := range doc.Events {
+		in.Events = append(in.Events, Event{
+			Capacity: ej.Capacity, Attrs: ej.Attrs, Start: ej.Start, End: ej.End,
+		})
+	}
+	// interest lookup: per user, parallel to sorted bids
+	interests := make([][]float64, len(doc.Users))
+	for u, uj := range doc.Users {
+		if len(uj.Interest) != len(uj.Bids) {
+			return nil, fmt.Errorf("igepa: user %d has %d interests for %d bids", u, len(uj.Interest), len(uj.Bids))
+		}
+		in.Users = append(in.Users, User{
+			Capacity: uj.Capacity, Attrs: uj.Attrs, Degree: uj.Degree, Bids: uj.Bids,
+		})
+		interests[u] = uj.Interest
+	}
+	nv := len(in.Events)
+	for _, p := range doc.Conflicts {
+		if p[0] < 0 || p[0] >= nv || p[1] < 0 || p[1] >= nv {
+			return nil, fmt.Errorf("igepa: conflict pair %v out of range", p)
+		}
+	}
+	conf := conflict.FromPairs(nv, doc.Conflicts)
+	in.Conflicts = conf.Conflicts
+	users := in.Users
+	in.Interest = func(u, v int) float64 {
+		bids := users[u].Bids
+		i := sort.SearchInts(bids, v)
+		if i < len(bids) && bids[i] == v {
+			return interests[u][i]
+		}
+		return 0
+	}
+	if err := in.Check(); err != nil {
+		return nil, fmt.Errorf("igepa: loaded instance invalid: %w", err)
+	}
+	return in, nil
+}
+
+// arrangementJSON is the on-disk form of an arrangement.
+type arrangementJSON struct {
+	Sets [][]int `json:"sets"`
+}
+
+// SaveArrangement writes the arrangement as JSON.
+func SaveArrangement(w io.Writer, a *Arrangement) error {
+	sets := a.Sets
+	if sets == nil {
+		sets = [][]int{}
+	}
+	return json.NewEncoder(w).Encode(&arrangementJSON{Sets: sets})
+}
+
+// LoadArrangement reads an arrangement saved by SaveArrangement.
+func LoadArrangement(r io.Reader) (*Arrangement, error) {
+	var doc arrangementJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("igepa: decode arrangement: %w", err)
+	}
+	return &model.Arrangement{Sets: doc.Sets}, nil
+}

@@ -1,0 +1,75 @@
+// Meetup: reproduce the paper's real-dataset experiment (Table II) on the
+// Meetup-like analogue of the San Francisco crawl — 190 events, 2811 users,
+// time-overlap conflicts, group-based social edges, attribute-based
+// interests, and the paper's capacity/bid preprocessing rules.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ebsn/igepa"
+)
+
+func main() {
+	fmt.Println("building the Meetup-like dataset (190 events, 2811 users)...")
+	in, err := igepa.Meetup(igepa.MeetupConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := igepa.ComputeStats(in)
+	fmt.Printf("  bids/user %.1f, time-conflict rate %.3f, mean degree %.1f\n\n",
+		st.MeanBidsPerUser, st.ConflictRate, st.MeanDegree)
+
+	// Table II of the paper compares four algorithms on this dataset; the
+	// paper reports LP-packing > GG > Random-U > Random-V with a narrow
+	// spread (2129.86 / 2099.88 / 2019.60 / 2000.92 on the original crawl).
+	type row struct {
+		name string
+		util float64
+		dur  time.Duration
+	}
+	var rows []row
+
+	start := time.Now()
+	res, err := igepa.LPPacking(in, igepa.LPPackingOptions{
+		Seed: 2,
+		// Heavy Meetup users have large attendance histories; cap their
+		// admissible-set enumeration (the cap keeps the heaviest sets and
+		// every singleton, and is reported in res.TruncatedUsers).
+		MaxSetsPerUser: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"LP-packing", res.Utility, time.Since(start)})
+
+	for _, name := range []string{"greedy", "random-u", "random-v"} {
+		start = time.Now()
+		arr, err := igepa.Solve(in, name, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := igepa.Validate(in, arr); err != nil {
+			log.Fatal(err)
+		}
+		label := name
+		if name == "greedy" {
+			label = "GG"
+		}
+		rows = append(rows, row{label, igepa.Utility(in, arr), time.Since(start)})
+	}
+
+	fmt.Println("Table II analogue — utility on the Meetup-like dataset")
+	fmt.Println("algorithm    utility     time")
+	fmt.Println("------------------------------------")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-11.2f %v\n", r.name, r.util, r.dur.Round(time.Millisecond))
+	}
+	fmt.Printf("\nLP upper bound on OPT: %.2f (LP-packing reaches %.1f%%)\n",
+		res.LPObjective, 100*res.Utility/res.LPObjective)
+	if res.TruncatedUsers > 0 {
+		fmt.Printf("admissible sets truncated for %d heavy users (cap 2000/user)\n", res.TruncatedUsers)
+	}
+}

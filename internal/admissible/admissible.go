@@ -1,0 +1,191 @@
+// Package admissible enumerates admissible event sets (paper §III): for a
+// user u with bid set Nu and capacity cu, the admissible sets Au are all
+// nonempty S ⊆ Nu with |S| ≤ cu whose events are pairwise non-conflicting.
+// These sets are the variables of the benchmark LP, so the enumeration order
+// and the truncation policy directly shape the LP the solver sees.
+//
+// Note on the paper text: §III literally defines admissible sets with
+// σ(lv,lv') = 1 for members; that is a typo for σ = 0 (conflict-free), the
+// only reading consistent with the conflict constraint of Definition 4. See
+// DESIGN.md.
+package admissible
+
+import (
+	"sort"
+
+	"github.com/ebsn/igepa/internal/bitset"
+	"github.com/ebsn/igepa/internal/conflict"
+)
+
+// Set is one admissible event set S with its weight w(u,S) = Σ_{v∈S} w(u,v).
+type Set struct {
+	Events []int // sorted ascending
+	Weight float64
+}
+
+// Config controls enumeration.
+type Config struct {
+	// MaxSetsPerUser truncates the enumeration after this many sets
+	// (0 means DefaultMaxSetsPerUser; negative means unlimited). Candidates
+	// are explored heaviest-first, so truncation keeps weight-dense sets;
+	// all singletons are always retained. Truncation is reported to the
+	// caller via Result.Truncated, never silent.
+	MaxSetsPerUser int
+}
+
+// DefaultMaxSetsPerUser bounds the per-user LP column count. The paper
+// assumes "a user will not bid for too many events, so the number of
+// admissible event sets will be reasonable"; the cap is a guard rail for
+// adversarial inputs, not something the reference workloads hit.
+const DefaultMaxSetsPerUser = 20000
+
+// Result is the enumeration outcome for one user.
+type Result struct {
+	Sets      []Set
+	Truncated bool // true if MaxSetsPerUser cut the enumeration short
+}
+
+// Enumerate returns the admissible sets for one user.
+//
+// bids must be the user's bid set (duplicates ignored); cap is cu; conflicts
+// is the event-conflict matrix; weight(v) returns w(u,v) ≥ 0 for this user.
+// Enumeration is exhaustive DFS over bids ordered by descending weight, so
+// when the cap bites, the retained sets are the heavy ones.
+func Enumerate(bids []int, cap int, conflicts *conflict.Matrix, weight func(v int) float64, cfg Config) Result {
+	maxSets := cfg.MaxSetsPerUser
+	if maxSets == 0 {
+		maxSets = DefaultMaxSetsPerUser
+	}
+	if cap <= 0 || len(bids) == 0 {
+		return Result{}
+	}
+
+	// Candidate order: descending weight, stable on event id so the
+	// enumeration (and therefore the LP column order) is deterministic.
+	cands := append([]int(nil), bids...)
+	sort.Ints(cands)
+	cands = dedupe(cands)
+	sort.SliceStable(cands, func(i, j int) bool {
+		return weight(cands[i]) > weight(cands[j])
+	})
+
+	e := &enumerator{
+		cands:     cands,
+		cap:       cap,
+		conflicts: conflicts,
+		weight:    weight,
+		maxSets:   maxSets,
+		blocked:   bitset.New(conflicts.Len()),
+	}
+	e.cur = make([]int, 0, cap)
+	e.dfs(0, 0)
+
+	// Guarantee all singletons survive truncation: they are the fallback
+	// mass the rounding step needs for every biddable event.
+	if e.truncated {
+		have := make(map[int]bool, len(e.sets))
+		for _, s := range e.sets {
+			if len(s.Events) == 1 {
+				have[s.Events[0]] = true
+			}
+		}
+		for _, v := range cands {
+			if !have[v] {
+				e.sets = append(e.sets, Set{Events: []int{v}, Weight: weight(v)})
+			}
+		}
+	}
+	for i := range e.sets {
+		sort.Ints(e.sets[i].Events)
+	}
+	return Result{Sets: e.sets, Truncated: e.truncated}
+}
+
+type enumerator struct {
+	cands     []int
+	cap       int
+	conflicts *conflict.Matrix
+	weight    func(v int) float64
+	maxSets   int
+
+	cur       []int
+	curWeight float64
+	blocked   *bitset.Set // events conflicting with anything in cur
+	sets      []Set
+	truncated bool
+}
+
+// dfs extends the current set with candidates from index i onward.
+// include-first order emits heavy supersets before exploring alternatives.
+func (e *enumerator) dfs(i int, depth int) {
+	if e.truncated {
+		return
+	}
+	for ; i < len(e.cands); i++ {
+		v := e.cands[i]
+		if e.blocked.Contains(v) {
+			continue
+		}
+		e.cur = append(e.cur, v)
+		e.curWeight += e.weight(v)
+		e.sets = append(e.sets, Set{
+			Events: append([]int(nil), e.cur...),
+			Weight: e.curWeight,
+		})
+		if e.maxSets > 0 && len(e.sets) >= e.maxSets {
+			e.truncated = true
+		}
+		if depth+1 < e.cap && !e.truncated {
+			// block v's conflict row for the deeper levels
+			row := e.conflicts.Row(v)
+			added := e.blockRow(row)
+			e.dfs(i+1, depth+1)
+			e.unblock(added)
+		}
+		e.curWeight -= e.weight(v)
+		e.cur = e.cur[:len(e.cur)-1]
+		if e.truncated {
+			return
+		}
+	}
+}
+
+// blockRow marks all events in row as blocked, returning the ones newly
+// blocked so they can be unblocked on backtrack.
+func (e *enumerator) blockRow(row *bitset.Set) []int {
+	var added []int
+	row.ForEach(func(w int) {
+		if !e.blocked.Contains(w) {
+			e.blocked.Add(w)
+			added = append(added, w)
+		}
+	})
+	return added
+}
+
+func (e *enumerator) unblock(added []int) {
+	for _, w := range added {
+		e.blocked.Remove(w)
+	}
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CountAll returns the total number of admissible sets across users without
+// materializing them (used by instance statistics and capacity planning).
+func CountAll(allBids [][]int, caps []int, conflicts *conflict.Matrix) int {
+	total := 0
+	for u, bids := range allBids {
+		r := Enumerate(bids, caps[u], conflicts, func(int) float64 { return 0 }, Config{MaxSetsPerUser: -1})
+		total += len(r.Sets)
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package admissible
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+func unitWeight(int) float64 { return 1 }
+
+func TestNoConflictsCountsBinomial(t *testing.T) {
+	// 5 non-conflicting bids, cap 3 → C(5,1)+C(5,2)+C(5,3) = 5+10+10 = 25
+	m := conflict.NewMatrix(5)
+	r := Enumerate([]int{0, 1, 2, 3, 4}, 3, m, unitWeight, Config{})
+	if len(r.Sets) != 25 {
+		t.Fatalf("got %d sets, want 25", len(r.Sets))
+	}
+	if r.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+}
+
+func TestFullConflictOnlySingletons(t *testing.T) {
+	m := conflict.FromFunc(4, func(v, w int) bool { return true })
+	r := Enumerate([]int{0, 1, 2, 3}, 4, m, unitWeight, Config{})
+	if len(r.Sets) != 4 {
+		t.Fatalf("got %d sets, want 4 singletons", len(r.Sets))
+	}
+	for _, s := range r.Sets {
+		if len(s.Events) != 1 {
+			t.Fatalf("non-singleton set %v under complete conflicts", s.Events)
+		}
+	}
+}
+
+func TestCapacityLimitsSize(t *testing.T) {
+	m := conflict.NewMatrix(6)
+	r := Enumerate([]int{0, 1, 2, 3, 4, 5}, 2, m, unitWeight, Config{})
+	for _, s := range r.Sets {
+		if len(s.Events) > 2 {
+			t.Fatalf("set %v exceeds capacity 2", s.Events)
+		}
+	}
+	// C(6,1)+C(6,2) = 6+15 = 21
+	if len(r.Sets) != 21 {
+		t.Fatalf("got %d sets, want 21", len(r.Sets))
+	}
+}
+
+func TestZeroCapacityOrNoBids(t *testing.T) {
+	m := conflict.NewMatrix(3)
+	if r := Enumerate([]int{0, 1}, 0, m, unitWeight, Config{}); len(r.Sets) != 0 {
+		t.Error("cap 0 produced sets")
+	}
+	if r := Enumerate(nil, 3, m, unitWeight, Config{}); len(r.Sets) != 0 {
+		t.Error("no bids produced sets")
+	}
+}
+
+func TestDuplicateBidsIgnored(t *testing.T) {
+	m := conflict.NewMatrix(3)
+	r := Enumerate([]int{1, 1, 2, 2}, 2, m, unitWeight, Config{})
+	// events {1,2}: 2 singletons + 1 pair
+	if len(r.Sets) != 3 {
+		t.Fatalf("got %d sets, want 3", len(r.Sets))
+	}
+}
+
+func TestWeights(t *testing.T) {
+	m := conflict.NewMatrix(3)
+	w := func(v int) float64 { return float64(v + 1) } // 1, 2, 3
+	r := Enumerate([]int{0, 1, 2}, 3, m, w, Config{})
+	for _, s := range r.Sets {
+		want := 0.0
+		for _, v := range s.Events {
+			want += float64(v + 1)
+		}
+		if math.Abs(s.Weight-want) > 1e-12 {
+			t.Fatalf("set %v weight %v, want %v", s.Events, s.Weight, want)
+		}
+	}
+}
+
+func TestMixedConflicts(t *testing.T) {
+	// events 0-1 conflict; bids {0,1,2}, cap 2.
+	// sets: {0},{1},{2},{0,2},{1,2} = 5
+	m := conflict.NewMatrix(3)
+	m.Add(0, 1)
+	r := Enumerate([]int{0, 1, 2}, 2, m, unitWeight, Config{})
+	if len(r.Sets) != 5 {
+		t.Fatalf("got %d sets, want 5: %v", len(r.Sets), r.Sets)
+	}
+	for _, s := range r.Sets {
+		if len(s.Events) == 2 && s.Events[0] == 0 && s.Events[1] == 1 {
+			t.Fatal("conflicting pair {0,1} enumerated")
+		}
+	}
+}
+
+func TestTruncationKeepsSingletonsAndReports(t *testing.T) {
+	m := conflict.NewMatrix(12)
+	bids := make([]int, 12)
+	for i := range bids {
+		bids[i] = i
+	}
+	r := Enumerate(bids, 6, m, unitWeight, Config{MaxSetsPerUser: 10})
+	if !r.Truncated {
+		t.Fatal("truncation not reported")
+	}
+	singles := map[int]bool{}
+	for _, s := range r.Sets {
+		if len(s.Events) == 1 {
+			singles[s.Events[0]] = true
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if !singles[i] {
+			t.Fatalf("singleton {%d} missing after truncation", i)
+		}
+	}
+}
+
+func TestUnlimitedNegativeCap(t *testing.T) {
+	m := conflict.NewMatrix(10)
+	bids := make([]int, 10)
+	for i := range bids {
+		bids[i] = i
+	}
+	r := Enumerate(bids, 10, m, unitWeight, Config{MaxSetsPerUser: -1})
+	if r.Truncated {
+		t.Fatal("unlimited enumeration reported truncation")
+	}
+	if len(r.Sets) != 1023 { // 2^10 - 1
+		t.Fatalf("got %d sets, want 1023", len(r.Sets))
+	}
+}
+
+// Property: every enumerated set is sorted, within capacity, conflict-free,
+// drawn from the bids, and the collection has no duplicates. Exhaustive
+// cross-check against brute force for small instances.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		nv := 2 + rng.Intn(8)
+		m := conflict.Random(nv, rng.Float64(), rng)
+		nbids := 1 + rng.Intn(nv)
+		bidSet := map[int]bool{}
+		for len(bidSet) < nbids {
+			bidSet[rng.Intn(nv)] = true
+		}
+		var bids []int
+		for v := range bidSet {
+			bids = append(bids, v)
+		}
+		cap := 1 + rng.Intn(4)
+		w := func(v int) float64 { return xrand.HashFloat(seed, 7, v) }
+
+		r := Enumerate(bids, cap, m, w, Config{MaxSetsPerUser: -1})
+
+		// brute force over all subsets of bids
+		want := map[string]bool{}
+		for mask := 1; mask < 1<<len(bids); mask++ {
+			var s []int
+			for i := range bids {
+				if mask&(1<<i) != 0 {
+					s = append(s, bids[i])
+				}
+			}
+			if len(s) > cap {
+				continue
+			}
+			ok := true
+			for i := 0; i < len(s) && ok; i++ {
+				for j := i + 1; j < len(s); j++ {
+					if m.Conflicts(s[i], s[j]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				want[key(s)] = true
+			}
+		}
+		got := map[string]bool{}
+		for _, s := range r.Sets {
+			k := key(s.Events)
+			if got[k] {
+				return false // duplicate
+			}
+			got[k] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func key(s []int) string {
+	b := make([]byte, 0, len(s)*2)
+	// events < 128 in tests; sorted sets
+	sorted := append([]int(nil), s...)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+	}
+	for _, v := range sorted {
+		b = append(b, byte(v), ',')
+	}
+	return string(b)
+}
+
+func TestCountAll(t *testing.T) {
+	m := conflict.NewMatrix(3)
+	total := CountAll([][]int{{0, 1}, {2}}, []int{2, 1}, m)
+	// user 0: {0},{1},{0,1} = 3; user 1: {2} = 1
+	if total != 4 {
+		t.Fatalf("CountAll = %d, want 4", total)
+	}
+}
+
+func BenchmarkEnumerateTypicalUser(b *testing.B) {
+	rng := xrand.New(3)
+	m := conflict.Random(200, 0.3, rng)
+	bids := []int{3, 17, 42, 77, 104, 150, 180, 199}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Enumerate(bids, 4, m, unitWeight, Config{})
+	}
+}

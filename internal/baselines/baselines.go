@@ -1,0 +1,319 @@
+// Package baselines implements the comparison algorithms of the paper's
+// evaluation (§IV): Random-U and Random-V (the randomized baselines of the
+// GEACC study, She et al., ICDE 2015, generalized to user capacities > 1),
+// GG (the greedy extension of Greedy-GEACC), plus two extras used by the
+// reproduction itself: an exact branch-and-bound solver for small instances
+// (to measure empirical approximation ratios against the true optimum) and
+// a local-search improver.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ebsn/igepa/internal/admissible"
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// assigner tracks feasibility while an algorithm builds an arrangement
+// incrementally.
+type assigner struct {
+	in   *model.Instance
+	conf *conflict.Matrix
+	arr  *model.Arrangement
+	load []int
+}
+
+func newAssigner(in *model.Instance) *assigner {
+	return &assigner{
+		in:   in,
+		conf: conflict.FromFunc(in.NumEvents(), in.Conflicts),
+		arr:  model.NewArrangement(in.NumUsers()),
+		load: make([]int, in.NumEvents()),
+	}
+}
+
+// canAssign reports whether adding (v,u) keeps the arrangement feasible.
+// The bid constraint is the caller's responsibility (all callers iterate
+// over bid lists).
+func (a *assigner) canAssign(u, v int) bool {
+	if len(a.arr.Sets[u]) >= a.in.Users[u].Capacity {
+		return false
+	}
+	if a.load[v] >= a.in.Events[v].Capacity {
+		return false
+	}
+	for _, w := range a.arr.Sets[u] {
+		if w == v || a.conf.Conflicts(w, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assigner) assign(u, v int) {
+	a.arr.Sets[u] = append(a.arr.Sets[u], v)
+	a.load[v]++
+}
+
+func (a *assigner) finish() *model.Arrangement {
+	a.arr.Normalize()
+	return a.arr
+}
+
+// RandomU is the user-driven randomized baseline: users are visited in a
+// random order and each takes the events of its bid list, in random order,
+// that are still feasible.
+func RandomU(in *model.Instance, seed int64) *model.Arrangement {
+	rng := xrand.New(seed)
+	a := newAssigner(in)
+	order := rng.Perm(in.NumUsers())
+	for _, u := range order {
+		bids := append([]int(nil), in.Users[u].Bids...)
+		rng.Shuffle(len(bids), func(i, j int) { bids[i], bids[j] = bids[j], bids[i] })
+		for _, v := range bids {
+			if a.canAssign(u, v) {
+				a.assign(u, v)
+			}
+		}
+	}
+	return a.finish()
+}
+
+// RandomV is the event-driven randomized baseline: events are visited in a
+// random order and each admits its bidders, in random order, while capacity
+// remains and the bidder stays feasible.
+func RandomV(in *model.Instance, seed int64) *model.Arrangement {
+	rng := xrand.New(seed)
+	a := newAssigner(in)
+	order := rng.Perm(in.NumEvents())
+	for _, v := range order {
+		bidders := append([]int(nil), in.Bidders(v)...)
+		rng.Shuffle(len(bidders), func(i, j int) { bidders[i], bidders[j] = bidders[j], bidders[i] })
+		for _, u := range bidders {
+			if a.load[v] >= in.Events[v].Capacity {
+				break
+			}
+			if a.canAssign(u, v) {
+				a.assign(u, v)
+			}
+		}
+	}
+	return a.finish()
+}
+
+// Greedy is GG, the greedy baseline: all (event,user) bid pairs are sorted
+// by descending marginal utility w(u,v) and added whenever feasible. It is
+// deterministic (ties broken by user then event index).
+func Greedy(in *model.Instance) *model.Arrangement {
+	a := newAssigner(in)
+	type pair struct {
+		u, v int
+		w    float64
+	}
+	var pairs []pair
+	for u := range in.Users {
+		for _, v := range in.Users[u].Bids {
+			pairs = append(pairs, pair{u, v, in.Weight(u, v)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].w != pairs[j].w {
+			return pairs[i].w > pairs[j].w
+		}
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
+		}
+		return pairs[i].v < pairs[j].v
+	})
+	for _, p := range pairs {
+		if a.canAssign(p.u, p.v) {
+			a.assign(p.u, p.v)
+		}
+	}
+	return a.finish()
+}
+
+// MaxOptimalUsers bounds the exact solver: branch-and-bound explores one
+// admissible set (or none) per user, which is exponential in the worst
+// case. Instances beyond this many users are rejected.
+const MaxOptimalUsers = 24
+
+// Optimal computes an exact optimal arrangement by branch-and-bound over
+// per-user admissible sets. It is intended for small instances (ratio
+// experiments, tests); it returns an error when |U| > MaxOptimalUsers.
+func Optimal(in *model.Instance) (*model.Arrangement, float64, error) {
+	if err := in.Check(); err != nil {
+		return nil, 0, err
+	}
+	if in.NumUsers() > MaxOptimalUsers {
+		return nil, 0, fmt.Errorf("baselines: Optimal limited to %d users, got %d", MaxOptimalUsers, in.NumUsers())
+	}
+	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
+	nu := in.NumUsers()
+
+	sets := make([][]admissible.Set, nu)
+	bestPerUser := make([]float64, nu)
+	for u := 0; u < nu; u++ {
+		w := func(v int) float64 { return in.Weight(u, v) }
+		r := admissible.Enumerate(in.Users[u].Bids, in.Users[u].Capacity, conf, w, admissible.Config{MaxSetsPerUser: -1})
+		sets[u] = r.Sets
+		for _, s := range r.Sets {
+			if s.Weight > bestPerUser[u] {
+				bestPerUser[u] = s.Weight
+			}
+		}
+	}
+	// suffixBound[u] = Σ_{u' ≥ u} bestPerUser[u']: an optimistic bound on
+	// what users u.. can still add (event capacities ignored).
+	suffixBound := make([]float64, nu+1)
+	for u := nu - 1; u >= 0; u-- {
+		suffixBound[u] = suffixBound[u+1] + bestPerUser[u]
+	}
+
+	b := &bb{
+		in: in, sets: sets, suffix: suffixBound,
+		load:   make([]int, in.NumEvents()),
+		choice: make([]int, nu),
+		best:   make([]int, nu),
+	}
+	for i := range b.best {
+		b.best[i] = -1
+	}
+	b.bestVal = -1
+	b.search(0, 0)
+
+	arr := model.NewArrangement(nu)
+	for u, si := range b.best {
+		if si >= 0 {
+			arr.Sets[u] = append([]int(nil), sets[u][si].Events...)
+		}
+	}
+	arr.Normalize()
+	return arr, b.bestVal, nil
+}
+
+type bb struct {
+	in      *model.Instance
+	sets    [][]admissible.Set
+	suffix  []float64
+	load    []int
+	choice  []int
+	best    []int
+	bestVal float64
+}
+
+func (b *bb) search(u int, value float64) {
+	if value+b.suffix[u] <= b.bestVal+1e-12 {
+		return // bound: cannot beat incumbent
+	}
+	if u == len(b.sets) {
+		if value > b.bestVal {
+			b.bestVal = value
+			copy(b.best, b.choice)
+		}
+		return
+	}
+	// Try the heaviest sets first so the incumbent tightens early.
+	order := make([]int, len(b.sets[u]))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return b.sets[u][order[i]].Weight > b.sets[u][order[j]].Weight
+	})
+	for _, si := range order {
+		s := b.sets[u][si]
+		ok := true
+		for _, v := range s.Events {
+			if b.load[v] >= b.in.Events[v].Capacity {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, v := range s.Events {
+			b.load[v]++
+		}
+		b.choice[u] = si
+		b.search(u+1, value+s.Weight)
+		for _, v := range s.Events {
+			b.load[v]--
+		}
+	}
+	b.choice[u] = -1
+	b.search(u+1, value)
+}
+
+// LocalSearch improves an arrangement by first-improvement moves until a
+// local optimum or maxRounds passes: adding any feasible pair, or swapping
+// one of a user's events for a strictly better feasible alternative. The
+// result never has lower utility than start. Provided as a reproduction
+// extension (not part of the paper's evaluation).
+func LocalSearch(in *model.Instance, start *model.Arrangement, maxRounds int) *model.Arrangement {
+	if maxRounds <= 0 {
+		maxRounds = 50
+	}
+	a := newAssigner(in)
+	for u, set := range start.Sets {
+		for _, v := range set {
+			a.assign(u, v)
+		}
+	}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for u := range in.Users {
+			// additions
+			for _, v := range in.Users[u].Bids {
+				if a.canAssign(u, v) {
+					a.assign(u, v)
+					improved = true
+				}
+			}
+			// swaps: replace w by strictly heavier v
+			for _, v := range in.Users[u].Bids {
+				if has(a.arr.Sets[u], v) || a.load[v] >= in.Events[v].Capacity {
+					continue
+				}
+				for i, w := range a.arr.Sets[u] {
+					if in.Weight(u, v) <= in.Weight(u, w) {
+						continue
+					}
+					// v must be compatible with the rest of u's set
+					ok := true
+					for j, x := range a.arr.Sets[u] {
+						if j != i && (x == v || a.conf.Conflicts(x, v)) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					a.load[w]--
+					a.load[v]++
+					a.arr.Sets[u][i] = v
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return a.finish()
+}
+
+func has(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/core"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+func tinyInstance() *model.Instance {
+	si := [][]float64{
+		{0.9, 0.5, 0.1},
+		{0.4, 0.8, 0.0},
+		{0.0, 0.0, 0.7},
+	}
+	return &model.Instance{
+		Events: []model.Event{{Capacity: 2}, {Capacity: 1}, {Capacity: 1}},
+		Users: []model.User{
+			{Capacity: 2, Bids: []int{0, 1, 2}, Degree: 2},
+			{Capacity: 1, Bids: []int{0, 1}, Degree: 1},
+			{Capacity: 1, Bids: []int{2}, Degree: 0},
+		},
+		Conflicts: func(v, w int) bool {
+			return (v == 0 && w == 1) || (v == 1 && w == 0)
+		},
+		Interest: func(u, v int) float64 { return si[u][v] },
+		Beta:     0.5,
+	}
+}
+
+func randomInstance(seed int64) *model.Instance {
+	rng := xrand.New(seed)
+	nv := 2 + rng.Intn(7)
+	nu := 2 + rng.Intn(8)
+	conf := conflict.Random(nv, rng.Float64()*0.6, rng)
+	in := &model.Instance{
+		Conflicts: conf.Conflicts,
+		Interest:  func(u, v int) float64 { return xrand.HashFloat(seed, u, v) },
+		Beta:      rng.Float64(),
+	}
+	for v := 0; v < nv; v++ {
+		in.Events = append(in.Events, model.Event{Capacity: 1 + rng.Intn(3)})
+	}
+	for u := 0; u < nu; u++ {
+		nb := 1 + rng.Intn(nv)
+		seen := map[int]bool{}
+		var bids []int
+		for len(bids) < nb {
+			v := rng.Intn(nv)
+			if !seen[v] {
+				seen[v] = true
+				bids = append(bids, v)
+			}
+		}
+		for i := 1; i < len(bids); i++ {
+			for j := i; j > 0 && bids[j] < bids[j-1]; j-- {
+				bids[j], bids[j-1] = bids[j-1], bids[j]
+			}
+		}
+		in.Users = append(in.Users, model.User{
+			Capacity: 1 + rng.Intn(3),
+			Bids:     bids,
+			Degree:   rng.Intn(nu),
+		})
+	}
+	return in
+}
+
+func TestAllBaselinesFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed)
+		for _, arr := range []*model.Arrangement{
+			RandomU(in, seed),
+			RandomV(in, seed),
+			Greedy(in),
+		} {
+			if model.Validate(in, arr) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	in := tinyInstance()
+	a := Greedy(in)
+	b := Greedy(in)
+	if model.Utility(in, a) != model.Utility(in, b) {
+		t.Error("Greedy not deterministic")
+	}
+}
+
+func TestGreedyOnTiny(t *testing.T) {
+	// greedy pairs by weight: u0 has DPI 1 → w(u0,·) ≥ 0.5 for all events:
+	// w(u0,0)=0.95, w(u0,1)=0.75, w(u0,2)=0.55; w(u1,1)=0.65, w(u1,0)=0.45;
+	// w(u2,2)=0.35.
+	// Order: (u0,e0) .95 → assign. (u0,e1) .75 → conflicts e0, skip.
+	// (u1,e1) .65 → assign. (u0,e2) .55 → assign (u0 cap 2).
+	// (u1,e0) .45 → u1 at cap. (u2,e2) .35 → e2 full. Total:
+	// .95+.65+.55 = 2.15 (optimal here).
+	in := tinyInstance()
+	arr := Greedy(in)
+	if got := model.Utility(in, arr); math.Abs(got-2.15) > 1e-9 {
+		t.Errorf("greedy utility %v, want 2.15", got)
+	}
+	if err := model.Validate(in, arr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBaselinesSeedStable(t *testing.T) {
+	in := tinyInstance()
+	u1, u2 := RandomU(in, 5), RandomU(in, 5)
+	if model.Utility(in, u1) != model.Utility(in, u2) {
+		t.Error("RandomU not seed-stable")
+	}
+	v1, v2 := RandomV(in, 5), RandomV(in, 5)
+	if model.Utility(in, v1) != model.Utility(in, v2) {
+		t.Error("RandomV not seed-stable")
+	}
+}
+
+func TestOptimalOnTiny(t *testing.T) {
+	in := tinyInstance()
+	arr, val, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-2.15) > 1e-9 {
+		t.Errorf("optimal value %v, want 2.15", val)
+	}
+	if err := model.Validate(in, arr); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.Utility(in, arr)-val) > 1e-9 {
+		t.Error("reported optimum disagrees with arrangement utility")
+	}
+}
+
+func TestOptimalRejectsLargeInstances(t *testing.T) {
+	in := &model.Instance{
+		Conflicts: func(v, w int) bool { return false },
+		Interest:  func(u, v int) float64 { return 0 },
+		Beta:      1,
+		Users:     make([]model.User, MaxOptimalUsers+1),
+	}
+	if _, _, err := Optimal(in); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+// Optimal must dominate every other algorithm, and the LP bound must
+// dominate Optimal (Lemma 1).
+func TestOptimalDominatesAndLPBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed)
+		arr, opt, err := Optimal(in)
+		if err != nil || model.Validate(in, arr) != nil {
+			return false
+		}
+		for _, other := range []*model.Arrangement{
+			RandomU(in, seed), RandomV(in, seed), Greedy(in),
+		} {
+			if model.Utility(in, other) > opt+1e-9 {
+				return false
+			}
+		}
+		res, err := core.LPPacking(in, core.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if res.Utility > opt+1e-9 {
+			return false
+		}
+		return res.LPObjective >= opt-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchOnlyImproves(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed)
+		start := RandomU(in, seed)
+		before := model.Utility(in, start)
+		improved := LocalSearch(in, start, 0)
+		if model.Validate(in, improved) != nil {
+			return false
+		}
+		return model.Utility(in, improved) >= before-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchFillsObviousGap(t *testing.T) {
+	in := tinyInstance()
+	empty := model.NewArrangement(3)
+	improved := LocalSearch(in, empty, 0)
+	if model.Utility(in, improved) <= 0 {
+		t.Error("local search failed to add any feasible pair")
+	}
+}
+
+func BenchmarkGreedyMedium(b *testing.B) {
+	in := randomInstance(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Greedy(in)
+	}
+}

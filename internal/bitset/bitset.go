@@ -1,0 +1,129 @@
+// Package bitset implements a dense, fixed-capacity bitset.
+//
+// Bitsets back the two hot data structures of the reproduction: conflict
+// rows (is event v in conflict with event v'?) and social adjacency rows.
+// Admissible-set enumeration probes conflict rows millions of times, so the
+// representation is a flat []uint64 with no indirection.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over [0, n). The zero value is an empty set
+// of capacity 0; use New for a set with room for n bits.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty Set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity n the set was created with.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove clears bit i. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Union sets s = s ∪ t. Both sets must have the same capacity.
+func (s *Set) Union(t *Set) {
+	s.sameSize(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ t. Both sets must have the same capacity.
+func (s *Set) Intersect(t *Set) {
+	s.sameSize(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// Intersects reports whether s ∩ t is nonempty, without allocating.
+// This is the hot probe of admissible-set enumeration: "does candidate event
+// v conflict with anything already chosen?" is one Intersects call between a
+// conflict row and the partial set.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameSize(t)
+	for i, w := range t.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Set) sameSize(t *Set) {
+	if s.n != t.n {
+		panic("bitset: mismatched sizes")
+	}
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the indices of all set bits to dst and returns it.
+func (s *Set) Members(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}

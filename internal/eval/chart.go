@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the experiment as an ASCII line chart — the terminal
+// rendition of the paper's Fig. 1 plots. Each algorithm gets a glyph; the
+// y-axis is utility, the x-axis the experiment's sweep points.
+func RenderChart(w io.Writer, t *Table) error {
+	const (
+		height = 16
+		colW   = 12
+	)
+	e := t.Experiment
+	if len(e.Points) == 0 || len(t.Series) == 0 {
+		return fmt.Errorf("eval: empty table")
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, c := range s.Cells {
+			lo = math.Min(lo, c.Mean)
+			hi = math.Max(hi, c.Mean)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := 0.05 * (hi - lo)
+	lo, hi = lo-pad, hi+pad
+
+	width := len(e.Points) * colW
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(f * float64(height-1)))
+		return height - 1 - r
+	}
+	for si, s := range t.Series {
+		g := glyphs[si%len(glyphs)]
+		prevRow, prevCol := -1, -1
+		for p, c := range s.Cells {
+			col := p*colW + colW/2
+			row := rowOf(c.Mean)
+			// connect to the previous point with a sparse line
+			if prevCol >= 0 {
+				steps := col - prevCol
+				for st := 1; st < steps; st += 2 {
+					ir := prevRow + (row-prevRow)*st/steps
+					ic := prevCol + st
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[row][col] = g
+			prevRow, prevCol = row, col
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	for r := 0; r < height; r++ {
+		yval := hi - (hi-lo)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%9.1f |%s\n", yval, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	var xrow strings.Builder
+	xrow.WriteString(strings.Repeat(" ", 10))
+	for _, pt := range e.Points {
+		label := pt.Label
+		if i := strings.IndexByte(label, '='); i >= 0 {
+			label = label[i+1:]
+		}
+		if len(label) > colW-2 {
+			label = label[:colW-2]
+		}
+		padTotal := colW - len(label)
+		left := padTotal / 2
+		xrow.WriteString(strings.Repeat(" ", left))
+		xrow.WriteString(label)
+		xrow.WriteString(strings.Repeat(" ", padTotal-left))
+	}
+	if _, err := fmt.Fprintln(w, strings.TrimRight(xrow.String(), " ")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%9s  (x: %s)\n", "", e.XLabel); err != nil {
+		return err
+	}
+	var legend strings.Builder
+	legend.WriteString(strings.Repeat(" ", 11))
+	for si, s := range t.Series {
+		if si > 0 {
+			legend.WriteString("   ")
+		}
+		fmt.Fprintf(&legend, "%c %s", glyphs[si%len(glyphs)], s.Algorithm)
+	}
+	_, err := fmt.Fprintln(w, legend.String())
+	return err
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/stats"
+)
+
+// fixedTable builds a small table with known values for rendering tests.
+func fixedTable() *Table {
+	e := &Experiment{
+		ID: "demo", Title: "demo sweep", XLabel: "n",
+		Points: []Point{
+			{Label: "n=1", X: 1},
+			{Label: "n=2", X: 2},
+			{Label: "n=3", X: 3},
+		},
+	}
+	mk := func(vals ...float64) []Cell {
+		cells := make([]Cell, len(vals))
+		for i, v := range vals {
+			cells[i] = Cell{stats.Summarize([]float64{v})}
+		}
+		return cells
+	}
+	return &Table{
+		Experiment: e,
+		Reps:       1,
+		Series: []Series{
+			{Algorithm: "alpha", Cells: mk(10, 20, 30)},
+			{Algorithm: "beta", Cells: mk(8, 15, 22)},
+		},
+	}
+}
+
+func TestRenderChartBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, fixedTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo sweep", "* alpha", "o beta", "(x: n)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// the top series' maximum should appear above the bottom series' minimum
+	starRow := -1
+	oRow := -1
+	for i, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") && starRow < 0 {
+			starRow = i
+		}
+		if strings.Contains(line, "o") && oRow < 0 && strings.Contains(line, "|") {
+			oRow = i
+		}
+	}
+	if starRow < 0 {
+		t.Fatal("no data glyphs plotted")
+	}
+}
+
+func TestRenderChartMonotoneSeriesOrder(t *testing.T) {
+	// alpha dominates beta at every point; in every column alpha's glyph
+	// must appear on a row at or above beta's.
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, fixedTable()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// search only inside the plot area (after the '|' of grid rows), so the
+	// title and legend text cannot shadow the glyphs
+	colOf := func(glyph byte) (row, col int) {
+		for r, line := range lines {
+			bar := strings.IndexByte(line, '|')
+			if bar < 0 {
+				continue
+			}
+			if i := strings.IndexByte(line[bar+1:], glyph); i >= 0 {
+				return r, bar + 1 + i
+			}
+		}
+		return -1, -1
+	}
+	starRow, _ := colOf('*')
+	oRow, _ := colOf('o')
+	if starRow < 0 || oRow < 0 {
+		t.Fatal("glyphs not found")
+	}
+	if starRow > oRow {
+		t.Errorf("dominating series plotted below: * at row %d, o at row %d", starRow, oRow)
+	}
+}
+
+func TestRenderChartFlatSeries(t *testing.T) {
+	tab := fixedTable()
+	for i := range tab.Series {
+		for j := range tab.Series[i].Cells {
+			tab.Series[i].Cells[j] = Cell{stats.Summarize([]float64{5})}
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tab); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}
+
+func TestRenderChartEmptyTable(t *testing.T) {
+	if err := RenderChart(&bytes.Buffer{}, &Table{Experiment: &Experiment{}}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestRenderChartSinglePoint(t *testing.T) {
+	tab := fixedTable()
+	tab.Experiment.Points = tab.Experiment.Points[:1]
+	for i := range tab.Series {
+		tab.Series[i].Cells = tab.Series[i].Cells[:1]
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package eval is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§IV): it runs a set of algorithms over
+// swept workload configurations, repeats each cell with per-repetition
+// seeds, aggregates utilities, and renders text tables and CSV (one series
+// per algorithm — the same rows/series the paper plots).
+package eval
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/stats"
+)
+
+// Algorithm is a named arrangement algorithm under test.
+type Algorithm struct {
+	Name string
+	// Run computes an arrangement; seed drives any internal randomness.
+	Run func(in *model.Instance, seed int64) (*model.Arrangement, error)
+}
+
+// Point is one x-axis position of an experiment.
+type Point struct {
+	// Label names the point in output, e.g. "|V|=200".
+	Label string
+	// X is the numeric x value (for CSV plotting).
+	X float64
+	// Gen builds the instance for repetition rep. Implementations must be
+	// deterministic in rep.
+	Gen func(rep int) (*model.Instance, error)
+}
+
+// Experiment is a sweep: utilities of each algorithm at each point,
+// averaged over repetitions (the paper repeats 50×).
+type Experiment struct {
+	ID         string // e.g. "fig1b"
+	Title      string // e.g. "utility vs number of users"
+	XLabel     string // e.g. "|U|"
+	Points     []Point
+	Algorithms []Algorithm
+}
+
+// Cell is the aggregated result of one (point, algorithm) pair.
+type Cell struct {
+	stats.Summary
+}
+
+// Series is one algorithm's results across all points.
+type Series struct {
+	Algorithm string
+	Cells     []Cell
+}
+
+// Table is a completed experiment.
+type Table struct {
+	Experiment *Experiment
+	Reps       int
+	Series     []Series
+}
+
+// RunConfig controls execution.
+type RunConfig struct {
+	// Reps is the number of repetitions per point (paper: 50). 0 means 5.
+	Reps int
+	// Seed is the base seed; repetition r of point p derives its own
+	// deterministic seed, so results are reproducible and independent of
+	// Parallelism.
+	Seed int64
+	// Parallelism bounds concurrent repetitions; 0 means GOMAXPROCS.
+	Parallelism int
+	// Validate re-checks the feasibility of every arrangement produced
+	// (cheap; on by default in the bench tool).
+	Validate bool
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// Run executes the experiment and aggregates utilities.
+func Run(e *Experiment, cfg RunConfig) (*Table, error) {
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ point, rep int }
+	jobs := make(chan job)
+	outcomes := make(chan outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				outcomes <- runOne(e, cfg, j.point, j.rep)
+			}
+		}()
+	}
+	go func() {
+		for p := range e.Points {
+			for r := 0; r < reps; r++ {
+				jobs <- job{p, r}
+			}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// utils[point][alg][rep]
+	utils := make([][][]float64, len(e.Points))
+	for p := range utils {
+		utils[p] = make([][]float64, len(e.Algorithms))
+		for a := range utils[p] {
+			utils[p][a] = make([]float64, reps)
+		}
+	}
+	var firstErr error
+	done := make([]int, len(e.Points))
+	for o := range outcomes {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		for a, u := range o.utils {
+			utils[o.point][a][o.rep] = u
+		}
+		done[o.point]++
+		if done[o.point] == reps && cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "[%s] %s done (%d reps)\n", e.ID, e.Points[o.point].Label, reps)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	t := &Table{Experiment: e, Reps: reps}
+	for a, alg := range e.Algorithms {
+		s := Series{Algorithm: alg.Name, Cells: make([]Cell, len(e.Points))}
+		for p := range e.Points {
+			s.Cells[p] = Cell{stats.Summarize(utils[p][a])}
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+
+}
+
+// outcome is the result of one (point, repetition) job: the utility each
+// algorithm achieved on that repetition's instance.
+type outcome struct {
+	point, rep int
+	utils      []float64
+	err        error
+}
+
+func runOne(e *Experiment, cfg RunConfig, point, rep int) (o outcome) {
+	o.point, o.rep = point, rep
+	in, err := e.Points[point].Gen(rep)
+	if err != nil {
+		o.err = fmt.Errorf("eval: %s point %d rep %d: generate: %w", e.ID, point, rep, err)
+		return o
+	}
+	o.utils = make([]float64, len(e.Algorithms))
+	for a, alg := range e.Algorithms {
+		seed := deriveSeed(cfg.Seed, point, rep, a)
+		arr, err := alg.Run(in, seed)
+		if err != nil {
+			o.err = fmt.Errorf("eval: %s %s at %s rep %d: %w", e.ID, alg.Name, e.Points[point].Label, rep, err)
+			return o
+		}
+		if cfg.Validate {
+			if err := model.Validate(in, arr); err != nil {
+				o.err = fmt.Errorf("eval: %s %s produced infeasible arrangement: %w", e.ID, alg.Name, err)
+				return o
+			}
+		}
+		o.utils[a] = model.Utility(in, arr)
+	}
+	return o
+}
+
+// deriveSeed mixes the base seed with the job coordinates (splitmix64-style)
+// so every (point, rep, algorithm) triple has an independent stream.
+func deriveSeed(base int64, point, rep, alg int) int64 {
+	z := uint64(base) ^ 0x9e3779b97f4a7c15
+	for _, v := range [3]uint64{uint64(point), uint64(rep), uint64(alg)} {
+		z ^= v + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	}
+	return int64(z)
+}

@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ebsn/igepa/internal/baselines"
+	"github.com/ebsn/igepa/internal/core"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/workload"
+)
+
+// MeetupMaxSetsPerUser caps admissible-set enumeration on the Meetup-like
+// dataset, where heavy users (large attendance histories) would otherwise
+// contribute hundreds of thousands of LP columns. Truncation keeps the
+// heaviest sets and all singletons; the cap is recorded in EXPERIMENTS.md.
+const MeetupMaxSetsPerUser = 2000
+
+// StandardAlgorithms returns the paper's four algorithms (§IV "Baselines"):
+// LP-packing (α as given; the paper's experiments use α=1), GG, Random-U and
+// Random-V.
+func StandardAlgorithms(alpha float64, maxSets int) []Algorithm {
+	return []Algorithm{
+		LPPackingAlgorithm("LP-packing", core.Options{Alpha: alpha, MaxSetsPerUser: maxSets}),
+		{Name: "GG", Run: func(in *model.Instance, seed int64) (*model.Arrangement, error) {
+			return baselines.Greedy(in), nil
+		}},
+		{Name: "Random-U", Run: func(in *model.Instance, seed int64) (*model.Arrangement, error) {
+			return baselines.RandomU(in, seed), nil
+		}},
+		{Name: "Random-V", Run: func(in *model.Instance, seed int64) (*model.Arrangement, error) {
+			return baselines.RandomV(in, seed), nil
+		}},
+	}
+}
+
+// LPPackingAlgorithm wraps core.LPPacking as a named harness algorithm; the
+// per-run seed overrides opt.Seed.
+func LPPackingAlgorithm(name string, opt core.Options) Algorithm {
+	return Algorithm{Name: name, Run: func(in *model.Instance, seed int64) (*model.Arrangement, error) {
+		o := opt
+		o.Seed = seed
+		res, err := core.LPPacking(in, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Arrangement, nil
+	}}
+}
+
+// syntheticPoint builds a Point whose instances come from the Table I
+// generator with one factor overridden by mod.
+func syntheticPoint(label string, x float64, seed int64, mod func(*workload.SyntheticConfig)) Point {
+	return Point{
+		Label: label,
+		X:     x,
+		Gen: func(rep int) (*model.Instance, error) {
+			cfg := workload.SyntheticConfig{Seed: seed + int64(rep)*7919}
+			mod(&cfg)
+			return workload.Synthetic(cfg)
+		},
+	}
+}
+
+// Paper returns the experiment with the given id. Valid ids are the keys of
+// PaperExperiments.
+func Paper(id string, seed int64) (*Experiment, error) {
+	f, ok := paperRegistry[id]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown experiment %q (have %v)", id, PaperExperimentIDs())
+	}
+	return f(seed), nil
+}
+
+// PaperExperimentIDs lists the available experiment ids in stable order.
+func PaperExperimentIDs() []string {
+	ids := make([]string, 0, len(paperRegistry))
+	for id := range paperRegistry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+var paperRegistry = map[string]func(seed int64) *Experiment{
+	"fig1a": func(seed int64) *Experiment {
+		e := &Experiment{ID: "fig1a", Title: "utility vs number of events", XLabel: "|V|",
+			Algorithms: StandardAlgorithms(1, 0)}
+		for _, nv := range []int{100, 150, 200, 250, 300} {
+			nv := nv
+			e.Points = append(e.Points, syntheticPoint(fmt.Sprintf("|V|=%d", nv), float64(nv), seed,
+				func(c *workload.SyntheticConfig) { c.NumEvents = nv }))
+		}
+		return e
+	},
+	"fig1b": func(seed int64) *Experiment {
+		e := &Experiment{ID: "fig1b", Title: "utility vs number of users", XLabel: "|U|",
+			Algorithms: StandardAlgorithms(1, 0)}
+		for _, nu := range []int{1000, 2000, 4000, 6000, 8000, 10000} {
+			nu := nu
+			e.Points = append(e.Points, syntheticPoint(fmt.Sprintf("|U|=%d", nu), float64(nu), seed,
+				func(c *workload.SyntheticConfig) { c.NumUsers = nu }))
+		}
+		return e
+	},
+	"fig1c": func(seed int64) *Experiment {
+		e := &Experiment{ID: "fig1c", Title: "utility vs conflict probability", XLabel: "pcf",
+			Algorithms: StandardAlgorithms(1, 0)}
+		for _, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+			p := p
+			e.Points = append(e.Points, syntheticPoint(fmt.Sprintf("pcf=%.1f", p), p, seed,
+				func(c *workload.SyntheticConfig) { c.PConflict = p }))
+		}
+		return e
+	},
+	"fig1d": func(seed int64) *Experiment {
+		e := &Experiment{ID: "fig1d", Title: "utility vs friendship probability", XLabel: "pdeg",
+			Algorithms: StandardAlgorithms(1, 0)}
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			p := p
+			e.Points = append(e.Points, syntheticPoint(fmt.Sprintf("pdeg=%.1f", p), p, seed,
+				func(c *workload.SyntheticConfig) { c.PFriend = p }))
+		}
+		return e
+	},
+	"fig1e": func(seed int64) *Experiment {
+		e := &Experiment{ID: "fig1e", Title: "utility vs maximum event capacity", XLabel: "max cv",
+			Algorithms: StandardAlgorithms(1, 0)}
+		for _, cv := range []int{10, 30, 50, 70, 90} {
+			cv := cv
+			e.Points = append(e.Points, syntheticPoint(fmt.Sprintf("max cv=%d", cv), float64(cv), seed,
+				func(c *workload.SyntheticConfig) { c.MaxEventCap = cv }))
+		}
+		return e
+	},
+	"fig1f": func(seed int64) *Experiment {
+		e := &Experiment{ID: "fig1f", Title: "utility vs maximum user capacity", XLabel: "max cu",
+			Algorithms: StandardAlgorithms(1, 0)}
+		for _, cu := range []int{2, 3, 4, 5, 6} {
+			cu := cu
+			e.Points = append(e.Points, syntheticPoint(fmt.Sprintf("max cu=%d", cu), float64(cu), seed,
+				func(c *workload.SyntheticConfig) { c.MaxUserCap = cu }))
+		}
+		return e
+	},
+	"table2": func(seed int64) *Experiment {
+		return &Experiment{
+			ID: "table2", Title: "utility on the Meetup-like real dataset", XLabel: "dataset",
+			Algorithms: StandardAlgorithms(1, MeetupMaxSetsPerUser),
+			Points: []Point{{
+				Label: "meetup-sf",
+				X:     0,
+				Gen: func(rep int) (*model.Instance, error) {
+					return workload.Meetup(workload.MeetupConfig{Seed: seed + int64(rep)*7919})
+				},
+			}},
+		}
+	},
+	"ablate-alpha": func(seed int64) *Experiment {
+		e := &Experiment{ID: "ablate-alpha", Title: "LP-packing sampling rate ablation", XLabel: "dataset",
+			Points: []Point{syntheticPoint("defaults", 0, seed, func(*workload.SyntheticConfig) {})}}
+		for _, a := range []float64{0.25, 0.5, 0.75, 1.0} {
+			e.Algorithms = append(e.Algorithms,
+				LPPackingAlgorithm(fmt.Sprintf("alpha=%.2f", a), core.Options{Alpha: a}))
+		}
+		return e
+	},
+	"ablate-repair": func(seed int64) *Experiment {
+		e := &Experiment{ID: "ablate-repair", Title: "LP-packing repair-order ablation", XLabel: "dataset",
+			Points: []Point{syntheticPoint("defaults (cv/5)", 0, seed, func(c *workload.SyntheticConfig) {
+				// tight capacities make repair actually bite
+				c.MaxEventCap = 10
+			})}}
+		for _, ord := range []core.RepairOrder{core.RepairByIndex, core.RepairRandom, core.RepairByWeightAsc} {
+			e.Algorithms = append(e.Algorithms,
+				LPPackingAlgorithm("repair="+ord.String(), core.Options{Repair: ord}))
+		}
+		e.Algorithms = append(e.Algorithms,
+			LPPackingAlgorithm("repair=index+fill", core.Options{GreedyFill: true}))
+		return e
+	},
+}

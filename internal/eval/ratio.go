@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ebsn/igepa/internal/baselines"
+	"github.com/ebsn/igepa/internal/core"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/stats"
+	"github.com/ebsn/igepa/internal/workload"
+)
+
+// RatioConfig controls the empirical approximation-ratio experiment, which
+// checks Theorem 2 (ratio ≥ 1/4 at α = 1/2) against the exact optimum on
+// small instances.
+type RatioConfig struct {
+	// Instances is the number of random small instances; 0 means 20.
+	Instances int
+	// SamplesPerInstance averages LP-packing's randomized rounding; 0
+	// means 20.
+	SamplesPerInstance int
+	// Alpha is the sampling rate; 0 means 0.5 (the theorem's setting).
+	Alpha float64
+	Seed  int64
+}
+
+// RatioResult reports, per instance, E[LP-packing]/OPT, and the aggregate.
+type RatioResult struct {
+	Alpha     float64
+	PerInst   []float64 // expected-utility ratio per instance
+	Aggregate stats.Summary
+	WorstCase float64
+	// LPGapMax is the largest OPT/LP ratio observed (how tight Lemma 1 was).
+	LPGapMax float64
+}
+
+// RunRatio measures the empirical approximation ratio of LP-packing against
+// the branch-and-bound optimum on a battery of small synthetic instances.
+func RunRatio(cfg RatioConfig, progress io.Writer) (*RatioResult, error) {
+	n := cfg.Instances
+	if n <= 0 {
+		n = 20
+	}
+	samples := cfg.SamplesPerInstance
+	if samples <= 0 {
+		samples = 20
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+
+	res := &RatioResult{Alpha: alpha, WorstCase: 1}
+	for i := 0; i < n; i++ {
+		in, err := workload.Synthetic(workload.SyntheticConfig{
+			Seed:      cfg.Seed + int64(i)*104729,
+			NumEvents: 6 + i%5, NumUsers: 6 + (i*3)%7,
+			MaxEventCap: 2, MaxUserCap: 3,
+			MinBids: 2, MaxBids: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, opt, err := baselines.Optimal(in)
+		if err != nil {
+			return nil, err
+		}
+		if opt <= 0 {
+			continue // degenerate instance with nothing to assign
+		}
+		var utils []float64
+		var lpObj float64
+		for s := 0; s < samples; s++ {
+			r, err := core.LPPacking(in, core.Options{Alpha: alpha, Seed: cfg.Seed + int64(i*samples+s)})
+			if err != nil {
+				return nil, err
+			}
+			if err := model.Validate(in, r.Arrangement); err != nil {
+				return nil, fmt.Errorf("eval: ratio instance %d: %w", i, err)
+			}
+			utils = append(utils, r.Utility)
+			lpObj = r.LPObjective
+		}
+		ratio := stats.Mean(utils) / opt
+		res.PerInst = append(res.PerInst, ratio)
+		if ratio < res.WorstCase {
+			res.WorstCase = ratio
+		}
+		if lpObj > 0 {
+			if gap := opt / lpObj; gap > res.LPGapMax {
+				res.LPGapMax = gap
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "[ratio] instance %2d: |V|=%d |U|=%d OPT=%.3f E[ALG]=%.3f ratio=%.3f\n",
+				i, in.NumEvents(), in.NumUsers(), opt, stats.Mean(utils), ratio)
+		}
+	}
+	res.Aggregate = stats.Summarize(res.PerInst)
+	return res, nil
+}

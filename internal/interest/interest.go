@@ -1,0 +1,121 @@
+// Package interest implements the interest functions SI(lv, lu) ∈ [0,1]
+// (Definition 5) used by the experiments: hashed uniform values (synthetic
+// datasets, "interest values of users in events are uniformly sampled"),
+// cosine and Jaccard similarity over attribute vectors (the Meetup-like
+// dataset computes interests from attributes as in GEACC), and explicit
+// lookup tables.
+//
+// All constructors return plain func(u, v int) float64 values, assignable to
+// model.InterestFunc.
+package interest
+
+import (
+	"math"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// Hashed returns an interest function whose values are deterministic
+// pseudo-uniform draws from [0,1) keyed by (seed, u, v). It behaves like an
+// i.i.d. uniform interest table without materializing |U|×|V| floats.
+func Hashed(seed int64) func(u, v int) float64 {
+	return func(u, v int) float64 {
+		return xrand.HashFloat(seed, u, v)
+	}
+}
+
+// Cosine returns SI(u,v) = cos(lu, lv) clamped to [0,1], where lu and lv are
+// the users' and events' attribute vectors. Vectors of unequal length are
+// compared over their common prefix; zero vectors yield 0.
+func Cosine(userAttrs, eventAttrs [][]float64) func(u, v int) float64 {
+	return func(u, v int) float64 {
+		return CosineSim(userAttrs[u], eventAttrs[v])
+	}
+}
+
+// CosineSim computes the cosine similarity of two vectors clamped to [0,1].
+func CosineSim(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+	}
+	for _, x := range a {
+		na += x * x
+	}
+	for _, x := range b {
+		nb += x * x
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	// Guard against overflow on extreme inputs (Inf/Inf → NaN): an interest
+	// must always be a valid value in [0,1].
+	if math.IsNaN(c) || c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// Jaccard returns SI(u,v) = |Au ∩ Av| / |Au ∪ Av| where an attribute i is
+// "present" when its value is > 0. Empty unions yield 0.
+func Jaccard(userAttrs, eventAttrs [][]float64) func(u, v int) float64 {
+	return func(u, v int) float64 {
+		return JaccardSim(userAttrs[u], eventAttrs[v])
+	}
+}
+
+// JaccardSim computes the Jaccard similarity of the supports of two vectors.
+func JaccardSim(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	inter, union := 0, 0
+	for i := 0; i < n; i++ {
+		ina := i < len(a) && a[i] > 0
+		inb := i < len(b) && b[i] > 0
+		if ina && inb {
+			inter++
+		}
+		if ina || inb {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Table is an explicit dense interest table with one value per (user,
+// event). Values default to 0.
+type Table struct {
+	numEvents int
+	vals      []float64
+}
+
+// NewTable returns a zero table for numUsers × numEvents.
+func NewTable(numUsers, numEvents int) *Table {
+	return &Table{numEvents: numEvents, vals: make([]float64, numUsers*numEvents)}
+}
+
+// Set stores SI(u,v) = x. It panics if x is outside [0,1].
+func (t *Table) Set(u, v int, x float64) {
+	if x < 0 || x > 1 {
+		panic("interest: value outside [0,1]")
+	}
+	t.vals[u*t.numEvents+v] = x
+}
+
+// At returns SI(u,v). It has the signature of model.InterestFunc.
+func (t *Table) At(u, v int) float64 {
+	return t.vals[u*t.numEvents+v]
+}

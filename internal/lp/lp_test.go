@@ -1,0 +1,373 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// solvers under test; both must agree on every problem.
+func bothSolvers() map[string]Solver {
+	return map[string]Solver{
+		"dense":   &Dense{},
+		"revised": &Revised{},
+		// small refactor interval exercises the refactorization path hard
+		"revised-refactor2": &Revised{RefactorEvery: 2},
+		// tiny pricing window exercises partial-pricing wraparound
+		"revised-window1": &Revised{Pricing: "dantzig", PricingWindow: 1},
+		"revised-devex":   &Revised{Pricing: "devex"},
+		"revised-dantzig": &Revised{Pricing: "dantzig"},
+	}
+}
+
+func solveBoth(t *testing.T, p *Problem, wantObj float64) {
+	t.Helper()
+	for name, s := range bothSolvers() {
+		sol, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("%s: status %v", name, sol.Status)
+		}
+		// Tolerance note: the revised solver's default anti-degeneracy RHS
+		// perturbation shifts optima by O(perturbScale) relative; exactness
+		// without perturbation is asserted separately in TestNoPerturbExact.
+		if math.Abs(sol.Objective-wantObj) > 1e-5*(1+math.Abs(wantObj)) {
+			t.Errorf("%s: objective %v, want %v", name, sol.Objective, wantObj)
+		}
+		if err := Verify(p, sol, 1e-6); err != nil {
+			t.Errorf("%s: verification failed: %v", name, err)
+		}
+	}
+}
+
+func TestNoPerturbExact(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → obj 12 exactly
+	p := &Problem{
+		NumRows: 2,
+		C:       []float64{3, 2},
+		Cols: []Column{
+			{Rows: []int{0, 1}, Vals: []float64{1, 1}},
+			{Rows: []int{0, 1}, Vals: []float64{1, 3}},
+		},
+		B: []float64{4, 6},
+	}
+	for _, pr := range []string{"devex", "dantzig"} {
+		sol, err := (&Revised{NoPerturb: true, Pricing: pr}).Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", pr, err)
+		}
+		if math.Abs(sol.Objective-12) > 1e-9 {
+			t.Errorf("%s: objective %v, want exactly 12", pr, sol.Objective)
+		}
+	}
+	if _, err := (&Revised{Pricing: "bogus"}).Solve(p); err == nil {
+		t.Error("unknown pricing rule accepted")
+	}
+}
+
+func TestKnownLP1(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  → x=4, y=0, obj 12
+	p := &Problem{
+		NumRows: 2,
+		C:       []float64{3, 2},
+		Cols: []Column{
+			{Rows: []int{0, 1}, Vals: []float64{1, 1}},
+			{Rows: []int{0, 1}, Vals: []float64{1, 3}},
+		},
+		B: []float64{4, 6},
+	}
+	solveBoth(t, p, 12)
+}
+
+func TestKnownLP2Fractional(t *testing.T) {
+	// max x + y s.t. 2x + y <= 4, x + 2y <= 4 → x=y=4/3, obj 8/3
+	p := &Problem{
+		NumRows: 2,
+		C:       []float64{1, 1},
+		Cols: []Column{
+			{Rows: []int{0, 1}, Vals: []float64{2, 1}},
+			{Rows: []int{0, 1}, Vals: []float64{1, 2}},
+		},
+		B: []float64{4, 4},
+	}
+	solveBoth(t, p, 8.0/3.0)
+}
+
+func TestAssignmentLP(t *testing.T) {
+	// 2 users × 2 events, user rows ≤ 1, event rows cap 1:
+	// max .9 x00 + .1 x01 + .8 x10 + .7 x11
+	// optimal integral: u0→e0, u1→e1 → 1.6
+	p := &Problem{
+		NumRows: 4, // rows 0,1 users; 2,3 events
+		C:       []float64{0.9, 0.1, 0.8, 0.7},
+		Cols: []Column{
+			{Rows: []int{0, 2}, Vals: []float64{1, 1}},
+			{Rows: []int{0, 3}, Vals: []float64{1, 1}},
+			{Rows: []int{1, 2}, Vals: []float64{1, 1}},
+			{Rows: []int{1, 3}, Vals: []float64{1, 1}},
+		},
+		B: []float64{1, 1, 1, 1},
+	}
+	solveBoth(t, p, 1.6)
+}
+
+func TestZeroRHSDegenerate(t *testing.T) {
+	// capacity-zero row forces x = 0 in spite of positive reward
+	p := &Problem{
+		NumRows: 1,
+		C:       []float64{5},
+		Cols:    []Column{{Rows: []int{0}, Vals: []float64{1}}},
+		B:       []float64{0},
+	}
+	solveBoth(t, p, 0)
+}
+
+func TestAllNegativeObjective(t *testing.T) {
+	p := &Problem{
+		NumRows: 1,
+		C:       []float64{-1, -2},
+		Cols: []Column{
+			{Rows: []int{0}, Vals: []float64{1}},
+			{Rows: []int{0}, Vals: []float64{1}},
+		},
+		B: []float64{5},
+	}
+	solveBoth(t, p, 0)
+}
+
+func TestUnbounded(t *testing.T) {
+	// x has positive reward and no binding constraint coefficient
+	p := &Problem{
+		NumRows: 1,
+		C:       []float64{1},
+		Cols:    []Column{{Rows: nil, Vals: nil}},
+		B:       []float64{1},
+	}
+	for name, s := range bothSolvers() {
+		_, err := s.Solve(p)
+		if err != ErrUnbounded {
+			t.Errorf("%s: err = %v, want ErrUnbounded", name, err)
+		}
+	}
+}
+
+func TestEmptyProblems(t *testing.T) {
+	// no columns
+	p := &Problem{NumRows: 2, B: []float64{1, 1}}
+	solveBoth(t, p, 0)
+	// no rows, non-positive objective
+	p2 := &Problem{NumRows: 0, C: []float64{-1}, Cols: []Column{{}}, B: nil}
+	sol, err := (&Revised{}).Solve(p2)
+	if err != nil || sol.Objective != 0 {
+		t.Errorf("rowless LP: sol=%+v err=%v", sol, err)
+	}
+	sol, err = (&Dense{}).Solve(p2)
+	if err != nil || sol.Objective != 0 {
+		t.Errorf("rowless LP (dense): sol=%+v err=%v", sol, err)
+	}
+}
+
+func TestCheckRejectsMalformed(t *testing.T) {
+	cases := []*Problem{
+		{NumRows: 1, C: []float64{1}, Cols: nil, B: []float64{1}},                                             // len(C) != len(Cols)
+		{NumRows: 1, C: nil, Cols: nil, B: []float64{1, 2}},                                                   // wrong B length
+		{NumRows: 1, C: []float64{1}, Cols: []Column{{Rows: []int{0}, Vals: []float64{1}}}, B: []float64{-1}}, // negative rhs
+		{NumRows: 1, C: []float64{1}, Cols: []Column{{Rows: []int{5}, Vals: []float64{1}}}, B: []float64{1}},  // row out of range
+		{NumRows: 1, C: []float64{1}, Cols: []Column{{Rows: []int{0}, Vals: nil}}, B: []float64{1}},           // rows/vals mismatch
+		{NumRows: 1, C: []float64{math.NaN()}, Cols: []Column{{}}, B: []float64{1}},                           // NaN objective
+	}
+	for i, p := range cases {
+		if err := p.Check(); err == nil {
+			t.Errorf("case %d: malformed problem accepted", i)
+		}
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: Solve accepted malformed problem", i)
+		}
+	}
+}
+
+func TestVerifyCatchesLies(t *testing.T) {
+	p := &Problem{
+		NumRows: 1,
+		C:       []float64{1},
+		Cols:    []Column{{Rows: []int{0}, Vals: []float64{1}}},
+		B:       []float64{2},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Solution{Status: Optimal, X: []float64{5}, Y: sol.Y, Objective: 5}
+	if err := Verify(p, bad, 1e-6); err == nil {
+		t.Error("infeasible primal passed verification")
+	}
+	bad = &Solution{Status: Optimal, X: sol.X, Y: []float64{0}, Objective: sol.Objective}
+	if err := Verify(p, bad, 1e-6); err == nil {
+		t.Error("dual-infeasible solution passed verification")
+	}
+	bad = &Solution{Status: Optimal, X: []float64{1}, Y: []float64{1}, Objective: 1}
+	if err := Verify(p, bad, 1e-6); err == nil {
+		t.Error("suboptimal solution passed verification (duality gap)")
+	}
+}
+
+// randomPacking builds a random packing LP in benchmark-LP shape: g groups
+// ("users") of columns with ≤1 rows, plus k capacity rows ("events") hit by
+// random subsets of columns.
+func randomPacking(rng *xrand.RNG, g, k, colsPerGroup int) *Problem {
+	m := g + k
+	p := &Problem{NumRows: m, B: make([]float64, m)}
+	for i := 0; i < g; i++ {
+		p.B[i] = 1
+	}
+	for i := 0; i < k; i++ {
+		p.B[g+i] = float64(1 + rng.Intn(4))
+	}
+	for grp := 0; grp < g; grp++ {
+		nc := 1 + rng.Intn(colsPerGroup)
+		for c := 0; c < nc; c++ {
+			col := Column{Rows: []int{grp}, Vals: []float64{1}}
+			picks := 1 + rng.Intn(3)
+			used := map[int]bool{}
+			for e := 0; e < picks; e++ {
+				r := g + rng.Intn(k)
+				if !used[r] {
+					used[r] = true
+					col.Rows = append(col.Rows, r)
+					col.Vals = append(col.Vals, 1)
+				}
+			}
+			p.Cols = append(p.Cols, col)
+			p.C = append(p.C, rng.Float64())
+		}
+	}
+	return p
+}
+
+// The central cross-validation property: on random benchmark-shaped packing
+// LPs, the dense oracle and the revised solver find the same optimum and
+// both certify.
+func TestDenseRevisedAgreeOnRandomPacking(t *testing.T) {
+	rng := xrand.New(4242)
+	for trial := 0; trial < 40; trial++ {
+		p := randomPacking(rng, 3+rng.Intn(20), 2+rng.Intn(10), 5)
+		dsol, err := (&Dense{}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		rsol, err := (&Revised{RefactorEvery: 8}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d revised: %v", trial, err)
+		}
+		if math.Abs(dsol.Objective-rsol.Objective) > 5e-6*(1+math.Abs(dsol.Objective)) {
+			t.Fatalf("trial %d: dense %v vs revised %v", trial, dsol.Objective, rsol.Objective)
+		}
+		if err := Verify(p, dsol, 1e-6); err != nil {
+			t.Errorf("trial %d dense verify: %v", trial, err)
+		}
+		if err := Verify(p, rsol, 1e-6); err != nil {
+			t.Errorf("trial %d revised verify: %v", trial, err)
+		}
+	}
+}
+
+// Dense-valued random LPs (not 0/1) exercise general pivoting.
+func TestDenseRevisedAgreeOnGeneralLPs(t *testing.T) {
+	rng := xrand.New(777)
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(12)
+		n := 1 + rng.Intn(20)
+		p := &Problem{NumRows: m, B: make([]float64, m)}
+		for i := range p.B {
+			p.B[i] = rng.Float64() * 10
+		}
+		for j := 0; j < n; j++ {
+			col := Column{}
+			for r := 0; r < m; r++ {
+				if rng.Bool(0.5) {
+					col.Rows = append(col.Rows, r)
+					col.Vals = append(col.Vals, rng.Float64()*3) // non-negative keeps it bounded
+				}
+			}
+			if len(col.Rows) == 0 { // ensure boundedness
+				col.Rows = append(col.Rows, rng.Intn(m))
+				col.Vals = append(col.Vals, 1)
+			}
+			p.Cols = append(p.Cols, col)
+			p.C = append(p.C, rng.Float64()*2-0.5)
+		}
+		dsol, err := (&Dense{}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		rsol, err := (&Revised{RefactorEvery: 4, PricingWindow: 3}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d revised: %v", trial, err)
+		}
+		if math.Abs(dsol.Objective-rsol.Objective) > 5e-6*(1+math.Abs(dsol.Objective)) {
+			t.Fatalf("trial %d: dense %v vs revised %v", trial, dsol.Objective, rsol.Objective)
+		}
+		if err := Verify(p, rsol, 1e-6); err != nil {
+			t.Errorf("trial %d verify: %v", trial, err)
+		}
+	}
+}
+
+func TestAutoSolveSelects(t *testing.T) {
+	rng := xrand.New(5)
+	p := randomPacking(rng, 10, 5, 3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, sol, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Unbounded.String() != "unbounded" ||
+		IterLimit.String() != "iteration-limit" || Status(9).String() == "" {
+		t.Error("Status.String broken")
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	rng := xrand.New(6)
+	p := randomPacking(rng, 20, 10, 5)
+	_, err := (&Dense{MaxIter: 1}).Solve(p)
+	if err != ErrIterLimit {
+		t.Errorf("dense: err = %v, want ErrIterLimit", err)
+	}
+	_, err = (&Revised{MaxIter: 1}).Solve(p)
+	if err != ErrIterLimit {
+		t.Errorf("revised: err = %v, want ErrIterLimit", err)
+	}
+}
+
+func BenchmarkRevisedMediumPacking(b *testing.B) {
+	rng := xrand.New(1)
+	p := randomPacking(rng, 500, 100, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Revised{}).Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseMediumPacking(b *testing.B) {
+	rng := xrand.New(1)
+	p := randomPacking(rng, 100, 30, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Dense{}).Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

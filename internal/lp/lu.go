@@ -1,0 +1,264 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// luFactors is a sparse LU factorization of a square basis matrix B with
+// row partial pivoting and a sparsity-oriented column order:
+//
+//	B[:, colOrder[k]] is eliminated at step k, pivoting on original row
+//	pivRow[k], so that  P·B·Q = L·U  with P, Q the row/column permutations
+//	and L unit-lower-triangular, U upper-triangular, both in "step" space.
+//
+// L and U are stored column-wise: lIdx[k]/lVal[k] hold the strictly-lower
+// entries of L's column k (step indices > k), uIdx[k]/uVal[k] the
+// strictly-upper entries of U's column k (step indices < k), and uDiag[k]
+// the diagonal pivot.
+type luFactors struct {
+	m        int
+	colOrder []int // step -> basis position
+	pivRow   []int // step -> original row
+	pos      []int // original row -> step
+
+	lIdx  [][]int32
+	lVal  [][]float64
+	uIdx  [][]int32
+	uVal  [][]float64
+	uDiag []float64
+}
+
+// stepHeap is a small binary min-heap of step indices used to process
+// eliminations in increasing step order during factorization.
+type stepHeap []int
+
+func (h *stepHeap) push(x int) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *stepHeap) pop() int {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && (*h)[l] < (*h)[sm] {
+			sm = l
+		}
+		if r < n && (*h)[r] < (*h)[sm] {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		(*h)[i], (*h)[sm] = (*h)[sm], (*h)[i]
+		i = sm
+	}
+	return top
+}
+
+// luFactorize computes the factorization of the m×m matrix whose columns are
+// cols. Columns are eliminated in order of increasing nonzero count (slacks
+// and other singletons first), an effective cheap fill-reducing heuristic
+// for the near-network bases of the benchmark LP. Returns an error if the
+// matrix is numerically singular.
+func luFactorize(m int, cols []Column) (*luFactors, error) {
+	if len(cols) != m {
+		return nil, fmt.Errorf("lp: lu of %dx%d matrix with %d columns", m, m, len(cols))
+	}
+	f := &luFactors{
+		m:        m,
+		colOrder: make([]int, m),
+		pivRow:   make([]int, m),
+		pos:      make([]int, m),
+		lIdx:     make([][]int32, m),
+		lVal:     make([][]float64, m),
+		uIdx:     make([][]int32, m),
+		uVal:     make([][]float64, m),
+		uDiag:    make([]float64, m),
+	}
+	for i := range f.colOrder {
+		f.colOrder[i] = i
+		f.pos[i] = -1
+	}
+	sort.SliceStable(f.colOrder, func(a, b int) bool {
+		return len(cols[f.colOrder[a]].Rows) < len(cols[f.colOrder[b]].Rows)
+	})
+
+	w := make([]float64, m)      // dense accumulator, original-row space
+	inW := make([]bool, m)       // w[r] is live
+	seen := make([]bool, m)      // step already processed this column
+	touched := make([]int, 0, m) // live rows to reset
+	var steps stepHeap           // pivoted steps pending elimination
+	var processed []int          // steps to clear from seen
+
+	// lRows holds L entries in original-row space while rows are still being
+	// pivoted; they are translated to step space after the last column.
+	lRows := make([][]int32, m)
+
+	for k := 0; k < m; k++ {
+		j := f.colOrder[k]
+		col := cols[j]
+		steps = steps[:0]
+		processed = processed[:0]
+		touched = touched[:0]
+		for i, r := range col.Rows {
+			if !inW[r] {
+				inW[r] = true
+				touched = append(touched, r)
+			}
+			w[r] += col.Vals[i]
+			if f.pos[r] >= 0 && !seen[f.pos[r]] {
+				seen[f.pos[r]] = true
+				processed = append(processed, f.pos[r])
+				steps.push(f.pos[r])
+			}
+		}
+		// Forward-eliminate through previously factored columns in
+		// increasing step order (a topological order of L).
+		for len(steps) > 0 {
+			js := steps.pop()
+			pr := f.pivRow[js]
+			alpha := w[pr]
+			w[pr] = 0
+			if alpha == 0 {
+				continue
+			}
+			f.uIdx[k] = append(f.uIdx[k], int32(js))
+			f.uVal[k] = append(f.uVal[k], alpha)
+			for i, r32 := range lRows[js] {
+				r := int(r32)
+				if !inW[r] {
+					inW[r] = true
+					touched = append(touched, r)
+				}
+				w[r] -= alpha * f.lVal[js][i]
+				if p := f.pos[r]; p >= 0 && !seen[p] {
+					seen[p] = true
+					processed = append(processed, p)
+					steps.push(p)
+				}
+			}
+		}
+		// Partial pivoting among the remaining (unpivoted) rows.
+		piv, pr := 0.0, -1
+		for _, r := range touched {
+			if f.pos[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(w[r]); a > piv {
+				piv, pr = a, r
+			}
+		}
+		if pr < 0 || piv < 1e-12 {
+			return nil, fmt.Errorf("lp: basis numerically singular at step %d", k)
+		}
+		pivVal := w[pr]
+		f.pivRow[k] = pr
+		f.pos[pr] = k
+		f.uDiag[k] = pivVal
+		for _, r := range touched {
+			if f.pos[r] >= 0 {
+				continue // pivot rows (incl. the current one) are not part of L
+			}
+			if v := w[r]; v != 0 {
+				lRows[k] = append(lRows[k], int32(r))
+				f.lVal[k] = append(f.lVal[k], v/pivVal)
+			}
+		}
+		for _, r := range touched {
+			w[r] = 0
+			inW[r] = false
+		}
+		for _, s := range processed {
+			seen[s] = false
+		}
+	}
+	// Translate L's row indices to step space (every row now has a step).
+	for k := 0; k < m; k++ {
+		idx := make([]int32, len(lRows[k]))
+		for i, r := range lRows[k] {
+			idx[i] = int32(f.pos[r])
+		}
+		f.lIdx[k] = idx
+	}
+	return f, nil
+}
+
+// solveB computes d = B⁻¹a for a sparse right-hand side a given as
+// (rows, vals) in original-row space. The result is written into out,
+// indexed by basis position; work must be a zeroed scratch vector of
+// length m and is returned zeroed.
+func (f *luFactors) solveB(rows []int, vals []float64, out, work []float64) {
+	z := work
+	for i, r := range rows {
+		z[f.pos[r]] += vals[i]
+	}
+	// L z' = z (unit lower, forward)
+	for k := 0; k < f.m; k++ {
+		v := z[k]
+		if v == 0 {
+			continue
+		}
+		idx, val := f.lIdx[k], f.lVal[k]
+		for i, s := range idx {
+			z[s] -= v * val[i]
+		}
+	}
+	// U t = z' (backward, column-oriented)
+	for k := f.m - 1; k >= 0; k-- {
+		v := z[k] / f.uDiag[k]
+		z[k] = 0
+		if v != 0 {
+			idx, val := f.uIdx[k], f.uVal[k]
+			for i, s := range idx {
+				z[s] -= v * val[i]
+			}
+		}
+		out[f.colOrder[k]] = v
+	}
+}
+
+// solveBT computes y with Bᵀy = c, where c is indexed by basis position.
+// The result is written into out, indexed by original row; work must be a
+// zeroed scratch vector of length m and is returned zeroed.
+func (f *luFactors) solveBT(c, out, work []float64) {
+	t := work
+	// Uᵀ t = Qᵀc (forward in step order, row-oriented via U's columns)
+	for k := 0; k < f.m; k++ {
+		v := c[f.colOrder[k]]
+		idx, val := f.uIdx[k], f.uVal[k]
+		for i, s := range idx {
+			v -= val[i] * t[s]
+		}
+		t[k] = v / f.uDiag[k]
+	}
+	// Lᵀ s = t (backward, row-oriented via L's columns)
+	for k := f.m - 1; k >= 0; k-- {
+		v := t[k]
+		idx, val := f.lIdx[k], f.lVal[k]
+		for i, s := range idx {
+			v -= val[i] * t[s]
+		}
+		t[k] = v
+	}
+	for k := 0; k < f.m; k++ {
+		out[f.pivRow[k]] = t[k]
+		t[k] = 0
+	}
+}

@@ -1,0 +1,286 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Presolve reductions for packing LPs. The benchmark LP generated from
+// EBSN instances carries a lot of removable weight: event rows so loose
+// they can never bind (every bidder taking the event still fits), columns
+// through zero-capacity rows (forced to 0), and — on the Meetup-like
+// workload — duplicate singleton columns. Reductions preserve the optimal
+// objective exactly, and Unreduce maps a solution of the reduced problem
+// back to the original variable space.
+
+// Presolved is the outcome of Reduce: the smaller problem plus the mappings
+// needed to translate solutions back.
+type Presolved struct {
+	// Problem is the reduced LP.
+	Problem *Problem
+	// colMap[j] is the original column index of reduced column j.
+	colMap []int
+	// rowMap[i] is the original row index of reduced row i.
+	rowMap []int
+	// forcedZero lists original columns fixed at 0 (they crossed a
+	// zero-capacity row).
+	forcedZero []int
+	origCols   int
+	origRows   int
+}
+
+// Stats reports what Reduce removed.
+type PresolveStats struct {
+	DroppedRows   int // rows that can never bind
+	ForcedColumns int // columns fixed to zero by empty rows
+	RemainingRows int
+	RemainingCols int
+}
+
+// Reduce applies safe packing-LP reductions:
+//
+//  1. columns touching a row with b_i = 0 are fixed to 0 and removed;
+//  2. "bounding" rows — those with b_i ≤ 1 — are kept whenever any column
+//     still crosses them (they are the source of the implied per-column
+//     upper bounds u_j = min_k b_k/a_kj, so dropping them could unbound
+//     the problem); empty rows are always dropped;
+//  3. a non-bounding row is dropped when even every crossing column at its
+//     implied bound cannot violate it: Σ_j a_ij·u_j ≤ b_i, with u_j taken
+//     over bounding rows only (∞, hence undroppable, if a column crosses
+//     no bounding row).
+//
+// For the benchmark LP the bounding rows are exactly the user rows, so the
+// reduction drops event rows so loose they can never bind. The reduced
+// problem has the same optimal value as the original.
+func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
+	if err := p.Check(); err != nil {
+		return nil, PresolveStats{}, err
+	}
+	m, n := p.NumRows, p.NumCols()
+
+	// Pass 1: force columns through b=0 rows to zero.
+	keepCol := make([]bool, n)
+	var forced []int
+	for j, col := range p.Cols {
+		keepCol[j] = true
+		for k, r := range col.Rows {
+			if p.B[r] == 0 && col.Vals[k] > 0 {
+				keepCol[j] = false
+				forced = append(forced, j)
+				break
+			}
+		}
+	}
+
+	// Implied upper bounds from bounding rows (b ≤ 1) that will be kept.
+	const inf = math.MaxFloat64
+	ubound := make([]float64, n)
+	for j := range ubound {
+		ubound[j] = inf
+	}
+	hasCols := make([]bool, m)
+	for j, col := range p.Cols {
+		if !keepCol[j] {
+			continue
+		}
+		for k, r := range col.Rows {
+			hasCols[r] = true
+			if p.B[r] <= 1 && col.Vals[k] > 0 {
+				if u := p.B[r] / col.Vals[k]; u < ubound[j] {
+					ubound[j] = u
+				}
+			}
+		}
+	}
+
+	// Pass 2: decide rows. Bounding rows stay while non-empty; other rows
+	// go when their maximum attainable mass cannot exceed b.
+	keepRow := make([]bool, m)
+	mass := make([]float64, m)
+	unbounded := make([]bool, m)
+	for j, col := range p.Cols {
+		if !keepCol[j] {
+			continue
+		}
+		for k, r := range col.Rows {
+			if p.B[r] <= 1 {
+				continue // bounding rows are handled by hasCols
+			}
+			if ubound[j] == inf {
+				unbounded[r] = true
+			} else {
+				mass[r] += col.Vals[k] * ubound[j]
+			}
+		}
+	}
+	dropped := 0
+	for i := 0; i < m; i++ {
+		if !hasCols[i] {
+			keepRow[i] = false // empty row can never be violated
+		} else if p.B[i] <= 1 {
+			keepRow[i] = true // bounding row
+		} else {
+			keepRow[i] = unbounded[i] || mass[i] > p.B[i]
+		}
+		if !keepRow[i] {
+			dropped++
+		}
+	}
+
+	// Rebuild.
+	ps := &Presolved{origCols: n, origRows: m, forcedZero: forced}
+	newRow := make([]int, m)
+	for i := 0; i < m; i++ {
+		newRow[i] = -1
+		if keepRow[i] {
+			newRow[i] = len(ps.rowMap)
+			ps.rowMap = append(ps.rowMap, i)
+		}
+	}
+	red := &Problem{NumRows: len(ps.rowMap)}
+	for _, i := range ps.rowMap {
+		red.B = append(red.B, p.B[i])
+	}
+	for j, col := range p.Cols {
+		if !keepCol[j] {
+			continue
+		}
+		nc := Column{}
+		for k, r := range col.Rows {
+			if newRow[r] >= 0 {
+				nc.Rows = append(nc.Rows, newRow[r])
+				nc.Vals = append(nc.Vals, col.Vals[k])
+			}
+		}
+		red.Cols = append(red.Cols, nc)
+		red.C = append(red.C, p.C[j])
+		ps.colMap = append(ps.colMap, j)
+	}
+	ps.Problem = red
+	stats := PresolveStats{
+		DroppedRows:   dropped,
+		ForcedColumns: len(forced),
+		RemainingRows: red.NumRows,
+		RemainingCols: red.NumCols(),
+	}
+	return ps, stats, nil
+}
+
+// Unreduce maps a solution of the reduced problem back to the original
+// variable and row spaces (forced columns get 0; dropped rows get dual 0).
+func (ps *Presolved) Unreduce(sol *Solution) *Solution {
+	x := make([]float64, ps.origCols)
+	for j, v := range sol.X {
+		x[ps.colMap[j]] = v
+	}
+	y := make([]float64, ps.origRows)
+	for i, v := range sol.Y {
+		y[ps.rowMap[i]] = v
+	}
+	return &Solution{
+		Status:     sol.Status,
+		X:          x,
+		Y:          y,
+		Objective:  sol.Objective,
+		Iterations: sol.Iterations,
+	}
+}
+
+// SolveReduced is a convenience wrapper: Reduce, solve with the given
+// solver (nil = auto), Unreduce.
+func SolveReduced(p *Problem, s Solver) (*Solution, PresolveStats, error) {
+	ps, stats, err := Reduce(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	var sol *Solution
+	if s == nil {
+		sol, err = Solve(ps.Problem)
+	} else {
+		sol, err = s.Solve(ps.Problem)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return ps.Unreduce(sol), stats, nil
+}
+
+// DeduplicateColumns folds exact duplicate columns (same rows, same values)
+// keeping only the highest-objective representative of each class — for a
+// maximization packing LP a dominated duplicate can never be needed
+// strictly, because any mass on it can move to the representative without
+// changing feasibility and without decreasing the objective. Returns the
+// reduced problem and repr[j] = index of j's representative in the original
+// problem (repr[j] == j for kept columns).
+func DeduplicateColumns(p *Problem) (*Problem, []int) {
+	best := map[string]int{} // signature -> original column with max c
+	sigOf := make([]string, p.NumCols())
+	for j, col := range p.Cols {
+		sigOf[j] = columnSignature(col)
+		if k, ok := best[sigOf[j]]; !ok || p.C[j] > p.C[k] {
+			best[sigOf[j]] = j
+		}
+	}
+	repr := make([]int, p.NumCols())
+	kept := make([]int, 0, len(best))
+	for j := range p.Cols {
+		repr[j] = best[sigOf[j]]
+	}
+	for _, j := range best {
+		kept = append(kept, j)
+	}
+	sort.Ints(kept)
+	out := &Problem{NumRows: p.NumRows, B: p.B}
+	for _, j := range kept {
+		out.Cols = append(out.Cols, p.Cols[j])
+		out.C = append(out.C, p.C[j])
+	}
+	return out, repr
+}
+
+// columnSignature canonically encodes a column's sparsity pattern and
+// values.
+func columnSignature(col Column) string {
+	type entry struct {
+		r int
+		v float64
+	}
+	es := make([]entry, len(col.Rows))
+	for i := range col.Rows {
+		es[i] = entry{col.Rows[i], col.Vals[i]}
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].r < es[b].r })
+	buf := make([]byte, 0, len(es)*12)
+	for _, e := range es {
+		buf = appendInt(buf, e.r)
+		buf = append(buf, ':')
+		buf = appendFloat(buf, e.v)
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	// exact bit pattern: duplicates must match exactly to fold
+	u := math.Float64bits(v)
+	var tmp [16]byte
+	for i := 15; i >= 0; i-- {
+		tmp[i] = "0123456789abcdef"[u&0xf]
+		u >>= 4
+	}
+	return append(b, tmp[:]...)
+}

@@ -1,0 +1,651 @@
+package lp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Revised is a revised primal simplex solver. The basis inverse is never
+// formed: the basis is kept as a sparse LU factorization (lu.go) plus a
+// product-form eta file of the pivots since the last refactorization, so
+// each iteration costs a few sparse triangular solve pairs plus pricing.
+// This is the production path for paper-scale benchmark LPs, where the dense
+// tableau would be prohibitively large.
+//
+// Pricing is Devex (Forrest–Goldfarb reference weights) with incrementally
+// updated reduced costs by default. The benchmark LP at large |U| is a
+// heavily degenerate transportation-like program on which textbook Dantzig
+// pricing zigzags — measured on the |U|=4000 Table I workload, Dantzig took
+// ~96k pivots with 55k re-entries of previously basic columns; Devex cuts
+// both dramatically. Dantzig with a partial pricing window remains available
+// and is auto-selected for very wide problems, where the per-pivot O(n)
+// Devex update pass costs more than it saves.
+type Revised struct {
+	// MaxIter bounds the number of pivots; 0 means 20000 + 200·(m+n).
+	MaxIter int
+	// RefactorEvery rebuilds the LU factorization after this many pivots
+	// (discarding accumulated round-off); 0 means 128.
+	RefactorEvery int
+	// Pricing selects the pricing rule: "devex", "dantzig", or ""/"auto"
+	// (Devex up to DevexColumnLimit columns, Dantzig beyond).
+	Pricing string
+	// PricingWindow is the number of columns scanned per iteration under
+	// partial Dantzig pricing before falling back to a full pass.
+	// 0 means 4096.
+	PricingWindow int
+	// Trace, when non-nil, receives a progress line every TraceEvery
+	// pivots (objective, step size, degenerate share) — the diagnostic
+	// used to tune pricing on pathological instances.
+	Trace io.Writer
+	// TraceEvery sets the trace granularity; 0 means 5000.
+	TraceEvery int
+	// NoPerturb disables the default anti-degeneracy RHS perturbation.
+	//
+	// The benchmark LP is massively degenerate (thousands of identical
+	// user rows with b=1). The solver perturbs each b_i > 0 by a
+	// deterministic pseudo-random δ_i ∈ (0.5, 1]·1e-6·(1+b_i) before
+	// solving, so ties in the ratio test break consistently and degenerate
+	// vertices are left in real steps. Zero rows are never perturbed (a
+	// zero capacity must stay hard). The returned solution is feasible for
+	// the perturbed problem, hence feasible for the original within 1e-6
+	// relative per row; Verify's tolerances absorb it.
+	NoPerturb bool
+}
+
+// DevexColumnLimit is the problem width beyond which auto pricing falls back
+// from Devex to partial Dantzig: the Devex update pass touches every
+// nonbasic column once per pivot, which dominates on very wide LPs (e.g.
+// the Meetup workload's ~10⁶ columns) that Dantzig already solves in few
+// iterations.
+const DevexColumnLimit = 300_000
+
+// DevexRowThreshold is the row count above which auto pricing prefers Devex
+// over partial Dantzig (see the auto-selection comment in Solve).
+const DevexRowThreshold = 3000
+
+// perturbScale is the relative magnitude of the anti-degeneracy
+// perturbation.
+const perturbScale = 2e-7
+
+// perturbDelta returns the deterministic perturbation for row i.
+func perturbDelta(i int, b float64) float64 {
+	z := uint64(i)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	u := 0.5 + 0.5*float64(z>>11)/(1<<53) // (0.5, 1]
+	return perturbScale * (1 + b) * u
+}
+
+// eta is one product-form update: the pivot that replaced basic position r,
+// described by the FTRAN'd entering column d (sparse, diagonal element dr
+// stored separately).
+type eta struct {
+	r   int
+	idx []int32
+	val []float64
+	dr  float64
+}
+
+// Solve runs the revised primal simplex on p from the all-slack basis.
+func (s *Revised) Solve(p *Problem) (*Solution, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	m, n := p.NumRows, p.NumCols()
+	if m == 0 {
+		// No constraints: x = 0 is optimal unless some c_j > 0.
+		for _, c := range p.C {
+			if c > reducedTol {
+				return &Solution{Status: Unbounded}, ErrUnbounded
+			}
+		}
+		return &Solution{Status: Optimal, X: make([]float64, n), Y: nil, Objective: 0}, nil
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20000 + 200*(m+n)
+	}
+	refactorEvery := s.RefactorEvery
+	if refactorEvery <= 0 {
+		refactorEvery = 128
+	}
+	window := s.PricingWindow
+	if window <= 0 {
+		window = 4096
+	}
+	devex := false
+	switch s.Pricing {
+	case "devex":
+		devex = true
+	case "dantzig":
+	case "", "auto":
+		// Measured on the Table I workloads (see DESIGN.md): Dantzig wins
+		// below ~3000 rows (|U|=2000 defaults: 0.9s vs 2.5s) because the
+		// per-pivot Devex pass over all columns outweighs its iteration
+		// savings; beyond that the degenerate churn explodes under Dantzig
+		// (|U|=4000: 96k pivots vs 19k) and Devex wins several-fold. On
+		// very wide problems (Meetup: ~8·10⁵ columns) the O(n) update pass
+		// dominates everything, so Dantzig with a pricing window is used.
+		devex = m > DevexRowThreshold && n+m <= DevexColumnLimit
+	default:
+		return nil, fmt.Errorf("lp: unknown pricing rule %q", s.Pricing)
+	}
+
+	st := newRevisedState(p, m, n, !s.NoPerturb)
+	if err := st.refactorize(); err != nil {
+		return nil, err
+	}
+	if devex {
+		st.initDevex()
+	}
+
+	iters := 0
+	degenerate := 0
+	tinySteps := 0
+	bland := false
+	cursor := 0
+	for ; iters < maxIter; iters++ {
+		var q int
+		switch {
+		case bland:
+			st.btran()
+			q = st.priceBland()
+		case devex:
+			q = st.priceDevex()
+			if q < 0 {
+				// Apparent optimality on incrementally updated reduced
+				// costs: refresh exactly and re-check before declaring.
+				st.refreshReducedCosts()
+				q = st.priceDevex()
+			}
+		default:
+			st.btran()
+			q, cursor = st.pricePartial(cursor, window)
+		}
+		if q < 0 {
+			st.btran()
+			return st.extract(iters), nil
+		}
+
+		st.ftran(q) // d = B⁻¹ a_q
+
+		// Ratio test.
+		r := -1
+		var theta float64
+		for i := 0; i < m; i++ {
+			a := st.d[i]
+			if a <= pivotTol {
+				continue
+			}
+			ratio := st.xB[i] / a
+			switch {
+			case r < 0 || ratio < theta-pivotTol:
+				r, theta = i, ratio
+			case ratio <= theta+pivotTol:
+				if bland {
+					if st.basis[i] < st.basis[r] {
+						r, theta = i, ratio
+					}
+				} else if a > st.d[r] {
+					r, theta = i, ratio
+				}
+			}
+		}
+		if r < 0 {
+			return &Solution{Status: Unbounded, Iterations: iters}, ErrUnbounded
+		}
+		if theta <= pivotTol {
+			degenerate++
+			if degenerate >= stallLimit {
+				bland = true
+			}
+		} else {
+			degenerate = 0
+			bland = false
+		}
+		if s.Trace != nil {
+			every := s.TraceEvery
+			if every <= 0 {
+				every = 5000
+			}
+			if theta < 1e-6 {
+				tinySteps++
+			}
+			if iters%every == 0 {
+				obj := 0.0
+				for i := range st.xB {
+					obj += st.cB[i] * st.xB[i]
+				}
+				fmt.Fprintf(s.Trace, "iter=%d obj=%.4f theta=%.3g tiny%%=%.1f bland=%v etas=%d\n",
+					iters, obj, theta, 100*float64(tinySteps)/float64(iters+1), bland, len(st.etas))
+			}
+		}
+
+		if devex {
+			st.updateDevex(q, r)
+		}
+
+		// Apply the pivot.
+		for i := 0; i < m; i++ {
+			if v := st.d[i]; v != 0 {
+				st.xB[i] -= theta * v
+				if st.xB[i] < 0 && st.xB[i] > -1e-11 {
+					st.xB[i] = 0
+				}
+			}
+		}
+		st.xB[r] = theta
+		leaving := st.basis[r]
+		st.posOf[leaving] = -1
+		st.basis[r] = q
+		st.posOf[q] = r
+		st.cB[r] = st.objCoef(q)
+		st.pushEta(r)
+
+		if len(st.etas) >= refactorEvery {
+			if err := st.refactorize(); err != nil {
+				return nil, err
+			}
+			if devex {
+				st.refreshReducedCosts()
+			}
+		}
+	}
+	return &Solution{Status: IterLimit, Iterations: iters}, ErrIterLimit
+}
+
+// revisedState carries the mutable solver state; it exists so the pivot
+// loop above reads top-down without a dozen captured locals.
+type revisedState struct {
+	p    *Problem
+	m, n int
+	b    []float64 // right-hand side, possibly perturbed
+
+	// CSC copy of the constraint matrix: column j occupies
+	// rowIdx[colPtr[j]:colPtr[j+1]] / vals[...]. Flattened storage keeps
+	// the per-pivot Devex pass cache-friendly.
+	colPtr []int32
+	rowIdx []int32
+	vals   []float64
+
+	basis []int     // basis position -> variable index
+	posOf []int     // variable index -> basis position or -1
+	xB    []float64 // values of basic variables
+	cB    []float64 // objective coefficients of basic variables
+
+	lu   *luFactors
+	etas []eta
+
+	y    []float64 // dual prices, original-row space
+	d    []float64 // FTRAN result, basis-position space
+	beta []float64 // BTRAN of the leaving unit vector (Devex pivot row)
+	work []float64 // scratch for LU solves
+
+	// Devex state: incrementally maintained reduced costs and reference
+	// weights for every variable (structural and slack).
+	rvec    []float64
+	weights []float64
+	scratch []float64 // second zeroed work vector (btranUnit)
+
+	slackCol []int // reusable single-entry column for slack variables
+	slackVal []float64
+}
+
+func newRevisedState(p *Problem, m, n int, perturb bool) *revisedState {
+	st := &revisedState{
+		p: p, m: m, n: n,
+		b:        append([]float64(nil), p.B...),
+		basis:    make([]int, m),
+		posOf:    make([]int, n+m),
+		xB:       make([]float64, m),
+		cB:       make([]float64, m),
+		y:        make([]float64, m),
+		d:        make([]float64, m),
+		work:     make([]float64, m),
+		slackCol: make([]int, 1),
+		slackVal: []float64{1},
+	}
+	if perturb {
+		for i := range st.b {
+			if st.b[i] > 0 {
+				st.b[i] += perturbDelta(i, st.b[i])
+			}
+		}
+	}
+	nnz := 0
+	for j := range p.Cols {
+		nnz += len(p.Cols[j].Rows)
+	}
+	st.colPtr = make([]int32, n+1)
+	st.rowIdx = make([]int32, 0, nnz)
+	st.vals = make([]float64, 0, nnz)
+	for j := range p.Cols {
+		for k, r := range p.Cols[j].Rows {
+			st.rowIdx = append(st.rowIdx, int32(r))
+			st.vals = append(st.vals, p.Cols[j].Vals[k])
+		}
+		st.colPtr[j+1] = int32(len(st.rowIdx))
+	}
+	for i := range st.posOf {
+		st.posOf[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		st.basis[i] = n + i
+		st.posOf[n+i] = i
+		st.xB[i] = st.b[i]
+	}
+	return st
+}
+
+func (st *revisedState) objCoef(v int) float64 {
+	if v < st.n {
+		return st.p.C[v]
+	}
+	return 0
+}
+
+// columnOf returns the sparse constraint column of variable v
+// (a structural column or a unit slack column).
+func (st *revisedState) columnOf(v int) ([]int, []float64) {
+	if v < st.n {
+		c := &st.p.Cols[v]
+		return c.Rows, c.Vals
+	}
+	st.slackCol[0] = v - st.n
+	return st.slackCol, st.slackVal
+}
+
+// refactorize rebuilds the LU factorization of the current basis, clears the
+// eta file, and recomputes x_B = B⁻¹b to shed accumulated round-off.
+func (st *revisedState) refactorize() error {
+	cols := make([]Column, st.m)
+	for i, v := range st.basis {
+		rows, vals := st.columnOf(v)
+		cols[i] = Column{Rows: append([]int(nil), rows...), Vals: append([]float64(nil), vals...)}
+	}
+	f, err := luFactorize(st.m, cols)
+	if err != nil {
+		return err
+	}
+	st.lu = f
+	st.etas = st.etas[:0]
+	rows := make([]int, st.m)
+	for i := range rows {
+		rows[i] = i
+	}
+	st.lu.solveB(rows, st.b, st.xB, st.work)
+	for i := range st.xB {
+		if st.xB[i] < 0 && st.xB[i] > -1e-9 {
+			st.xB[i] = 0
+		}
+		st.cB[i] = st.objCoef(st.basis[i])
+	}
+	return nil
+}
+
+// ftran computes d = B⁻¹ a_q into st.d.
+func (st *revisedState) ftran(q int) {
+	rows, vals := st.columnOf(q)
+	st.lu.solveB(rows, vals, st.d, st.work)
+	for _, e := range st.etas {
+		xr := st.d[e.r] / e.dr
+		st.d[e.r] = xr
+		if xr != 0 {
+			for i, s := range e.idx {
+				st.d[s] -= e.val[i] * xr
+			}
+		}
+	}
+}
+
+// btran computes y = B⁻ᵀ c_B into st.y.
+func (st *revisedState) btran() {
+	z := st.d // reuse as scratch; overwritten by the next ftran
+	copy(z, st.cB)
+	st.applyEtasT(z)
+	st.lu.solveBT(z, st.y, st.work)
+}
+
+// btranUnit computes β = B⁻ᵀ e_r (row r of the basis inverse) into st.beta.
+func (st *revisedState) btranUnit(r int) {
+	if st.beta == nil {
+		st.beta = make([]float64, st.m)
+	}
+	z := st.work2()
+	z[r] = 1
+	st.applyEtasT(z)
+	st.lu.solveBT(z, st.beta, st.work)
+	for i := range z {
+		z[i] = 0
+	}
+}
+
+// work2 returns a second zeroed scratch vector of length m.
+func (st *revisedState) work2() []float64 {
+	if st.scratch == nil {
+		st.scratch = make([]float64, st.m)
+	}
+	return st.scratch
+}
+
+// applyEtasT applies the transposed eta file in reverse order (the BTRAN
+// half of the product-form update).
+func (st *revisedState) applyEtasT(z []float64) {
+	for k := len(st.etas) - 1; k >= 0; k-- {
+		e := &st.etas[k]
+		sum := 0.0
+		for i, s := range e.idx {
+			sum += e.val[i] * z[s]
+		}
+		z[e.r] = (z[e.r] - sum) / e.dr
+	}
+}
+
+// pushEta records the current FTRAN vector st.d as the eta for a pivot at
+// basic position r.
+func (st *revisedState) pushEta(r int) {
+	dr := st.d[r]
+	var idx []int32
+	var val []float64
+	for i, v := range st.d {
+		if i != r && (v > 1e-13 || v < -1e-13) {
+			idx = append(idx, int32(i))
+			val = append(val, v)
+		}
+	}
+	st.etas = append(st.etas, eta{r: r, idx: idx, val: val, dr: dr})
+}
+
+// reducedCost returns c_q − yᵀ a_q for variable q under the current duals.
+func (st *revisedState) reducedCost(q int) float64 {
+	if q < st.n {
+		red := st.p.C[q]
+		for k := st.colPtr[q]; k < st.colPtr[q+1]; k++ {
+			red -= st.y[st.rowIdx[k]] * st.vals[k]
+		}
+		return red
+	}
+	return -st.y[q-st.n]
+}
+
+// --- Devex pricing -------------------------------------------------------
+
+// initDevex allocates and fills the Devex state: exact reduced costs for
+// every variable and unit reference weights.
+func (st *revisedState) initDevex() {
+	st.rvec = make([]float64, st.n+st.m)
+	st.weights = make([]float64, st.n+st.m)
+	st.refreshReducedCosts()
+}
+
+// refreshReducedCosts recomputes st.rvec exactly from the current duals.
+// The Devex reference weights are reset only when they have grown extreme
+// (a fresh reference framework); resetting them on every refactorization
+// would degrade Devex to Dantzig.
+func (st *revisedState) refreshReducedCosts() {
+	st.btran()
+	maxW := 0.0
+	for _, w := range st.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	reset := maxW > 1e8 || maxW == 0
+	for j := 0; j < st.n+st.m; j++ {
+		if st.posOf[j] >= 0 {
+			st.rvec[j] = 0
+		} else {
+			st.rvec[j] = st.reducedCost(j)
+		}
+		if reset {
+			st.weights[j] = 1
+		}
+	}
+}
+
+// priceDevex selects the entering variable maximizing r²/weight over
+// variables with positive reduced cost, per the stored (incrementally
+// updated) reduced costs.
+func (st *revisedState) priceDevex() int {
+	best := -1
+	bestScore := 0.0
+	for j, r := range st.rvec {
+		if r <= reducedTol {
+			continue
+		}
+		if score := r * r / st.weights[j]; score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// updateDevex performs the Forrest–Goldfarb update after choosing entering
+// variable q and leaving basic position r: it computes the pivot row
+// α = (B⁻¹)ᵣA, folds it into the stored reduced costs, and grows the
+// reference weights. Must be called before the basis is modified.
+func (st *revisedState) updateDevex(q, r int) {
+	st.btranUnit(r)
+	alphaQ := st.d[r] // pivot element
+	if alphaQ == 0 {
+		return // cannot happen for a legal pivot; guard anyway
+	}
+	rq := st.rvec[q]
+	ratio := rq / alphaQ
+	wq := st.weights[q]
+	wLeave := wq / (alphaQ * alphaQ)
+	if wLeave < 1 {
+		wLeave = 1
+	}
+	beta := st.beta
+	invAlphaQ := 1 / alphaQ
+	// structural variables
+	for j := 0; j < st.n; j++ {
+		if st.posOf[j] >= 0 || j == q {
+			continue
+		}
+		var alpha float64
+		for k := st.colPtr[j]; k < st.colPtr[j+1]; k++ {
+			alpha += beta[st.rowIdx[k]] * st.vals[k]
+		}
+		if alpha == 0 {
+			continue
+		}
+		st.rvec[j] -= ratio * alpha
+		t := alpha * invAlphaQ
+		if w := t * t * wq; w > st.weights[j] {
+			st.weights[j] = w
+		}
+	}
+	// slack variables: α_j is just the β entry of the slack's row
+	for i := 0; i < st.m; i++ {
+		j := st.n + i
+		if st.posOf[j] >= 0 || j == q {
+			continue
+		}
+		alpha := beta[i]
+		if alpha == 0 {
+			continue
+		}
+		st.rvec[j] -= ratio * alpha
+		t := alpha * invAlphaQ
+		if w := t * t * wq; w > st.weights[j] {
+			st.weights[j] = w
+		}
+	}
+	// entering becomes basic; leaving picks up the textbook post-pivot
+	// reduced cost and weight.
+	st.rvec[q] = 0
+	st.weights[q] = 1
+	leaving := st.basis[r]
+	st.rvec[leaving] = -ratio
+	st.weights[leaving] = wLeave
+}
+
+// --- Dantzig pricing ------------------------------------------------------
+
+// pricePartial scans a window of variables starting at cursor and returns
+// the best improving one; if the window has none it widens to a full pass,
+// which also certifies optimality (return -1).
+func (st *revisedState) pricePartial(cursor, window int) (q, next int) {
+	total := st.n + st.m
+	best, bestRed := -1, reducedTol
+	scanned := 0
+	i := cursor
+	for scanned < total {
+		if st.posOf[i] < 0 {
+			if red := st.reducedCost(i); red > bestRed {
+				best, bestRed = i, red
+			}
+		}
+		scanned++
+		i++
+		if i == total {
+			i = 0
+		}
+		if scanned >= window && best >= 0 {
+			return best, i
+		}
+	}
+	return best, i
+}
+
+// priceBland returns the lowest-index variable with positive reduced cost
+// (used during anti-cycling episodes).
+func (st *revisedState) priceBland() int {
+	for q := 0; q < st.n+st.m; q++ {
+		if st.posOf[q] >= 0 {
+			continue
+		}
+		if st.reducedCost(q) > reducedTol {
+			return q
+		}
+	}
+	return -1
+}
+
+// extract assembles the optimal solution from the final basis.
+func (st *revisedState) extract(iters int) *Solution {
+	x := make([]float64, st.n)
+	for i, v := range st.basis {
+		if v < st.n {
+			val := st.xB[i]
+			if val < 0 && val > -1e-9 {
+				val = 0
+			}
+			x[v] = val
+		}
+	}
+	obj := 0.0
+	for j, c := range st.p.C {
+		obj += c * x[j]
+	}
+	y := make([]float64, st.m)
+	copy(y, st.y)
+	for i := range y {
+		if y[i] < 0 && y[i] > -1e-9 {
+			y[i] = 0
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Y: y, Objective: obj, Iterations: iters}
+}

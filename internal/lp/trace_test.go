@@ -1,0 +1,82 @@
+package lp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+func TestTraceEmitsProgress(t *testing.T) {
+	rng := xrand.New(8)
+	p := randomPacking(rng, 30, 10, 5)
+	var buf bytes.Buffer
+	sol, err := (&Revised{Trace: &buf, TraceEvery: 1}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "iter=") || !strings.Contains(out, "obj=") {
+		t.Errorf("trace missing fields:\n%s", out)
+	}
+	if strings.Count(out, "\n") < sol.Iterations {
+		t.Errorf("trace has %d lines for %d pivots", strings.Count(out, "\n"), sol.Iterations)
+	}
+}
+
+func TestDevexAndDantzigAgreeOnPacking(t *testing.T) {
+	rng := xrand.New(12)
+	for trial := 0; trial < 15; trial++ {
+		p := randomPacking(rng, 5+rng.Intn(25), 3+rng.Intn(10), 5)
+		devex, err := (&Revised{Pricing: "devex"}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d devex: %v", trial, err)
+		}
+		dantzig, err := (&Revised{Pricing: "dantzig"}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d dantzig: %v", trial, err)
+		}
+		if diff := devex.Objective - dantzig.Objective; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: devex %v vs dantzig %v", trial, devex.Objective, dantzig.Objective)
+		}
+		if err := Verify(p, devex, 1e-5); err != nil {
+			t.Errorf("trial %d devex verify: %v", trial, err)
+		}
+	}
+}
+
+// DeduplicateColumns composed with a solve must preserve the optimum on
+// benchmark-shaped LPs that actually contain duplicates.
+func TestDeduplicateThenSolve(t *testing.T) {
+	rng := xrand.New(77)
+	p := randomPacking(rng, 20, 6, 4)
+	// inject exact duplicates of the first five columns with lower rewards
+	for j := 0; j < 5 && j < p.NumCols(); j++ {
+		p.Cols = append(p.Cols, p.Cols[j])
+		p.C = append(p.C, p.C[j]*0.5)
+	}
+	red, repr := DeduplicateColumns(p)
+	if red.NumCols() >= p.NumCols() {
+		t.Fatalf("dedup removed nothing: %d -> %d", p.NumCols(), red.NumCols())
+	}
+	for j := p.NumCols() - 5; j < p.NumCols(); j++ {
+		if repr[j] == j {
+			t.Errorf("duplicate column %d kept itself (reward should lose to original)", j)
+		}
+	}
+	a, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.Objective - b.Objective; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("dedup changed optimum: %v vs %v", a.Objective, b.Objective)
+	}
+}

@@ -1,0 +1,312 @@
+// Package model defines the IGEPA data model: events, users, problem
+// instances, arrangements, the utility objective, and the feasibility
+// validator.
+//
+// Terminology follows the paper (ICDE 2019, §II). Events and users are
+// identified by dense indices: events are 0..|V|-1 and users are 0..|U|-1
+// within an Instance. The conflict predicate σ and the interest function SI
+// are plain function fields on Instance, so any substrate (explicit matrices,
+// time-interval overlap, attribute similarity, hashed tables) can plug in
+// without this package knowing about it.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event is an event v posted on the EBSN platform (Definition 1).
+type Event struct {
+	// Capacity is cv, the maximum number of attendees.
+	Capacity int
+	// Attrs is the attribute vector lv (categories, topic mixture, ...).
+	// May be nil when the instance's conflict and interest functions do not
+	// use attribute vectors.
+	Attrs []float64
+	// Start and End optionally carry the event's time interval
+	// (used by interval-overlap conflict functions). Both zero means unset.
+	Start, End int64
+}
+
+// User is an EBSN user u (Definition 2).
+type User struct {
+	// Capacity is cu, the maximum number of events the user can attend.
+	Capacity int
+	// Attrs is the attribute vector lu.
+	Attrs []float64
+	// Bids is Nu: the events the user bid for, in increasing order.
+	Bids []int
+	// Degree is the user's degree in the social network G. The degree of
+	// potential interaction D(G,u) = Degree/(|U|-1) (Definition 6).
+	Degree int
+}
+
+// ConflictFunc is the conflict predicate σ(lv, lv') ∈ {0,1} (Definition 3):
+// it reports whether events v and w conflict. Implementations must be
+// symmetric and should treat an event as non-conflicting with itself.
+type ConflictFunc func(v, w int) bool
+
+// InterestFunc is SI(lv, lu) ∈ [0,1] (Definition 5): the interest of user u
+// in event v.
+type InterestFunc func(u, v int) float64
+
+// Instance is a complete IGEPA problem instance (Definition 8).
+type Instance struct {
+	Events []Event
+	Users  []User
+
+	// Conflicts is the conflict predicate σ.
+	Conflicts ConflictFunc
+	// Interest is the interest function SI.
+	Interest InterestFunc
+	// Beta is β ∈ [0,1], balancing interest against interaction degree.
+	Beta float64
+
+	bidders [][]int // Nv, rebuilt lazily from Users[*].Bids
+}
+
+// NumEvents returns |V|.
+func (in *Instance) NumEvents() int { return len(in.Events) }
+
+// NumUsers returns |U|.
+func (in *Instance) NumUsers() int { return len(in.Users) }
+
+// Bidders returns Nv: the users who bid for event v, in increasing order.
+// The returned slice is shared; callers must not modify it.
+func (in *Instance) Bidders(v int) []int {
+	if in.bidders == nil {
+		in.RebuildBidders()
+	}
+	return in.bidders[v]
+}
+
+// RebuildBidders recomputes the per-event bidder lists from the users' bid
+// sets. Call it after mutating any user's Bids.
+func (in *Instance) RebuildBidders() {
+	b := make([][]int, len(in.Events))
+	for u := range in.Users {
+		for _, v := range in.Users[u].Bids {
+			b[v] = append(b[v], u)
+		}
+	}
+	in.bidders = b
+}
+
+// DPI returns the degree of potential interaction D(G,u) (Definition 6).
+// For |U| <= 1 it returns 0.
+func (in *Instance) DPI(u int) float64 {
+	n := len(in.Users)
+	if n <= 1 {
+		return 0
+	}
+	return float64(in.Users[u].Degree) / float64(n-1)
+}
+
+// Weight returns w(u,v) = β·SI(lv,lu) + (1−β)·D(G,u), the marginal utility of
+// assigning event v to user u.
+func (in *Instance) Weight(u, v int) float64 {
+	return in.Beta*in.Interest(u, v) + (1-in.Beta)*in.DPI(u)
+}
+
+// Check verifies structural well-formedness of the instance itself (not of
+// any arrangement): indices in range, capacities non-negative, β ∈ [0,1],
+// bids sorted and deduplicated, and the conflict/interest functions present.
+func (in *Instance) Check() error {
+	if in.Conflicts == nil {
+		return fmt.Errorf("model: instance has no conflict function")
+	}
+	if in.Interest == nil {
+		return fmt.Errorf("model: instance has no interest function")
+	}
+	if in.Beta < 0 || in.Beta > 1 {
+		return fmt.Errorf("model: beta = %v outside [0,1]", in.Beta)
+	}
+	for v, ev := range in.Events {
+		if ev.Capacity < 0 {
+			return fmt.Errorf("model: event %d has negative capacity %d", v, ev.Capacity)
+		}
+	}
+	for u, us := range in.Users {
+		if us.Capacity < 0 {
+			return fmt.Errorf("model: user %d has negative capacity %d", u, us.Capacity)
+		}
+		if us.Degree < 0 || us.Degree > len(in.Users)-1 && len(in.Users) > 1 {
+			return fmt.Errorf("model: user %d has impossible degree %d", u, us.Degree)
+		}
+		prev := -1
+		for _, v := range us.Bids {
+			if v < 0 || v >= len(in.Events) {
+				return fmt.Errorf("model: user %d bids for unknown event %d", u, v)
+			}
+			if v <= prev {
+				return fmt.Errorf("model: user %d bids not sorted/deduplicated at event %d", u, v)
+			}
+			prev = v
+		}
+	}
+	return nil
+}
+
+// Arrangement is an event–participant arrangement M ⊆ V×U, stored as one
+// event set per user (Definition 4). Sets[u] lists the events assigned to
+// user u in increasing order; users with no events have empty or nil sets.
+type Arrangement struct {
+	Sets [][]int
+}
+
+// NewArrangement returns an empty arrangement for n users.
+func NewArrangement(n int) *Arrangement {
+	return &Arrangement{Sets: make([][]int, n)}
+}
+
+// Pair is a single event–user match (v, u) ∈ M.
+type Pair struct {
+	Event, User int
+}
+
+// Pairs returns all matches in the arrangement, ordered by user then event.
+func (a *Arrangement) Pairs() []Pair {
+	var ps []Pair
+	for u, set := range a.Sets {
+		for _, v := range set {
+			ps = append(ps, Pair{Event: v, User: u})
+		}
+	}
+	return ps
+}
+
+// Size returns |M|, the number of event–user pairs.
+func (a *Arrangement) Size() int {
+	n := 0
+	for _, set := range a.Sets {
+		n += len(set)
+	}
+	return n
+}
+
+// Normalize sorts each user's event set. Algorithms that build sets out of
+// order call this before returning.
+func (a *Arrangement) Normalize() {
+	for _, set := range a.Sets {
+		sort.Ints(set)
+	}
+}
+
+// Clone returns a deep copy of the arrangement.
+func (a *Arrangement) Clone() *Arrangement {
+	c := NewArrangement(len(a.Sets))
+	for u, set := range a.Sets {
+		if len(set) > 0 {
+			c.Sets[u] = append([]int(nil), set...)
+		}
+	}
+	return c
+}
+
+// Utility computes Utility(M) (Definition 7) for the arrangement under the
+// instance's interest function, social degrees and β.
+func Utility(in *Instance, a *Arrangement) float64 {
+	total := 0.0
+	for u, set := range a.Sets {
+		for _, v := range set {
+			total += in.Weight(u, v)
+		}
+	}
+	return total
+}
+
+// Validate checks that the arrangement is feasible for the instance
+// (Definition 4): the bid constraint, both capacity constraints, the
+// conflict constraint, plus structural sanity (indices in range, no
+// duplicate assignment of an event to the same user). It returns nil iff
+// the arrangement is feasible.
+func Validate(in *Instance, a *Arrangement) error {
+	if len(a.Sets) != len(in.Users) {
+		return fmt.Errorf("model: arrangement covers %d users, instance has %d", len(a.Sets), len(in.Users))
+	}
+	load := make([]int, len(in.Events))
+	for u, set := range a.Sets {
+		if len(set) > in.Users[u].Capacity {
+			return fmt.Errorf("model: user %d assigned %d events, capacity %d", u, len(set), in.Users[u].Capacity)
+		}
+		bids := in.Users[u].Bids
+		for i, v := range set {
+			if v < 0 || v >= len(in.Events) {
+				return fmt.Errorf("model: user %d assigned unknown event %d", u, v)
+			}
+			if i > 0 && set[i-1] >= v {
+				return fmt.Errorf("model: user %d has unsorted or duplicate events", u)
+			}
+			if !contains(bids, v) {
+				return fmt.Errorf("model: user %d assigned event %d they did not bid for", u, v)
+			}
+			load[v]++
+		}
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				if in.Conflicts(set[i], set[j]) {
+					return fmt.Errorf("model: user %d assigned conflicting events %d and %d", u, set[i], set[j])
+				}
+			}
+		}
+	}
+	for v, n := range load {
+		if n > in.Events[v].Capacity {
+			return fmt.Errorf("model: event %d has %d attendees, capacity %d", v, n, in.Events[v].Capacity)
+		}
+	}
+	return nil
+}
+
+// contains reports whether sorted slice s contains x.
+func contains(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// Stats summarizes an instance for reports and dataset documentation.
+type Stats struct {
+	NumEvents, NumUsers int
+	TotalBids           int
+	MeanBidsPerUser     float64
+	MeanEventCapacity   float64
+	MeanUserCapacity    float64
+	ConflictPairs       int     // over all event pairs
+	ConflictRate        float64 // ConflictPairs / C(|V|,2)
+	MeanDegree          float64
+	MeanDPI             float64
+}
+
+// ComputeStats scans the instance once and returns summary statistics.
+func ComputeStats(in *Instance) Stats {
+	s := Stats{NumEvents: len(in.Events), NumUsers: len(in.Users)}
+	for _, ev := range in.Events {
+		s.MeanEventCapacity += float64(ev.Capacity)
+	}
+	if s.NumEvents > 0 {
+		s.MeanEventCapacity /= float64(s.NumEvents)
+	}
+	for u := range in.Users {
+		s.TotalBids += len(in.Users[u].Bids)
+		s.MeanUserCapacity += float64(in.Users[u].Capacity)
+		s.MeanDegree += float64(in.Users[u].Degree)
+		s.MeanDPI += in.DPI(u)
+	}
+	if s.NumUsers > 0 {
+		s.MeanBidsPerUser = float64(s.TotalBids) / float64(s.NumUsers)
+		s.MeanUserCapacity /= float64(s.NumUsers)
+		s.MeanDegree /= float64(s.NumUsers)
+		s.MeanDPI /= float64(s.NumUsers)
+	}
+	for v := 0; v < s.NumEvents; v++ {
+		for w := v + 1; w < s.NumEvents; w++ {
+			if in.Conflicts(v, w) {
+				s.ConflictPairs++
+			}
+		}
+	}
+	if s.NumEvents > 1 {
+		s.ConflictRate = float64(s.ConflictPairs) / float64(s.NumEvents*(s.NumEvents-1)/2)
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns a hand-built instance:
+//
+//	events: 0 (cap 2), 1 (cap 1), 2 (cap 1); events 0 and 1 conflict.
+//	users:  0 (cap 2, bids {0,1,2}, degree 2)
+//	        1 (cap 1, bids {0,1},   degree 1)
+//	        2 (cap 1, bids {2},     degree 0)
+//	SI(u,v) = fixed table; β configurable.
+func tiny(beta float64) *Instance {
+	si := [][]float64{
+		{0.9, 0.5, 0.1},
+		{0.4, 0.8, 0.0},
+		{0.0, 0.0, 0.7},
+	}
+	return &Instance{
+		Events: []Event{{Capacity: 2}, {Capacity: 1}, {Capacity: 1}},
+		Users: []User{
+			{Capacity: 2, Bids: []int{0, 1, 2}, Degree: 2},
+			{Capacity: 1, Bids: []int{0, 1}, Degree: 1},
+			{Capacity: 1, Bids: []int{2}, Degree: 0},
+		},
+		Conflicts: func(v, w int) bool {
+			return (v == 0 && w == 1) || (v == 1 && w == 0)
+		},
+		Interest: func(u, v int) float64 { return si[u][v] },
+		Beta:     beta,
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	in := tiny(0.5)
+	if in.NumEvents() != 3 || in.NumUsers() != 3 {
+		t.Fatalf("sizes wrong: %d events, %d users", in.NumEvents(), in.NumUsers())
+	}
+	if got := in.Bidders(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Bidders(0) = %v, want [0 1]", got)
+	}
+	if got := in.Bidders(2); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Bidders(2) = %v, want [0 2]", got)
+	}
+}
+
+func TestDPI(t *testing.T) {
+	in := tiny(0.5)
+	if got := in.DPI(0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("DPI(0) = %v, want 1 (degree 2 / (3-1))", got)
+	}
+	if got := in.DPI(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DPI(1) = %v, want 0.5", got)
+	}
+	if got := in.DPI(2); got != 0 {
+		t.Errorf("DPI(2) = %v, want 0", got)
+	}
+	single := &Instance{Users: []User{{Degree: 0}}}
+	if got := single.DPI(0); got != 0 {
+		t.Errorf("DPI with |U|=1 = %v, want 0", got)
+	}
+}
+
+func TestWeightBlending(t *testing.T) {
+	// β=1: weight is pure interest. β=0: pure DPI.
+	in := tiny(1)
+	if got := in.Weight(0, 0); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("β=1 Weight(0,0) = %v, want 0.9", got)
+	}
+	in = tiny(0)
+	if got := in.Weight(0, 0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("β=0 Weight(0,0) = %v, want DPI=1", got)
+	}
+	in = tiny(0.5)
+	if got := in.Weight(1, 1); math.Abs(got-(0.5*0.8+0.5*0.5)) > 1e-12 {
+		t.Errorf("β=0.5 Weight(1,1) = %v", got)
+	}
+}
+
+func TestUtilityLinearInBeta(t *testing.T) {
+	a := NewArrangement(3)
+	a.Sets[0] = []int{0, 2}
+	a.Sets[1] = []int{1}
+	u0 := Utility(tiny(0), a)
+	u1 := Utility(tiny(1), a)
+	uh := Utility(tiny(0.5), a)
+	if math.Abs(uh-(u0+u1)/2) > 1e-9 {
+		t.Errorf("utility not linear in β: u0=%v u1=%v u(0.5)=%v", u0, u1, uh)
+	}
+}
+
+func TestUtilityValue(t *testing.T) {
+	in := tiny(0.5)
+	a := NewArrangement(3)
+	a.Sets[0] = []int{0}
+	want := 0.5*0.9 + 0.5*1.0
+	if got := Utility(in, a); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utility = %v, want %v", got, want)
+	}
+	if got := Utility(in, NewArrangement(3)); got != 0 {
+		t.Errorf("empty arrangement utility = %v", got)
+	}
+}
+
+func TestValidateAcceptsFeasible(t *testing.T) {
+	in := tiny(0.5)
+	a := NewArrangement(3)
+	a.Sets[0] = []int{0, 2} // 0 and 2 do not conflict, user cap 2
+	a.Sets[1] = []int{1}
+	a.Sets[2] = nil // event 2 already at capacity 1
+	if err := Validate(in, a); err != nil {
+		t.Fatalf("feasible arrangement rejected: %v", err)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	in := tiny(0.5)
+	cases := []struct {
+		name  string
+		build func() *Arrangement
+		want  string
+	}{
+		{"wrong user count", func() *Arrangement { return NewArrangement(2) }, "covers"},
+		{"bid violation", func() *Arrangement {
+			a := NewArrangement(3)
+			a.Sets[2] = []int{0} // user 2 only bid for event 2
+			return a
+		}, "did not bid"},
+		{"user capacity", func() *Arrangement {
+			a := NewArrangement(3)
+			a.Sets[1] = []int{0, 1} // capacity 1
+			return a
+		}, "capacity"},
+		{"conflict", func() *Arrangement {
+			a := NewArrangement(3)
+			a.Sets[0] = []int{0, 1} // 0 and 1 conflict
+			return a
+		}, "conflicting"},
+		{"event capacity", func() *Arrangement {
+			a := NewArrangement(3)
+			a.Sets[0] = []int{2}
+			a.Sets[2] = []int{2} // event 2 capacity 1
+			return a
+		}, "attendees"},
+		{"unknown event", func() *Arrangement {
+			a := NewArrangement(3)
+			a.Sets[0] = []int{7}
+			return a
+		}, "unknown"},
+		{"duplicate event", func() *Arrangement {
+			a := NewArrangement(3)
+			a.Sets[0] = []int{2, 2}
+			return a
+		}, "unsorted or duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(in, tc.build())
+			if err == nil {
+				t.Fatal("violation not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInstanceCheck(t *testing.T) {
+	if err := tiny(0.5).Check(); err != nil {
+		t.Fatalf("well-formed instance rejected: %v", err)
+	}
+	bad := tiny(0.5)
+	bad.Beta = 1.5
+	if err := bad.Check(); err == nil {
+		t.Error("beta out of range not detected")
+	}
+	bad = tiny(0.5)
+	bad.Users[0].Bids = []int{2, 0} // unsorted
+	if err := bad.Check(); err == nil {
+		t.Error("unsorted bids not detected")
+	}
+	bad = tiny(0.5)
+	bad.Events[0].Capacity = -1
+	if err := bad.Check(); err == nil {
+		t.Error("negative capacity not detected")
+	}
+	bad = tiny(0.5)
+	bad.Users[0].Bids = []int{0, 9}
+	if err := bad.Check(); err == nil {
+		t.Error("out-of-range bid not detected")
+	}
+	bad = tiny(0.5)
+	bad.Conflicts = nil
+	if err := bad.Check(); err == nil {
+		t.Error("missing conflict function not detected")
+	}
+}
+
+func TestArrangementHelpers(t *testing.T) {
+	a := NewArrangement(3)
+	a.Sets[0] = []int{2, 0}
+	a.Normalize()
+	if a.Sets[0][0] != 0 || a.Sets[0][1] != 2 {
+		t.Errorf("Normalize failed: %v", a.Sets[0])
+	}
+	if a.Size() != 2 {
+		t.Errorf("Size = %d, want 2", a.Size())
+	}
+	ps := a.Pairs()
+	if len(ps) != 2 || ps[0] != (Pair{Event: 0, User: 0}) || ps[1] != (Pair{Event: 2, User: 0}) {
+		t.Errorf("Pairs = %v", ps)
+	}
+	c := a.Clone()
+	c.Sets[0][0] = 99
+	if a.Sets[0][0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	in := tiny(0.5)
+	s := ComputeStats(in)
+	if s.NumEvents != 3 || s.NumUsers != 3 {
+		t.Fatalf("stats sizes wrong: %+v", s)
+	}
+	if s.TotalBids != 6 || math.Abs(s.MeanBidsPerUser-2) > 1e-12 {
+		t.Errorf("bids: total=%d mean=%v", s.TotalBids, s.MeanBidsPerUser)
+	}
+	if s.ConflictPairs != 1 {
+		t.Errorf("ConflictPairs = %d, want 1", s.ConflictPairs)
+	}
+	if math.Abs(s.ConflictRate-1.0/3.0) > 1e-12 {
+		t.Errorf("ConflictRate = %v, want 1/3", s.ConflictRate)
+	}
+	if math.Abs(s.MeanDegree-1) > 1e-12 {
+		t.Errorf("MeanDegree = %v, want 1", s.MeanDegree)
+	}
+}

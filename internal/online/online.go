@@ -1,0 +1,152 @@
+// Package online implements an online variant of IGEPA as a reproduction
+// extension: users arrive one at a time (the order models registration
+// streams on a live EBSN platform) and the platform must irrevocably decide
+// the arriving user's events before seeing later users. The paper studies
+// the offline problem and cites the online GEACC line of work (She et al.,
+// TKDE 2016) as the neighbouring setting; this package provides the natural
+// online counterparts of the offline baselines so the cost of onlineness
+// can be measured against the offline LP bound.
+//
+// Two policies are provided:
+//
+//   - Greedy: assign the arriving user their maximum-weight admissible set
+//     that fits the remaining capacities.
+//   - Threshold: like Greedy, but while an event still has more than a
+//     guard fraction of its capacity free, only pairs with weight ≥ tau are
+//     accepted — the classic reservation rule that keeps early low-value
+//     arrivals from exhausting capacity that later high-value arrivals
+//     would use.
+package online
+
+import (
+	"fmt"
+
+	"github.com/ebsn/igepa/internal/admissible"
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/model"
+)
+
+// Planner assigns events to users as they arrive. Implementations are
+// stateful: each Arrive consumes capacity permanently.
+type Planner interface {
+	// Arrive returns the events granted to user u (sorted ascending).
+	// It must be called at most once per user.
+	Arrive(u int) []int
+}
+
+// Run processes the arrival order through the planner and returns the
+// resulting arrangement. Users absent from order receive no events. It
+// returns an error if order contains an out-of-range or duplicate user.
+func Run(in *model.Instance, order []int, p Planner) (*model.Arrangement, error) {
+	arr := model.NewArrangement(in.NumUsers())
+	seen := make([]bool, in.NumUsers())
+	for _, u := range order {
+		if u < 0 || u >= in.NumUsers() {
+			return nil, fmt.Errorf("online: arrival of unknown user %d", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("online: user %d arrived twice", u)
+		}
+		seen[u] = true
+		arr.Sets[u] = p.Arrive(u)
+	}
+	arr.Normalize()
+	return arr, nil
+}
+
+// GreedyPlanner grants each arrival its best admissible set that fits the
+// remaining event capacities.
+type GreedyPlanner struct {
+	in      *model.Instance
+	conf    *conflict.Matrix
+	load    []int
+	maxSets int
+}
+
+// NewGreedy returns a greedy online planner. maxSets caps the per-user
+// admissible-set enumeration (0 = package default).
+func NewGreedy(in *model.Instance, maxSets int) *GreedyPlanner {
+	return &GreedyPlanner{
+		in:      in,
+		conf:    conflict.FromFunc(in.NumEvents(), in.Conflicts),
+		load:    make([]int, in.NumEvents()),
+		maxSets: maxSets,
+	}
+}
+
+// Arrive implements Planner.
+func (p *GreedyPlanner) Arrive(u int) []int {
+	best := p.bestFeasibleSet(u, func(int) bool { return true })
+	for _, v := range best {
+		p.load[v]++
+	}
+	return best
+}
+
+// bestFeasibleSet returns the maximum-weight admissible set of user u whose
+// events all pass accept and have remaining capacity.
+func (p *GreedyPlanner) bestFeasibleSet(u int, accept func(v int) bool) []int {
+	usr := &p.in.Users[u]
+	var open []int
+	for _, v := range usr.Bids {
+		if p.load[v] < p.in.Events[v].Capacity && accept(v) {
+			open = append(open, v)
+		}
+	}
+	if len(open) == 0 {
+		return nil
+	}
+	w := func(v int) float64 { return p.in.Weight(u, v) }
+	r := admissible.Enumerate(open, usr.Capacity, p.conf, w, admissible.Config{MaxSetsPerUser: p.maxSets})
+	bestW := 0.0
+	var best []int
+	for _, s := range r.Sets {
+		if s.Weight > bestW {
+			bestW = s.Weight
+			best = s.Events
+		}
+	}
+	return append([]int(nil), best...)
+}
+
+// ThresholdPlanner is GreedyPlanner plus a reservation rule: the last
+// Guard·cv seats of every event are reserved for pairs with w(u,v) ≥ Tau;
+// lighter pairs are admitted only into the first (1−Guard)·cv seats.
+type ThresholdPlanner struct {
+	GreedyPlanner
+	// Tau is the admission threshold on pair weight.
+	Tau float64
+	// Guard is the reserved capacity fraction in [0,1]. Guard=0 disables
+	// the rule (pure greedy); Guard=1 admits only pairs ≥ Tau.
+	Guard float64
+}
+
+// NewThreshold returns a threshold online planner.
+func NewThreshold(in *model.Instance, tau, guard float64, maxSets int) *ThresholdPlanner {
+	if guard < 0 {
+		guard = 0
+	}
+	if guard > 1 {
+		guard = 1
+	}
+	return &ThresholdPlanner{
+		GreedyPlanner: *NewGreedy(in, maxSets),
+		Tau:           tau,
+		Guard:         guard,
+	}
+}
+
+// Arrive implements Planner.
+func (p *ThresholdPlanner) Arrive(u int) []int {
+	best := p.bestFeasibleSet(u, func(v int) bool {
+		if p.in.Weight(u, v) >= p.Tau {
+			return true // heavy pairs may use any seat
+		}
+		openSeats := (1 - p.Guard) * float64(p.in.Events[v].Capacity)
+		return float64(p.load[v]) < openSeats
+	})
+	for _, v := range best {
+		p.load[v]++
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package social
+
+// Graph metrics used to validate generated social networks: the Meetup-like
+// affiliation graph must look like a real community structure (high
+// clustering, giant component), while Erdős–Rényi graphs must not. These
+// feed the dataset statistics of igepa-datagen and the workload tests.
+
+// Components returns the connected components as vertex lists, largest
+// first; isolated vertices form singleton components.
+func Components(g *Graph) [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], s)
+		var comp []int
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			comp = append(comp, u)
+			g.adj[u].ForEach(func(v int) {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			})
+		}
+		comps = append(comps, comp)
+	}
+	// selection sort by size descending (few components in practice)
+	for i := 0; i < len(comps); i++ {
+		best := i
+		for j := i + 1; j < len(comps); j++ {
+			if len(comps[j]) > len(comps[best]) {
+				best = j
+			}
+		}
+		comps[i], comps[best] = comps[best], comps[i]
+	}
+	return comps
+}
+
+// GiantComponentFraction returns the share of vertices in the largest
+// connected component (0 for the empty graph).
+func GiantComponentFraction(g *Graph) float64 {
+	if g.n == 0 {
+		return 0
+	}
+	comps := Components(g)
+	return float64(len(comps[0])) / float64(g.n)
+}
+
+// LocalClustering returns vertex u's local clustering coefficient: the
+// fraction of its neighbour pairs that are themselves adjacent
+// (0 for degree < 2).
+func (g *Graph) LocalClustering(u int) float64 {
+	d := g.degree[u]
+	if d < 2 {
+		return 0
+	}
+	neigh := g.Neighbors(u, nil)
+	closed := 0
+	for i, a := range neigh {
+		for _, b := range neigh[i+1:] {
+			if g.HasEdge(a, b) {
+				closed++
+			}
+		}
+	}
+	return float64(closed) / float64(d*(d-1)/2)
+}
+
+// MeanClustering returns the average local clustering coefficient over all
+// vertices (Watts–Strogatz definition).
+func MeanClustering(g *Graph) float64 {
+	if g.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for u := 0; u < g.n; u++ {
+		sum += g.LocalClustering(u)
+	}
+	return sum / float64(g.n)
+}
+
+// DegreeAssortativityProxy returns the ratio of the mean degree of
+// neighbours (averaged over edges) to the mean degree — >1 indicates hubs
+// attach to hubs less than expected (friendship paradox magnitude). It is a
+// cheap structural fingerprint used in generator tests.
+func DegreeAssortativityProxy(g *Graph) float64 {
+	if g.edges == 0 {
+		return 0
+	}
+	sumNeighborDeg := 0.0
+	for u := 0; u < g.n; u++ {
+		if g.degree[u] == 0 {
+			continue
+		}
+		g.adj[u].ForEach(func(v int) {
+			sumNeighborDeg += float64(g.degree[v])
+		})
+	}
+	meanNeighbor := sumNeighborDeg / float64(2*g.edges)
+	mean := g.MeanDegree()
+	if mean == 0 {
+		return 0
+	}
+	return meanNeighbor / mean
+}

@@ -1,0 +1,223 @@
+// Package social implements the social-network substrate: a compact
+// undirected graph with bitset adjacency, the generators used by the
+// experiments (Erdős–Rényi per Table I, group-affiliation graphs for the
+// Meetup-like dataset, Barabási–Albert as an extension), and the degree of
+// potential interaction D(G,u) (Definition 6).
+package social
+
+import (
+	"math"
+
+	"github.com/ebsn/igepa/internal/bitset"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// Graph is a simple undirected graph on n vertices with bitset adjacency
+// rows. Self-loops are ignored.
+type Graph struct {
+	n      int
+	adj    []*bitset.Set
+	degree []int
+	edges  int
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	adj := make([]*bitset.Set, n)
+	for i := range adj {
+		adj[i] = bitset.New(n)
+	}
+	return &Graph{n: n, adj: adj, degree: make([]int, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicate edges
+// are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || g.adj[u].Contains(v) {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+	g.degree[u]++
+	g.degree[v]++
+	g.edges++
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.adj[u].Contains(v)
+}
+
+// Degree returns deg(u).
+func (g *Graph) Degree(u int) int { return g.degree[u] }
+
+// Degrees returns a copy of the degree sequence.
+func (g *Graph) Degrees() []int {
+	return append([]int(nil), g.degree...)
+}
+
+// Neighbors appends u's neighbors to dst and returns it.
+func (g *Graph) Neighbors(u int, dst []int) []int {
+	return g.adj[u].Members(dst)
+}
+
+// DPI returns the degree of potential interaction
+// D(G,u) = deg(u)/(n−1) (Definition 6); 0 when n ≤ 1.
+func (g *Graph) DPI(u int) float64 {
+	if g.n <= 1 {
+		return 0
+	}
+	return float64(g.degree[u]) / float64(g.n-1)
+}
+
+// MeanDegree returns the average vertex degree.
+func (g *Graph) MeanDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(g.n)
+}
+
+// ErdosRenyi samples G(n, p): every unordered pair is an edge independently
+// with probability p. This is the synthetic social network of Table I
+// (pdeg). For sparse p it uses geometric skipping over the pair sequence, so
+// generation is O(n + |E|) rather than O(n²); for dense p it falls back to
+// per-pair coin flips.
+func ErdosRenyi(n int, p float64, rng *xrand.RNG) *Graph {
+	g := NewGraph(n)
+	if p <= 0 || n < 2 {
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	if p < 0.1 {
+		// Geometric skipping (Batagelj–Brandes): walk the linearized pair
+		// index, jumping ahead by Geometric(p) each time.
+		logq := math.Log1p(-p)
+		idx := int64(-1)
+		total := int64(n) * int64(n-1) / 2
+		for {
+			u := rng.Float64()
+			skip := int64(math.Log1p(-u)/logq) + 1
+			idx += skip
+			if idx >= total {
+				return g
+			}
+			a, b := pairFromIndex(idx, n)
+			g.AddEdge(a, b)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Bool(p) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the unordered pair
+// (a,b), a<b, enumerated row by row: (0,1),(0,2),...,(0,n-1),(1,2),...
+func pairFromIndex(idx int64, n int) (int, int) {
+	a := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		a++
+		rowLen--
+	}
+	return a, a + 1 + int(idx)
+}
+
+// Affiliation builds the group-membership graph used by the Meetup-like
+// dataset: vertices u and v are adjacent iff they share at least one group
+// (the paper: "if two users join at least one common group, they have an
+// edge"). groups lists member vertices per group.
+func Affiliation(n int, groups [][]int) *Graph {
+	g := NewGraph(n)
+	for _, members := range groups {
+		for i, u := range members {
+			for _, v := range members[i+1:] {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting from a
+// clique on m+1 vertices, each new vertex attaches to m distinct existing
+// vertices chosen with probability proportional to degree. Provided as an
+// extension for heavy-tailed social networks; not used by the paper's
+// experiments.
+func BarabasiAlbert(n, m int, rng *xrand.RNG) *Graph {
+	if m < 1 {
+		panic("social: BarabasiAlbert needs m >= 1")
+	}
+	g := NewGraph(n)
+	if n == 0 {
+		return g
+	}
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	// repeated endpoints list implements degree-proportional sampling
+	var endpoints []int
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for u := seed; u < n; u++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			var v int
+			if len(endpoints) == 0 {
+				v = rng.Intn(u)
+			} else {
+				v = endpoints[rng.Intn(len(endpoints))]
+			}
+			if v != u {
+				chosen[v] = true
+			}
+		}
+		for v := range chosen {
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func DegreeHistogram(g *Graph) []int {
+	maxDeg := 0
+	for _, d := range g.degree {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for _, d := range g.degree {
+		counts[d]++
+	}
+	return counts
+}

@@ -1,0 +1,64 @@
+// Package stats provides the small summary-statistics toolkit used by the
+// experiment harness: means, standard deviations, and normal-approximation
+// confidence intervals over repeated randomized runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation (n-1)
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval for the mean (1.96·σ/√n); 0 for samples of size < 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String formats the summary as "mean ± std (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean, s.Std, s.N)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }

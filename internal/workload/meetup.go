@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/interest"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/social"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// MeetupConfig parameterizes the Meetup-like dataset. The defaults match
+// the paper's crawl statistics (190 events, 2811 users, San Francisco) and
+// its preprocessing rules; everything else is a documented synthetic stand-in
+// for the unavailable raw crawl (see DESIGN.md §2).
+type MeetupConfig struct {
+	NumEvents int // default 190 (paper)
+	NumUsers  int // default 2811 (paper)
+	NumGroups int // Meetup interest groups; default 150
+	NumTopics int // topic vocabulary for attribute vectors; default 20
+
+	// HorizonDays is the span of the event calendar; conflict = time
+	// overlap, as in the paper ("if two events overlap in time, they
+	// conflict with each other"). Default 30.
+	HorizonDays int
+
+	// SpecifiedCapFrac is the fraction of events that publish a capacity
+	// ("only some events specify their capacities"); the rest default to
+	// |U| per the paper. Default 0.4.
+	SpecifiedCapFrac float64
+
+	// MaxAttended bounds the simulated attendance history per user
+	// (Zipf-distributed); user capacity is 2× attendance per the paper.
+	// Default 8.
+	MaxAttended int
+
+	Beta float64 // default 0.5
+	Seed int64
+}
+
+func (c MeetupConfig) withDefaults() MeetupConfig {
+	if c.NumEvents == 0 {
+		c.NumEvents = 190
+	}
+	if c.NumUsers == 0 {
+		c.NumUsers = 2811
+	}
+	if c.NumGroups == 0 {
+		c.NumGroups = 150
+	}
+	if c.NumTopics == 0 {
+		c.NumTopics = 20
+	}
+	if c.HorizonDays == 0 {
+		c.HorizonDays = 30
+	}
+	if c.SpecifiedCapFrac == 0 {
+		c.SpecifiedCapFrac = 0.4
+	}
+	if c.MaxAttended == 0 {
+		c.MaxAttended = 8
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.5
+	}
+	return c
+}
+
+// Meetup generates the Meetup-like instance, applying the paper's
+// preprocessing rules to a synthetic population:
+//
+//   - events get start times (evening-biased) and 1–3 hour durations over a
+//     HorizonDays calendar; two events conflict iff their times overlap;
+//   - a Zipf-popularity group structure hosts the events; users join 1–5
+//     groups (popularity-weighted); the social network links users sharing
+//     at least one group — exactly the paper's edge rule;
+//   - topic attribute vectors: each group and event has a topic mixture and
+//     users inherit a mixture from their groups; SI is the cosine of
+//     attribute vectors ("we calculate users' interests in events based on
+//     their attributes");
+//   - attendance histories are drawn from the user's groups' events, user
+//     capacity cu = 2 × (#attended), and bids are the attended events plus
+//     the cu/2 most interesting remaining events — the paper's bid rule;
+//   - event capacities: a SpecifiedCapFrac fraction publish a capacity
+//     (10–100), the rest are set to |U|.
+func Meetup(cfg MeetupConfig) (*model.Instance, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumEvents <= 0 || cfg.NumUsers <= 0 || cfg.NumGroups <= 0 || cfg.NumTopics <= 0 {
+		return nil, fmt.Errorf("workload: non-positive meetup dimensions")
+	}
+	rng := xrand.New(cfg.Seed)
+
+	// --- groups: topic mixtures and Zipf popularity ---
+	groupTopics := make([][]float64, cfg.NumGroups)
+	for gi := range groupTopics {
+		groupTopics[gi] = topicMixture(rng, cfg.NumTopics, 1+rng.Intn(3))
+	}
+	groupZipf := xrand.NewZipfian(cfg.NumGroups, 1.1)
+
+	// --- events: host group, topics, schedule ---
+	events := make([]model.Event, cfg.NumEvents)
+	hostGroup := make([]int, cfg.NumEvents)
+	starts := make([]int64, cfg.NumEvents)
+	ends := make([]int64, cfg.NumEvents)
+	for v := range events {
+		gi := groupZipf.Sample(rng) - 1
+		hostGroup[v] = gi
+		attrs := blend(rng, groupTopics[gi], topicMixture(rng, cfg.NumTopics, 1), 0.7)
+		day := int64(rng.Intn(cfg.HorizonDays))
+		var hour int64
+		if rng.Bool(0.7) {
+			hour = int64(17 + rng.Intn(4)) // evening events dominate
+		} else {
+			hour = int64(9 + rng.Intn(9))
+		}
+		start := (day*24 + hour) * 60     // minutes
+		dur := int64(60 + 30*rng.Intn(5)) // 1h–3h
+		starts[v], ends[v] = start, start+dur
+		cap := cfg.NumUsers // unspecified → |U| per the paper
+		if rng.Bool(cfg.SpecifiedCapFrac) {
+			cap = rng.IntRange(10, 100)
+		}
+		events[v] = model.Event{Capacity: cap, Attrs: attrs, Start: start, End: start + dur}
+	}
+	conf := conflict.FromIntervals(starts, ends)
+
+	// --- users: group memberships, topics ---
+	memberships := make([][]int, cfg.NumGroups) // group -> member users
+	userGroups := make([][]int, cfg.NumUsers)
+	joinZipf := xrand.NewZipfian(5, 1.2)
+	for u := 0; u < cfg.NumUsers; u++ {
+		k := joinZipf.Sample(rng)
+		seen := map[int]bool{}
+		for len(userGroups[u]) < k {
+			gi := groupZipf.Sample(rng) - 1
+			if !seen[gi] {
+				seen[gi] = true
+				userGroups[u] = append(userGroups[u], gi)
+				memberships[gi] = append(memberships[gi], u)
+			}
+		}
+	}
+	g := social.Affiliation(cfg.NumUsers, memberships)
+
+	userAttrs := make([][]float64, cfg.NumUsers)
+	eventAttrs := make([][]float64, cfg.NumEvents)
+	for v := range events {
+		eventAttrs[v] = events[v].Attrs
+	}
+	for u := range userAttrs {
+		mix := make([]float64, cfg.NumTopics)
+		for _, gi := range userGroups[u] {
+			for t, w := range groupTopics[gi] {
+				mix[t] += w
+			}
+		}
+		userAttrs[u] = blend(rng, normalize(mix), topicMixture(rng, cfg.NumTopics, 1), 0.8)
+	}
+	si := interest.Cosine(userAttrs, eventAttrs)
+
+	// --- attendance, capacities, bids (the paper's rules) ---
+	attendZipf := xrand.NewZipfian(cfg.MaxAttended, 1.3)
+	groupEvents := make([][]int, cfg.NumGroups)
+	for v, gi := range hostGroup {
+		groupEvents[gi] = append(groupEvents[gi], v)
+	}
+	users := make([]model.User, cfg.NumUsers)
+	for u := range users {
+		attended := sampleAttendance(rng, userGroups[u], groupEvents, attendZipf, cfg.NumEvents)
+		cu := 2 * len(attended) // paper: capacity = 2 × #attended
+		bids := expandBids(u, attended, cu/2, si, cfg.NumEvents)
+		users[u] = model.User{
+			Capacity: cu,
+			Attrs:    userAttrs[u],
+			Bids:     bids,
+			Degree:   g.Degree(u),
+		}
+	}
+
+	in := &model.Instance{
+		Events:    events,
+		Users:     users,
+		Conflicts: conf.Conflicts,
+		Interest:  si,
+		Beta:      cfg.Beta,
+	}
+	in.RebuildBidders()
+	return in, nil
+}
+
+// sampleAttendance draws the user's attendance history: Zipf-many events,
+// preferentially from the user's groups, uniform fallback otherwise.
+func sampleAttendance(rng *xrand.RNG, groups []int, groupEvents [][]int, z *xrand.Zipfian, numEvents int) []int {
+	k := z.Sample(rng)
+	var pool []int
+	for _, gi := range groups {
+		pool = append(pool, groupEvents[gi]...)
+	}
+	seen := map[int]bool{}
+	var attended []int
+	guard := 0
+	for len(attended) < k && guard < 50*k {
+		guard++
+		var v int
+		if len(pool) > 0 && rng.Bool(0.8) {
+			v = pool[rng.Intn(len(pool))]
+		} else {
+			v = rng.Intn(numEvents)
+		}
+		if !seen[v] {
+			seen[v] = true
+			attended = append(attended, v)
+		}
+	}
+	return attended
+}
+
+// expandBids implements the paper's bid rule: the attended events plus the
+// `extra` most interesting events the user has not attended.
+func expandBids(u int, attended []int, extra int, si func(u, v int) float64, numEvents int) []int {
+	have := make(map[int]bool, len(attended))
+	for _, v := range attended {
+		have[v] = true
+	}
+	type ev struct {
+		v int
+		s float64
+	}
+	var rest []ev
+	for v := 0; v < numEvents; v++ {
+		if !have[v] {
+			rest = append(rest, ev{v, si(u, v)})
+		}
+	}
+	// partial selection of the top `extra` by interest (descending)
+	for i := 0; i < extra && i < len(rest); i++ {
+		best := i
+		for j := i + 1; j < len(rest); j++ {
+			if rest[j].s > rest[best].s || (rest[j].s == rest[best].s && rest[j].v < rest[best].v) {
+				best = j
+			}
+		}
+		rest[i], rest[best] = rest[best], rest[i]
+	}
+	bids := append([]int(nil), attended...)
+	for i := 0; i < extra && i < len(rest); i++ {
+		bids = append(bids, rest[i].v)
+	}
+	sortInts(bids)
+	return bids
+}
+
+// topicMixture returns a normalized vector with k active topics.
+func topicMixture(rng *xrand.RNG, numTopics, k int) []float64 {
+	mix := make([]float64, numTopics)
+	for i := 0; i < k; i++ {
+		mix[rng.Intn(numTopics)] += 0.5 + rng.Float64()
+	}
+	return normalize(mix)
+}
+
+// blend mixes two vectors with weight w on the first, renormalized.
+func blend(rng *xrand.RNG, a, b []float64, w float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range out {
+		out[i] = w*a[i] + (1-w)*b[i]
+	}
+	return normalize(out)
+}
+
+func normalize(v []float64) []float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+// Package workload generates the two dataset families of the paper's
+// evaluation (§IV): synthetic instances parameterized exactly by the Table I
+// factors (|V|, |U|, max cv, max cu, pcf, pdeg), and a Meetup-like instance
+// reproducing the construction rules the paper applied to its San Francisco
+// crawl (see meetup.go and DESIGN.md §2 for the substitution rationale).
+package workload
+
+import (
+	"fmt"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/interest"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/social"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// SyntheticConfig holds the Table I factors plus the bid-model knobs the
+// paper describes qualitatively ("users tend to bid a group of similar and
+// often conflicting events ... bids are sampled dependently from several
+// sets of conflicting events").
+type SyntheticConfig struct {
+	NumEvents   int     // |V|; default 200
+	NumUsers    int     // |U|; default 2000
+	MaxEventCap int     // max cv, capacities ~ U[1, max cv]; default 50
+	MaxUserCap  int     // max cu, capacities ~ U[1, max cu]; default 4
+	PConflict   float64 // pcf, pairwise conflict probability; default 0.3
+	PFriend     float64 // pdeg, pairwise friendship probability; default 0.5
+	Beta        float64 // β; default 0.5 (the evaluation's setting)
+
+	// MinBids/MaxBids bound the bids per user (uniform); defaults 4 and 8.
+	MinBids, MaxBids int
+	// GroupBias is the probability that each bid is drawn from the user's
+	// chosen conflict groups rather than uniformly from all events;
+	// default 0.8.
+	GroupBias float64
+	// Seed drives all randomness; the same config and seed always produce
+	// the identical instance.
+	Seed int64
+}
+
+// Defaults are the Table I settings.
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.NumEvents == 0 {
+		c.NumEvents = 200
+	}
+	if c.NumUsers == 0 {
+		c.NumUsers = 2000
+	}
+	if c.MaxEventCap == 0 {
+		c.MaxEventCap = 50
+	}
+	if c.MaxUserCap == 0 {
+		c.MaxUserCap = 4
+	}
+	if c.PConflict == 0 {
+		c.PConflict = 0.3
+	}
+	if c.PFriend == 0 {
+		c.PFriend = 0.5
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.5
+	}
+	if c.MinBids == 0 {
+		c.MinBids = 4
+	}
+	if c.MaxBids == 0 {
+		c.MaxBids = 8
+	}
+	if c.GroupBias == 0 {
+		c.GroupBias = 0.8
+	}
+	return c
+}
+
+// Synthetic generates an instance per Table I:
+//
+//   - event capacities ~ U[1, max cv], user capacities ~ U[1, max cu];
+//   - each event pair conflicts independently with probability pcf;
+//   - each user pair is befriended independently with probability pdeg
+//     (Erdős–Rényi G(|U|, pdeg)) and degrees feed D(G,u);
+//   - interests SI(u,v) are i.i.d. uniform on [0,1);
+//   - bids are sampled dependently from conflict groups: each user picks one
+//     or two greedy conflict cliques of the realized conflict graph and
+//     draws most bids inside them (GroupBias), the rest uniformly.
+func Synthetic(cfg SyntheticConfig) (*model.Instance, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumEvents <= 0 || cfg.NumUsers <= 0 {
+		return nil, fmt.Errorf("workload: non-positive instance dimensions")
+	}
+	if cfg.MinBids > cfg.MaxBids {
+		return nil, fmt.Errorf("workload: MinBids %d > MaxBids %d", cfg.MinBids, cfg.MaxBids)
+	}
+	rng := xrand.New(cfg.Seed)
+
+	conf := conflict.Random(cfg.NumEvents, cfg.PConflict, rng)
+	groups := conf.Groups()
+
+	g := social.ErdosRenyi(cfg.NumUsers, cfg.PFriend, rng)
+
+	in := &model.Instance{
+		Events:    make([]model.Event, cfg.NumEvents),
+		Users:     make([]model.User, cfg.NumUsers),
+		Conflicts: conf.Conflicts,
+		Interest:  interest.Hashed(cfg.Seed ^ 0x5eed5eed),
+		Beta:      cfg.Beta,
+	}
+	for v := range in.Events {
+		in.Events[v].Capacity = rng.IntRange(1, cfg.MaxEventCap)
+	}
+	for u := range in.Users {
+		in.Users[u].Capacity = rng.IntRange(1, cfg.MaxUserCap)
+		in.Users[u].Degree = g.Degree(u)
+		in.Users[u].Bids = sampleBids(rng, cfg, groups)
+	}
+	in.RebuildBidders()
+	return in, nil
+}
+
+// sampleBids draws one user's bid set: mostly from one or two conflict
+// groups (dependent bidding), the rest uniform.
+func sampleBids(rng *xrand.RNG, cfg SyntheticConfig, groups [][]int) []int {
+	want := rng.IntRange(cfg.MinBids, cfg.MaxBids)
+	if want > cfg.NumEvents {
+		want = cfg.NumEvents
+	}
+	// choose 1-2 home groups, size-weighted so popular groups attract bids
+	home := make([][]int, 0, 2)
+	nHome := 1 + rng.Intn(2)
+	for i := 0; i < nHome; i++ {
+		home = append(home, groups[weightedGroup(rng, groups)])
+	}
+	seen := make(map[int]bool, want)
+	bids := make([]int, 0, want)
+	guard := 0
+	for len(bids) < want && guard < 50*want {
+		guard++
+		var v int
+		if rng.Bool(cfg.GroupBias) {
+			grp := home[rng.Intn(len(home))]
+			v = grp[rng.Intn(len(grp))]
+		} else {
+			v = rng.Intn(cfg.NumEvents)
+		}
+		if !seen[v] {
+			seen[v] = true
+			bids = append(bids, v)
+		}
+	}
+	sortInts(bids)
+	return bids
+}
+
+// weightedGroup samples a group index proportional to group size.
+func weightedGroup(rng *xrand.RNG, groups [][]int) int {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	t := rng.Intn(total)
+	for i, g := range groups {
+		t -= len(g)
+		if t < 0 {
+			return i
+		}
+	}
+	return len(groups) - 1
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

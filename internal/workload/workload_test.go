@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/model"
+)
+
+func TestSyntheticDefaultsMatchTableI(t *testing.T) {
+	in, err := Synthetic(SyntheticConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumEvents() != 200 || in.NumUsers() != 2000 {
+		t.Fatalf("dimensions %d×%d, want 200×2000", in.NumEvents(), in.NumUsers())
+	}
+	for v, ev := range in.Events {
+		if ev.Capacity < 1 || ev.Capacity > 50 {
+			t.Fatalf("event %d capacity %d outside [1,50]", v, ev.Capacity)
+		}
+	}
+	for u := range in.Users {
+		us := &in.Users[u]
+		if us.Capacity < 1 || us.Capacity > 4 {
+			t.Fatalf("user %d capacity %d outside [1,4]", u, us.Capacity)
+		}
+		if len(us.Bids) < 1 || len(us.Bids) > 8 {
+			t.Fatalf("user %d has %d bids", u, len(us.Bids))
+		}
+	}
+	if in.Beta != 0.5 {
+		t.Errorf("beta = %v, want 0.5", in.Beta)
+	}
+	st := model.ComputeStats(in)
+	if math.Abs(st.ConflictRate-0.3) > 0.03 {
+		t.Errorf("conflict rate %v, want ≈0.3", st.ConflictRate)
+	}
+	if math.Abs(st.MeanDPI-0.5) > 0.02 {
+		t.Errorf("mean DPI %v, want ≈0.5 (pdeg)", st.MeanDPI)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(SyntheticConfig{Seed: 42, NumEvents: 50, NumUsers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(SyntheticConfig{Seed: 42, NumEvents: 50, NumUsers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Users {
+		if len(a.Users[u].Bids) != len(b.Users[u].Bids) {
+			t.Fatal("bid sets differ across identical seeds")
+		}
+		for i := range a.Users[u].Bids {
+			if a.Users[u].Bids[i] != b.Users[u].Bids[i] {
+				t.Fatal("bid sets differ across identical seeds")
+			}
+		}
+		if a.Users[u].Degree != b.Users[u].Degree {
+			t.Fatal("degrees differ across identical seeds")
+		}
+	}
+	c, err := Synthetic(SyntheticConfig{Seed: 43, NumEvents: 50, NumUsers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for u := range a.Users {
+		if a.Users[u].Degree != c.Users[u].Degree {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical degree sequences")
+	}
+}
+
+func TestSyntheticBidsAreDependent(t *testing.T) {
+	// With GroupBias the average pairwise conflict rate *within* a user's
+	// bids must exceed the background pcf: that is the point of the
+	// dependent bidding model.
+	in, err := Synthetic(SyntheticConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, conflicting := 0, 0
+	for u := range in.Users {
+		bids := in.Users[u].Bids
+		for i := 0; i < len(bids); i++ {
+			for j := i + 1; j < len(bids); j++ {
+				pairs++
+				if in.Conflicts(bids[i], bids[j]) {
+					conflicting++
+				}
+			}
+		}
+	}
+	rate := float64(conflicting) / float64(pairs)
+	if rate < 0.4 { // background is 0.3; dependent bids must be well above
+		t.Errorf("within-bid conflict rate %v not elevated above pcf=0.3", rate)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{NumEvents: -1}); err == nil {
+		t.Error("negative dimensions accepted")
+	}
+	if _, err := Synthetic(SyntheticConfig{MinBids: 9, MaxBids: 8}); err == nil {
+		t.Error("MinBids > MaxBids accepted")
+	}
+}
+
+func TestSyntheticSmallUniverse(t *testing.T) {
+	// MaxBids > |V| must degrade gracefully
+	in, err := Synthetic(SyntheticConfig{Seed: 9, NumEvents: 3, NumUsers: 10, MinBids: 4, MaxBids: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range in.Users {
+		if len(in.Users[u].Bids) > 3 {
+			t.Fatalf("user %d has %d bids in a 3-event universe", u, len(in.Users[u].Bids))
+		}
+	}
+}
+
+func TestMeetupDefaultsMatchPaper(t *testing.T) {
+	in, err := Meetup(MeetupConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumEvents() != 190 || in.NumUsers() != 2811 {
+		t.Fatalf("dimensions %d×%d, want 190×2811", in.NumEvents(), in.NumUsers())
+	}
+	// paper rules: cu = 2 × attended ⇒ even and ≥ 2; bids = attended + cu/2 = cu
+	for u := range in.Users {
+		us := &in.Users[u]
+		if us.Capacity%2 != 0 || us.Capacity < 2 {
+			t.Fatalf("user %d capacity %d not an even positive number", u, us.Capacity)
+		}
+		if len(us.Bids) != us.Capacity {
+			t.Fatalf("user %d: %d bids for capacity %d (want attended+cu/2 = cu)", u, len(us.Bids), us.Capacity)
+		}
+	}
+	// conflicts come from time overlap; intervals stored on events
+	for v, ev := range in.Events {
+		if ev.End <= ev.Start {
+			t.Fatalf("event %d has empty interval", v)
+		}
+		if ev.Capacity < 10 {
+			t.Fatalf("event %d capacity %d below the specified-cap floor", v, ev.Capacity)
+		}
+	}
+	// some events must conflict, but far from all
+	st := model.ComputeStats(in)
+	if st.ConflictPairs == 0 {
+		t.Error("no time conflicts generated")
+	}
+	if st.ConflictRate > 0.5 {
+		t.Errorf("conflict rate %v implausibly high for a 30-day calendar", st.ConflictRate)
+	}
+}
+
+func TestMeetupInterestsAreAttributeBased(t *testing.T) {
+	in, err := Meetup(MeetupConfig{Seed: 2, NumUsers: 200, NumEvents: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SI must be within [0,1] and non-constant
+	min, max := 1.0, 0.0
+	for u := 0; u < 50; u++ {
+		for v := 0; v < in.NumEvents(); v++ {
+			s := in.Interest(u, v)
+			if s < 0 || s > 1 {
+				t.Fatalf("SI(%d,%d) = %v outside [0,1]", u, v, s)
+			}
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+	}
+	if max-min < 0.2 {
+		t.Errorf("interest range [%v,%v] suspiciously flat", min, max)
+	}
+}
+
+func TestMeetupSocialNetworkFromGroups(t *testing.T) {
+	in, err := Meetup(MeetupConfig{Seed: 3, NumUsers: 300, NumEvents: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for u := range in.Users {
+		if in.Users[u].Degree > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 200 {
+		t.Errorf("only %d/300 users have social ties", nonzero)
+	}
+}
+
+func TestMeetupDeterministic(t *testing.T) {
+	a, _ := Meetup(MeetupConfig{Seed: 7, NumUsers: 100, NumEvents: 40})
+	b, _ := Meetup(MeetupConfig{Seed: 7, NumUsers: 100, NumEvents: 40})
+	ua, ub := model.ComputeStats(a), model.ComputeStats(b)
+	if ua != ub {
+		t.Fatalf("same seed different stats: %+v vs %+v", ua, ub)
+	}
+}
+
+func TestMeetupValidation(t *testing.T) {
+	if _, err := Meetup(MeetupConfig{NumGroups: -1}); err == nil {
+		t.Error("negative groups accepted")
+	}
+}
