@@ -4,8 +4,7 @@ package igepa_test
 // micro-benchmarks of the pipeline stages. The figure benchmarks run the
 // same sweep shapes as cmd/igepa-bench but at reduced scale (|U|≈400-600,
 // one repetition) so `go test -bench=.` completes in minutes; the
-// full-scale paper reproduction is `igepa-bench -exp all` (see
-// EXPERIMENTS.md for its recorded output).
+// full-scale paper reproduction is `igepa-bench -exp all`.
 
 import (
 	"fmt"
@@ -219,7 +218,27 @@ func BenchmarkMeetupGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkLPPackingDefaults is the headline end-to-end benchmark: the
+// |U|=4000 Table I sweep point, the scale at which the revised solver's
+// parallel Devex pricing and the flat CSC/arena storage pay off. Run with
+// -benchtime 1x for a smoke (one solve ≈ tens of seconds single-threaded).
 func BenchmarkLPPackingDefaults(b *testing.B) {
+	in, err := igepa.Synthetic(igepa.SyntheticConfig{Seed: 1, NumUsers: 4000, NumEvents: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igepa.LPPacking(in, igepa.LPPackingOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPPackingMedium is the former default scale, kept for quick
+// comparisons and for machines where the 4000-user point is too slow.
+func BenchmarkLPPackingMedium(b *testing.B) {
 	in, err := igepa.Synthetic(igepa.SyntheticConfig{Seed: 1, NumUsers: 500, NumEvents: 100})
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,3 @@
+module github.com/ebsn/igepa
+
+go 1.21

@@ -111,6 +111,7 @@ type enumerator struct {
 	cur       []int
 	curWeight float64
 	blocked   *bitset.Set // events conflicting with anything in cur
+	blockedBy []int       // stack of blocked events, unwound on backtrack
 	sets      []Set
 	truncated bool
 }
@@ -138,9 +139,10 @@ func (e *enumerator) dfs(i int, depth int) {
 		if depth+1 < e.cap && !e.truncated {
 			// block v's conflict row for the deeper levels
 			row := e.conflicts.Row(v)
-			added := e.blockRow(row)
+			mark := len(e.blockedBy)
+			e.blockRow(row)
 			e.dfs(i+1, depth+1)
-			e.unblock(added)
+			e.unblock(mark)
 		}
 		e.curWeight -= e.weight(v)
 		e.cur = e.cur[:len(e.cur)-1]
@@ -150,23 +152,24 @@ func (e *enumerator) dfs(i int, depth int) {
 	}
 }
 
-// blockRow marks all events in row as blocked, returning the ones newly
-// blocked so they can be unblocked on backtrack.
-func (e *enumerator) blockRow(row *bitset.Set) []int {
-	var added []int
+// blockRow marks all events in row as blocked, pushing the newly blocked
+// ones onto the shared backtrack stack (one reusable slice for the whole
+// enumeration instead of one allocation per DFS node).
+func (e *enumerator) blockRow(row *bitset.Set) {
 	row.ForEach(func(w int) {
 		if !e.blocked.Contains(w) {
 			e.blocked.Add(w)
-			added = append(added, w)
+			e.blockedBy = append(e.blockedBy, w)
 		}
 	})
-	return added
 }
 
-func (e *enumerator) unblock(added []int) {
-	for _, w := range added {
+// unblock unwinds the backtrack stack to mark.
+func (e *enumerator) unblock(mark int) {
+	for _, w := range e.blockedBy[mark:] {
 		e.blocked.Remove(w)
 	}
+	e.blockedBy = e.blockedBy[:mark]
 }
 
 func dedupe(sorted []int) []int {

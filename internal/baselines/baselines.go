@@ -109,14 +109,15 @@ func RandomV(in *model.Instance, seed int64) *model.Arrangement {
 // deterministic (ties broken by user then event index).
 func Greedy(in *model.Instance) *model.Arrangement {
 	a := newAssigner(in)
+	wc := in.Weights()
 	type pair struct {
 		u, v int
 		w    float64
 	}
 	var pairs []pair
 	for u := range in.Users {
-		for _, v := range in.Users[u].Bids {
-			pairs = append(pairs, pair{u, v, in.Weight(u, v)})
+		for i, v := range in.Users[u].Bids {
+			pairs = append(pairs, pair{u, v, wc.At(u, i)})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
@@ -154,10 +155,11 @@ func Optimal(in *model.Instance) (*model.Arrangement, float64, error) {
 	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
 	nu := in.NumUsers()
 
+	wc := in.Weights()
 	sets := make([][]admissible.Set, nu)
 	bestPerUser := make([]float64, nu)
 	for u := 0; u < nu; u++ {
-		w := func(v int) float64 { return in.Weight(u, v) }
+		w := func(v int) float64 { return wc.Of(u, v) }
 		r := admissible.Enumerate(in.Users[u].Bids, in.Users[u].Capacity, conf, w, admissible.Config{MaxSetsPerUser: -1})
 		sets[u] = r.Sets
 		for _, s := range r.Sets {
@@ -259,6 +261,7 @@ func LocalSearch(in *model.Instance, start *model.Arrangement, maxRounds int) *m
 		maxRounds = 50
 	}
 	a := newAssigner(in)
+	wc := in.Weights()
 	for u, set := range start.Sets {
 		for _, v := range set {
 			a.assign(u, v)
@@ -280,7 +283,7 @@ func LocalSearch(in *model.Instance, start *model.Arrangement, maxRounds int) *m
 					continue
 				}
 				for i, w := range a.arr.Sets[u] {
-					if in.Weight(u, v) <= in.Weight(u, w) {
+					if wc.Of(u, v) <= wc.Of(u, w) {
 						continue
 					}
 					// v must be compatible with the rest of u's set

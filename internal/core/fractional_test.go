@@ -8,11 +8,10 @@ import (
 )
 
 // fractionalSolver is a stub LP solver returning a fixed fractional
-// solution. On the generated workloads the benchmark LP solves integrally
-// (see EXPERIMENTS.md), so the sampling-collision → repair path of
-// Algorithm 1 never fires there; this fixture forces the fractional regime
-// the ¼-approximation guarantee was designed for and checks the rounding
-// machinery end to end.
+// solution. On the generated workloads the benchmark LP solves integrally,
+// so the sampling-collision → repair path of Algorithm 1 never fires there;
+// this fixture forces the fractional regime the ¼-approximation guarantee
+// was designed for and checks the rounding machinery end to end.
 type fractionalSolver struct {
 	x []float64
 }

@@ -16,6 +16,11 @@
 //
 // With α = 1/2 the expected utility is at least OPT/4 (Theorem 2); the
 // paper's experiments, and ours, run α = 1.
+//
+// The per-user stages (enumeration, sampling) run on a bounded worker pool
+// (internal/par) with per-user RNG streams (xrand.NewStream), and the
+// auto-selected LP solver prices on the same pool — results are
+// bit-identical for every worker count and GOMAXPROCS value; see DESIGN.md.
 package core
 
 import (
@@ -25,6 +30,7 @@ import (
 	"github.com/ebsn/igepa/internal/conflict"
 	"github.com/ebsn/igepa/internal/lp"
 	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/par"
 	"github.com/ebsn/igepa/internal/xrand"
 )
 
@@ -73,6 +79,13 @@ type Options struct {
 	// GreedyFill, if set, adds a post-repair greedy fill-in of leftover
 	// capacity (extension; not part of Algorithm 1).
 	GreedyFill bool
+	// Workers bounds the worker pool of the per-user stages (admissible-set
+	// enumeration and rounding-sample draws) and is forwarded to the LP
+	// solver's pricing pool when the solver is auto-selected; 0 means
+	// GOMAXPROCS. Results are bit-identical for every value: per-user
+	// randomness comes from xrand.NewStream(Seed, u), never from a shared
+	// stream, and all parallel writes go to caller-owned per-user slots.
+	Workers int
 }
 
 // Result carries the arrangement plus the diagnostics a downstream user
@@ -107,15 +120,20 @@ func LPPacking(in *model.Instance, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: alpha = %v outside (0,1]", alpha)
 	}
 	rng := xrand.New(opt.Seed)
+	workers := par.Workers(opt.Workers)
+
+	// Build the shared weight cache before any parallel stage so the lazy
+	// initialization never races; every later stage reads it lock-free.
+	in.Weights()
 
 	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
-	sets, truncated := enumerateAll(in, conf, opt.MaxSetsPerUser)
+	sets, truncated := enumerateAll(in, conf, opt.MaxSetsPerUser, workers)
 	prob, owner := BuildBenchmarkLP(in, sets)
 
 	var sol *lp.Solution
 	var err error
 	if opt.Solver == nil {
-		sol, err = lp.Solve(prob)
+		sol, err = lp.SolveWorkers(prob, opt.Workers)
 	} else {
 		sol, err = opt.Solver.Solve(prob)
 	}
@@ -125,17 +143,24 @@ func LPPacking(in *model.Instance, opt Options) (*Result, error) {
 	return finish(in, conf, sets, owner, prob, sol, alpha, opt, rng, truncated)
 }
 
-// enumerateAll computes Au for every user. It returns per-user admissible
-// sets and the number of users whose enumeration was truncated.
-func enumerateAll(in *model.Instance, conf *conflict.Matrix, maxSets int) ([][]admissible.Set, int) {
+// enumerateAll computes Au for every user on the bounded worker pool. It
+// returns per-user admissible sets and the number of users whose enumeration
+// was truncated. Each user's enumeration is independent and writes only its
+// own slot, so the result does not depend on the worker count.
+func enumerateAll(in *model.Instance, conf *conflict.Matrix, maxSets, workers int) ([][]admissible.Set, int) {
+	wc := in.Weights()
 	sets := make([][]admissible.Set, in.NumUsers())
-	truncated := 0
-	for u := range sets {
+	trunc := make([]bool, in.NumUsers())
+	par.For(workers, in.NumUsers(), 16, func(u int) {
 		usr := &in.Users[u]
-		w := func(v int) float64 { return in.Weight(u, v) }
+		w := func(v int) float64 { return wc.Of(u, v) }
 		r := admissible.Enumerate(usr.Bids, usr.Capacity, conf, w, admissible.Config{MaxSetsPerUser: maxSets})
 		sets[u] = r.Sets
-		if r.Truncated {
+		trunc[u] = r.Truncated
+	})
+	truncated := 0
+	for _, t := range trunc {
+		if t {
 			truncated++
 		}
 	}
@@ -144,8 +169,11 @@ func enumerateAll(in *model.Instance, conf *conflict.Matrix, maxSets int) ([][]a
 
 // BuildBenchmarkLP assembles LP (1)-(4): one column per (user, admissible
 // set), a ≤1 row per user and a ≤cv row per event. owner[j] identifies the
-// user and set index of column j. Exported for white-box testing and for
-// the ablation benchmarks.
+// user and set index of column j. The column count and nonzero count are
+// known exactly from the enumeration, so the flat CSC arrays are sized in
+// one pass and filled in the next — a Meetup-scale build is a handful of
+// allocations instead of two per column. Exported for white-box testing and
+// for the ablation benchmarks.
 func BuildBenchmarkLP(in *model.Instance, sets [][]admissible.Set) (*lp.Problem, [][2]int) {
 	nu, nv := in.NumUsers(), in.NumEvents()
 	p := &lp.Problem{NumRows: nu + nv, B: make([]float64, nu+nv)}
@@ -155,23 +183,30 @@ func BuildBenchmarkLP(in *model.Instance, sets [][]admissible.Set) (*lp.Problem,
 	for v := 0; v < nv; v++ {
 		p.B[nu+v] = float64(in.Events[v].Capacity)
 	}
-	var owner [][2]int
+	ncols, nnz := 0, 0
+	for _, us := range sets {
+		ncols += len(us)
+		for _, s := range us {
+			nnz += len(s.Events) + 1
+		}
+	}
+	p.Reserve(ncols, nnz)
+	p.ColPtr = append(p.ColPtr, 0)
+	owner := make([][2]int, 0, ncols)
 	for u, us := range sets {
 		for si, s := range us {
-			col := lp.Column{
-				Rows: make([]int, 0, len(s.Events)+1),
-				Vals: make([]float64, 0, len(s.Events)+1),
-			}
-			col.Rows = append(col.Rows, u)
-			col.Vals = append(col.Vals, 1)
+			p.Rows = append(p.Rows, int32(u))
 			for _, v := range s.Events {
-				col.Rows = append(col.Rows, nu+v)
-				col.Vals = append(col.Vals, 1)
+				p.Rows = append(p.Rows, int32(nu+v))
 			}
-			p.Cols = append(p.Cols, col)
+			p.ColPtr = append(p.ColPtr, len(p.Rows))
 			p.C = append(p.C, s.Weight)
 			owner = append(owner, [2]int{u, si})
 		}
+	}
+	p.Vals = p.Vals[:nnz]
+	for k := range p.Vals {
+		p.Vals[k] = 1
 	}
 	return p, owner
 }
@@ -183,7 +218,7 @@ func finish(in *model.Instance, conf *conflict.Matrix, sets [][]admissible.Set,
 	opt Options, rng *xrand.RNG, truncated int) (*Result, error) {
 
 	// Per-user sampling distributions α·x*_{u,S}.
-	chosen := SampleSets(in.NumUsers(), sets, owner, sol.X, alpha, rng)
+	chosen := SampleSets(in.NumUsers(), sets, owner, sol.X, alpha, opt.Seed, opt.Workers)
 
 	arr, dropped := Repair(in, sets, chosen, opt.Repair, rng)
 
@@ -218,26 +253,31 @@ func pairsOf(sets [][]admissible.Set, chosen []int) int {
 }
 
 // SampleSets draws, for each user, the index of the sampled admissible set
-// (or -1 for none) with probabilities α·x*. Exported for the rounding
-// unit tests.
-func SampleSets(numUsers int, sets [][]admissible.Set, owner [][2]int, x []float64, alpha float64, rng *xrand.RNG) []int {
-	// gather per-user probability vectors in set order
-	weights := make([][]float64, numUsers)
-	for u := range weights {
-		weights[u] = make([]float64, len(sets[u]))
+// (or -1 for none) with probabilities α·x*. User u draws from the dedicated
+// deterministic stream xrand.NewStream(seed, u), so the draws parallelize
+// over the bounded pool (workers = 0 means GOMAXPROCS) with bit-identical
+// results for every worker count. Exported for the rounding unit tests.
+func SampleSets(numUsers int, sets [][]admissible.Set, owner [][2]int, x []float64, alpha float64, seed int64, workers int) []int {
+	// Gather the per-user probability vectors in set order, as slices of one
+	// flat backing array.
+	off := make([]int, numUsers+1)
+	for u := 0; u < numUsers; u++ {
+		off[u+1] = off[u] + len(sets[u])
 	}
+	probs := make([]float64, off[numUsers])
 	for j, ow := range owner {
-		weights[ow[0]][ow[1]] = clampProb(alpha * x[j])
+		probs[off[ow[0]]+ow[1]] = clampProb(alpha * x[j])
 	}
 	chosen := make([]int, numUsers)
-	for u := range chosen {
-		if len(weights[u]) == 0 {
+	par.For(workers, numUsers, 64, func(u int) {
+		w := probs[off[u]:off[u+1]]
+		if len(w) == 0 {
 			chosen[u] = -1
-			continue
+			return
 		}
-		normalizeSubDistribution(weights[u])
-		chosen[u] = rng.Categorical(weights[u])
-	}
+		normalizeSubDistribution(w)
+		chosen[u] = xrand.NewStream(seed, uint64(u)).Categorical(w)
+	})
 	return chosen
 }
 
@@ -373,11 +413,15 @@ func less(key []float64, a, b int) bool {
 }
 
 // greedyFill adds feasible (weight-descending) pairs left open after repair.
+// It relies on arr.Sets[u] being sorted ascending at entry (repair preserves
+// the enumeration's sorted event order), so candidate membership is a binary
+// search instead of a per-user map.
 func greedyFill(in *model.Instance, conf *conflict.Matrix, arr *model.Arrangement) int {
 	type cand struct {
 		u, v int
 		w    float64
 	}
+	wc := in.Weights()
 	load := make([]int, in.NumEvents())
 	for _, set := range arr.Sets {
 		for _, v := range set {
@@ -386,16 +430,13 @@ func greedyFill(in *model.Instance, conf *conflict.Matrix, arr *model.Arrangemen
 	}
 	var cands []cand
 	for u := range in.Users {
-		have := map[int]bool{}
-		for _, v := range arr.Sets[u] {
-			have[v] = true
-		}
 		if len(arr.Sets[u]) >= in.Users[u].Capacity {
 			continue
 		}
-		for _, v := range in.Users[u].Bids {
-			if !have[v] && load[v] < in.Events[v].Capacity {
-				cands = append(cands, cand{u, v, in.Weight(u, v)})
+		set := arr.Sets[u]
+		for i, v := range in.Users[u].Bids {
+			if !model.Contains(set, v) && load[v] < in.Events[v].Capacity {
+				cands = append(cands, cand{u, v, wc.At(u, i)})
 			}
 		}
 	}

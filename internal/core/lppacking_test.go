@@ -206,7 +206,7 @@ func TestGreedyFillOnlyImproves(t *testing.T) {
 func TestBuildBenchmarkLPShape(t *testing.T) {
 	in := tinyInstance()
 	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
-	sets, trunc := enumerateAll(in, conf, 0)
+	sets, trunc := enumerateAll(in, conf, 0, 1)
 	if trunc != 0 {
 		t.Fatalf("unexpected truncation")
 	}
@@ -227,14 +227,20 @@ func TestBuildBenchmarkLPShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// every column: coefficient 1 in its user row and in each event row
-	for j, col := range prob.Cols {
+	for j := 0; j < prob.NumCols(); j++ {
+		rows, vals := prob.Col(j)
 		u := owner[j][0]
 		s := sets[u][owner[j][1]]
-		if col.Rows[0] != u {
-			t.Fatalf("column %d first row %d, want user %d", j, col.Rows[0], u)
+		if int(rows[0]) != u {
+			t.Fatalf("column %d first row %d, want user %d", j, rows[0], u)
 		}
-		if len(col.Rows) != len(s.Events)+1 {
-			t.Fatalf("column %d has %d rows for set of %d events", j, len(col.Rows), len(s.Events))
+		if len(rows) != len(s.Events)+1 {
+			t.Fatalf("column %d has %d rows for set of %d events", j, len(rows), len(s.Events))
+		}
+		for k := range vals {
+			if vals[k] != 1 {
+				t.Fatalf("column %d has non-unit coefficient %v", j, vals[k])
+			}
 		}
 		if math.Abs(prob.C[j]-s.Weight) > 1e-12 {
 			t.Fatalf("column %d objective %v, want %v", j, prob.C[j], s.Weight)
@@ -244,15 +250,15 @@ func TestBuildBenchmarkLPShape(t *testing.T) {
 
 func TestSampleSetsRespectsAlpha(t *testing.T) {
 	// one user, one set with x* = 1: with α=1 always sampled; with α=0.25
-	// sampled about a quarter of the time.
+	// sampled about a quarter of the seeds (each seed is one independent
+	// draw from the user's stream).
 	sets := [][]admissible.Set{{{Events: []int{0}, Weight: 1}}}
 	owner := [][2]int{{0, 0}}
 	x := []float64{1}
-	rng := xrand.New(11)
 	hits := 0
 	const trials = 20000
 	for i := 0; i < trials; i++ {
-		if SampleSets(1, sets, owner, x, 0.25, rng)[0] == 0 {
+		if SampleSets(1, sets, owner, x, 0.25, int64(i), 1)[0] == 0 {
 			hits++
 		}
 	}
@@ -260,7 +266,7 @@ func TestSampleSetsRespectsAlpha(t *testing.T) {
 		t.Errorf("sampling rate %v, want ≈0.25", p)
 	}
 	for i := 0; i < 100; i++ {
-		if SampleSets(1, sets, owner, x, 1, rng)[0] != 0 {
+		if SampleSets(1, sets, owner, x, 1, int64(i), 1)[0] != 0 {
 			t.Fatal("α=1 with x*=1 failed to sample the set")
 		}
 	}
@@ -275,9 +281,8 @@ func TestSampleSetsHandlesRoundoff(t *testing.T) {
 	}}
 	owner := [][2]int{{0, 0}, {0, 1}}
 	x := []float64{0.7, 0.3000001}
-	rng := xrand.New(3)
 	for i := 0; i < 1000; i++ {
-		got := SampleSets(1, sets, owner, x, 1, rng)[0]
+		got := SampleSets(1, sets, owner, x, 1, int64(i), 0)[0]
 		if got != 0 && got != 1 {
 			t.Fatalf("sampled %d", got)
 		}
@@ -352,7 +357,7 @@ func TestRepairNeverExceedsCapacityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		in := randomInstance(seed)
 		conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
-		sets, _ := enumerateAll(in, conf, 0)
+		sets, _ := enumerateAll(in, conf, 0, 1)
 		rng := xrand.New(seed)
 		chosen := make([]int, in.NumUsers())
 		for u := range chosen {

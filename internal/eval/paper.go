@@ -13,7 +13,7 @@ import (
 // MeetupMaxSetsPerUser caps admissible-set enumeration on the Meetup-like
 // dataset, where heavy users (large attendance histories) would otherwise
 // contribute hundreds of thousands of LP columns. Truncation keeps the
-// heaviest sets and all singletons; the cap is recorded in EXPERIMENTS.md.
+// heaviest sets and all singletons.
 const MeetupMaxSetsPerUser = 2000
 
 // StandardAlgorithms returns the paper's four algorithms (§IV "Baselines"):

@@ -36,9 +36,10 @@ func (s *Dense) Solve(p *Problem) (*Solution, error) {
 	for i := range t {
 		t[i] = make([]float64, width)
 	}
-	for j, col := range p.Cols {
-		for k, r := range col.Rows {
-			t[r][j] += col.Vals[k]
+	for j := 0; j < n; j++ {
+		rows, vals := p.Col(j)
+		for k, r := range rows {
+			t[r][j] += vals[k]
 		}
 	}
 	for i := 0; i < m; i++ {

@@ -32,32 +32,145 @@ import (
 	"math"
 )
 
-// Column is one sparse column of the constraint matrix A: Rows[i] holds the
-// row index of the i-th nonzero and Vals[i] its coefficient.
+// Column is one sparse column in assembly form: Rows[i] holds the row index
+// of the i-th nonzero and Vals[i] its coefficient. Problems no longer store
+// columns this way (see Problem); Column remains the convenience currency of
+// NewProblem, the LU kernel's tests and hand-written fixtures.
 type Column struct {
 	Rows []int
 	Vals []float64
 }
 
 // Problem is a packing-form LP: max cᵀx s.t. Ax ≤ b, x ≥ 0 with b ≥ 0.
+//
+// The constraint matrix A is stored in flat compressed-sparse-column (CSC)
+// form: column j occupies Rows[ColPtr[j]:ColPtr[j+1]] / Vals[...]. Compared
+// with the former per-column slice-pair layout this collapses the millions
+// of tiny allocations of a Meetup-scale build into three slices, and keeps
+// the simplex pricing pass walking one contiguous array.
 type Problem struct {
 	NumRows int       // m, number of constraints
 	C       []float64 // objective coefficients, len n
-	Cols    []Column  // constraint columns, len n
 	B       []float64 // right-hand side, len m, non-negative
+
+	ColPtr []int     // len n+1 (nil ⇔ no columns); ColPtr[0] == 0
+	Rows   []int32   // row indices of nonzeros, column-major
+	Vals   []float64 // coefficients, aligned with Rows
 }
 
 // NumCols returns n, the number of structural variables.
-func (p *Problem) NumCols() int { return len(p.Cols) }
+func (p *Problem) NumCols() int {
+	if len(p.ColPtr) == 0 {
+		return 0
+	}
+	return len(p.ColPtr) - 1
+}
 
-// Check validates the problem shape: matching lengths, row indices in
-// range, b ≥ 0 and all data finite.
+// NNZ returns the number of stored nonzeros.
+func (p *Problem) NNZ() int { return len(p.Rows) }
+
+// Col returns column j as (row indices, values) views into the shared CSC
+// arrays. Callers must not modify the returned slices.
+func (p *Problem) Col(j int) ([]int32, []float64) {
+	lo, hi := p.ColPtr[j], p.ColPtr[j+1]
+	return p.Rows[lo:hi], p.Vals[lo:hi]
+}
+
+// Reserve grows the column storage to hold at least cols columns and nnz
+// nonzeros, so a builder that knows its final size pays one allocation per
+// backing array.
+func (p *Problem) Reserve(cols, nnz int) {
+	if cap(p.ColPtr) < cols+1 {
+		cp := make([]int, len(p.ColPtr), cols+1)
+		copy(cp, p.ColPtr)
+		p.ColPtr = cp
+	}
+	if cap(p.Rows) < nnz {
+		r := make([]int32, len(p.Rows), nnz)
+		copy(r, p.Rows)
+		p.Rows = r
+	}
+	if cap(p.Vals) < nnz {
+		v := make([]float64, len(p.Vals), nnz)
+		copy(v, p.Vals)
+		p.Vals = v
+	}
+	if cap(p.C) < cols {
+		c := make([]float64, len(p.C), cols)
+		copy(c, p.C)
+		p.C = c
+	}
+}
+
+// AddColumn appends one column with objective coefficient c. rows and vals
+// are copied into the flat storage.
+func (p *Problem) AddColumn(c float64, rows []int, vals []float64) {
+	if len(rows) != len(vals) {
+		panic("lp: AddColumn with mismatched rows/vals")
+	}
+	if len(p.ColPtr) == 0 {
+		p.ColPtr = append(p.ColPtr, 0)
+	}
+	for _, r := range rows {
+		p.Rows = append(p.Rows, int32(r))
+	}
+	p.Vals = append(p.Vals, vals...)
+	p.ColPtr = append(p.ColPtr, len(p.Rows))
+	p.C = append(p.C, c)
+}
+
+// addColumn32 is AddColumn for int32 row indices (CSC-to-CSC copies).
+func (p *Problem) addColumn32(c float64, rows []int32, vals []float64) {
+	if len(p.ColPtr) == 0 {
+		p.ColPtr = append(p.ColPtr, 0)
+	}
+	p.Rows = append(p.Rows, rows...)
+	p.Vals = append(p.Vals, vals...)
+	p.ColPtr = append(p.ColPtr, len(p.Rows))
+	p.C = append(p.C, c)
+}
+
+// NewProblem assembles a CSC Problem from per-column data: the bridge from
+// hand-written fixtures and external assembly code to the flat layout.
+func NewProblem(numRows int, b []float64, c []float64, cols []Column) *Problem {
+	p := &Problem{NumRows: numRows, B: b}
+	nnz := 0
+	for j := range cols {
+		nnz += len(cols[j].Rows)
+	}
+	p.Reserve(len(cols), nnz)
+	for j := range cols {
+		p.AddColumn(c[j], cols[j].Rows, cols[j].Vals)
+	}
+	return p
+}
+
+// Check validates the problem shape: a well-formed ColPtr, matching lengths,
+// row indices in range, b ≥ 0 and all data finite.
 func (p *Problem) Check() error {
-	if len(p.C) != len(p.Cols) {
-		return fmt.Errorf("lp: %d objective coefficients for %d columns", len(p.C), len(p.Cols))
+	if len(p.C) != p.NumCols() {
+		return fmt.Errorf("lp: %d objective coefficients for %d columns", len(p.C), p.NumCols())
 	}
 	if len(p.B) != p.NumRows {
 		return fmt.Errorf("lp: %d rhs entries for %d rows", len(p.B), p.NumRows)
+	}
+	if len(p.Rows) != len(p.Vals) {
+		return fmt.Errorf("lp: %d row indices for %d values", len(p.Rows), len(p.Vals))
+	}
+	if len(p.ColPtr) > 0 {
+		if p.ColPtr[0] != 0 {
+			return fmt.Errorf("lp: ColPtr[0] = %d, want 0", p.ColPtr[0])
+		}
+		if last := p.ColPtr[len(p.ColPtr)-1]; last != len(p.Rows) {
+			return fmt.Errorf("lp: ColPtr ends at %d for %d nonzeros", last, len(p.Rows))
+		}
+		for j := 1; j < len(p.ColPtr); j++ {
+			if p.ColPtr[j] < p.ColPtr[j-1] {
+				return fmt.Errorf("lp: ColPtr not monotone at column %d", j-1)
+			}
+		}
+	} else if len(p.Rows) != 0 {
+		return fmt.Errorf("lp: %d nonzeros with no ColPtr", len(p.Rows))
 	}
 	for i, b := range p.B {
 		if b < 0 {
@@ -67,19 +180,16 @@ func (p *Problem) Check() error {
 			return fmt.Errorf("lp: non-finite rhs b[%d]", i)
 		}
 	}
-	for j, col := range p.Cols {
-		if len(col.Rows) != len(col.Vals) {
-			return fmt.Errorf("lp: column %d has %d rows but %d values", j, len(col.Rows), len(col.Vals))
+	for k, r := range p.Rows {
+		if r < 0 || int(r) >= p.NumRows {
+			return fmt.Errorf("lp: nonzero %d references row %d of %d", k, r, p.NumRows)
 		}
-		for k, r := range col.Rows {
-			if r < 0 || r >= p.NumRows {
-				return fmt.Errorf("lp: column %d references row %d of %d", j, r, p.NumRows)
-			}
-			if math.IsNaN(col.Vals[k]) || math.IsInf(col.Vals[k], 0) {
-				return fmt.Errorf("lp: non-finite coefficient in column %d", j)
-			}
+		if math.IsNaN(p.Vals[k]) || math.IsInf(p.Vals[k], 0) {
+			return fmt.Errorf("lp: non-finite coefficient at nonzero %d", k)
 		}
-		if math.IsNaN(p.C[j]) || math.IsInf(p.C[j], 0) {
+	}
+	for j, c := range p.C {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
 			return fmt.Errorf("lp: non-finite objective coefficient c[%d]", j)
 		}
 	}
@@ -140,10 +250,18 @@ const denseRowLimit = 400
 // Solve solves p with an automatically chosen solver: the dense tableau for
 // small problems and the sparse revised simplex otherwise.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveWorkers(p, 0)
+}
+
+// SolveWorkers is Solve with an explicit worker-pool bound for the revised
+// solver's pricing passes (0 means GOMAXPROCS; results do not depend on
+// it). The solver-selection rule lives only here, so every caller — with or
+// without a worker preference — picks the same solver for the same problem.
+func SolveWorkers(p *Problem, workers int) (*Solution, error) {
 	if p.NumRows <= denseRowLimit && p.NumCols() <= 4*denseRowLimit {
 		return (&Dense{}).Solve(p)
 	}
-	return (&Revised{}).Solve(p)
+	return (&Revised{Workers: workers}).Solve(p)
 }
 
 // Verify certifies that sol is an optimal solution of p within tolerance
@@ -165,14 +283,15 @@ func Verify(p *Problem, sol *Solution, tol float64) error {
 	}
 	ax := make([]float64, p.NumRows)
 	obj := 0.0
-	for j, col := range p.Cols {
+	for j := 0; j < p.NumCols(); j++ {
 		x := sol.X[j]
 		if x < -tol {
 			return fmt.Errorf("lp: x[%d] = %v negative", j, x)
 		}
 		obj += p.C[j] * x
-		for k, r := range col.Rows {
-			ax[r] += col.Vals[k] * x
+		rows, vals := p.Col(j)
+		for k, r := range rows {
+			ax[r] += vals[k] * x
 		}
 	}
 	for i := 0; i < p.NumRows; i++ {
@@ -183,10 +302,11 @@ func Verify(p *Problem, sol *Solution, tol float64) error {
 			return fmt.Errorf("lp: dual y[%d] = %v negative", i, sol.Y[i])
 		}
 	}
-	for j, col := range p.Cols {
+	for j := 0; j < p.NumCols(); j++ {
 		red := p.C[j]
-		for k, r := range col.Rows {
-			red -= sol.Y[r] * col.Vals[k]
+		rows, vals := p.Col(j)
+		for k, r := range rows {
+			red -= sol.Y[r] * vals[k]
 		}
 		if red > tol*(1+math.Abs(p.C[j])) {
 			return fmt.Errorf("lp: column %d has positive reduced cost %v", j, red)

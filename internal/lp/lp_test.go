@@ -2,6 +2,7 @@ package lp
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/ebsn/igepa/internal/xrand"
@@ -45,15 +46,10 @@ func solveBoth(t *testing.T, p *Problem, wantObj float64) {
 
 func TestNoPerturbExact(t *testing.T) {
 	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → obj 12 exactly
-	p := &Problem{
-		NumRows: 2,
-		C:       []float64{3, 2},
-		Cols: []Column{
-			{Rows: []int{0, 1}, Vals: []float64{1, 1}},
-			{Rows: []int{0, 1}, Vals: []float64{1, 3}},
-		},
-		B: []float64{4, 6},
-	}
+	p := NewProblem(2, []float64{4, 6}, []float64{3, 2}, []Column{
+		{Rows: []int{0, 1}, Vals: []float64{1, 1}},
+		{Rows: []int{0, 1}, Vals: []float64{1, 3}},
+	})
 	for _, pr := range []string{"devex", "dantzig"} {
 		sol, err := (&Revised{NoPerturb: true, Pricing: pr}).Solve(p)
 		if err != nil {
@@ -70,29 +66,19 @@ func TestNoPerturbExact(t *testing.T) {
 
 func TestKnownLP1(t *testing.T) {
 	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  → x=4, y=0, obj 12
-	p := &Problem{
-		NumRows: 2,
-		C:       []float64{3, 2},
-		Cols: []Column{
-			{Rows: []int{0, 1}, Vals: []float64{1, 1}},
-			{Rows: []int{0, 1}, Vals: []float64{1, 3}},
-		},
-		B: []float64{4, 6},
-	}
+	p := NewProblem(2, []float64{4, 6}, []float64{3, 2}, []Column{
+		{Rows: []int{0, 1}, Vals: []float64{1, 1}},
+		{Rows: []int{0, 1}, Vals: []float64{1, 3}},
+	})
 	solveBoth(t, p, 12)
 }
 
 func TestKnownLP2Fractional(t *testing.T) {
 	// max x + y s.t. 2x + y <= 4, x + 2y <= 4 → x=y=4/3, obj 8/3
-	p := &Problem{
-		NumRows: 2,
-		C:       []float64{1, 1},
-		Cols: []Column{
-			{Rows: []int{0, 1}, Vals: []float64{2, 1}},
-			{Rows: []int{0, 1}, Vals: []float64{1, 2}},
-		},
-		B: []float64{4, 4},
-	}
+	p := NewProblem(2, []float64{4, 4}, []float64{1, 1}, []Column{
+		{Rows: []int{0, 1}, Vals: []float64{2, 1}},
+		{Rows: []int{0, 1}, Vals: []float64{1, 2}},
+	})
 	solveBoth(t, p, 8.0/3.0)
 }
 
@@ -100,52 +86,34 @@ func TestAssignmentLP(t *testing.T) {
 	// 2 users × 2 events, user rows ≤ 1, event rows cap 1:
 	// max .9 x00 + .1 x01 + .8 x10 + .7 x11
 	// optimal integral: u0→e0, u1→e1 → 1.6
-	p := &Problem{
-		NumRows: 4, // rows 0,1 users; 2,3 events
-		C:       []float64{0.9, 0.1, 0.8, 0.7},
-		Cols: []Column{
-			{Rows: []int{0, 2}, Vals: []float64{1, 1}},
-			{Rows: []int{0, 3}, Vals: []float64{1, 1}},
-			{Rows: []int{1, 2}, Vals: []float64{1, 1}},
-			{Rows: []int{1, 3}, Vals: []float64{1, 1}},
-		},
-		B: []float64{1, 1, 1, 1},
-	}
+	// rows 0,1 users; 2,3 events
+	p := NewProblem(4, []float64{1, 1, 1, 1}, []float64{0.9, 0.1, 0.8, 0.7}, []Column{
+		{Rows: []int{0, 2}, Vals: []float64{1, 1}},
+		{Rows: []int{0, 3}, Vals: []float64{1, 1}},
+		{Rows: []int{1, 2}, Vals: []float64{1, 1}},
+		{Rows: []int{1, 3}, Vals: []float64{1, 1}},
+	})
 	solveBoth(t, p, 1.6)
 }
 
 func TestZeroRHSDegenerate(t *testing.T) {
 	// capacity-zero row forces x = 0 in spite of positive reward
-	p := &Problem{
-		NumRows: 1,
-		C:       []float64{5},
-		Cols:    []Column{{Rows: []int{0}, Vals: []float64{1}}},
-		B:       []float64{0},
-	}
+	p := NewProblem(1, []float64{0}, []float64{5},
+		[]Column{{Rows: []int{0}, Vals: []float64{1}}})
 	solveBoth(t, p, 0)
 }
 
 func TestAllNegativeObjective(t *testing.T) {
-	p := &Problem{
-		NumRows: 1,
-		C:       []float64{-1, -2},
-		Cols: []Column{
-			{Rows: []int{0}, Vals: []float64{1}},
-			{Rows: []int{0}, Vals: []float64{1}},
-		},
-		B: []float64{5},
-	}
+	p := NewProblem(1, []float64{5}, []float64{-1, -2}, []Column{
+		{Rows: []int{0}, Vals: []float64{1}},
+		{Rows: []int{0}, Vals: []float64{1}},
+	})
 	solveBoth(t, p, 0)
 }
 
 func TestUnbounded(t *testing.T) {
 	// x has positive reward and no binding constraint coefficient
-	p := &Problem{
-		NumRows: 1,
-		C:       []float64{1},
-		Cols:    []Column{{Rows: nil, Vals: nil}},
-		B:       []float64{1},
-	}
+	p := NewProblem(1, []float64{1}, []float64{1}, []Column{{Rows: nil, Vals: nil}})
 	for name, s := range bothSolvers() {
 		_, err := s.Solve(p)
 		if err != ErrUnbounded {
@@ -159,7 +127,7 @@ func TestEmptyProblems(t *testing.T) {
 	p := &Problem{NumRows: 2, B: []float64{1, 1}}
 	solveBoth(t, p, 0)
 	// no rows, non-positive objective
-	p2 := &Problem{NumRows: 0, C: []float64{-1}, Cols: []Column{{}}, B: nil}
+	p2 := NewProblem(0, nil, []float64{-1}, []Column{{}})
 	sol, err := (&Revised{}).Solve(p2)
 	if err != nil || sol.Objective != 0 {
 		t.Errorf("rowless LP: sol=%+v err=%v", sol, err)
@@ -171,13 +139,22 @@ func TestEmptyProblems(t *testing.T) {
 }
 
 func TestCheckRejectsMalformed(t *testing.T) {
+	one := []Column{{Rows: []int{0}, Vals: []float64{1}}}
 	cases := []*Problem{
-		{NumRows: 1, C: []float64{1}, Cols: nil, B: []float64{1}},                                             // len(C) != len(Cols)
-		{NumRows: 1, C: nil, Cols: nil, B: []float64{1, 2}},                                                   // wrong B length
-		{NumRows: 1, C: []float64{1}, Cols: []Column{{Rows: []int{0}, Vals: []float64{1}}}, B: []float64{-1}}, // negative rhs
-		{NumRows: 1, C: []float64{1}, Cols: []Column{{Rows: []int{5}, Vals: []float64{1}}}, B: []float64{1}},  // row out of range
-		{NumRows: 1, C: []float64{1}, Cols: []Column{{Rows: []int{0}, Vals: nil}}, B: []float64{1}},           // rows/vals mismatch
-		{NumRows: 1, C: []float64{math.NaN()}, Cols: []Column{{}}, B: []float64{1}},                           // NaN objective
+		{NumRows: 1, C: []float64{1}, B: []float64{1}},  // objective without columns
+		{NumRows: 1, B: []float64{1, 2}},                // wrong B length
+		NewProblem(1, []float64{-1}, []float64{1}, one), // negative rhs
+		NewProblem(1, []float64{1}, []float64{1},
+			[]Column{{Rows: []int{5}, Vals: []float64{1}}}), // row out of range
+		{NumRows: 1, C: []float64{1}, B: []float64{1},
+			ColPtr: []int{0, 1}, Rows: []int32{0}, Vals: nil}, // rows/vals mismatch
+		{NumRows: 1, C: []float64{1}, B: []float64{1},
+			ColPtr: []int{0, 2}, Rows: []int32{0}, Vals: []float64{1}}, // ColPtr overruns storage
+		{NumRows: 1, C: []float64{1, 1}, B: []float64{1},
+			ColPtr: []int{0, 1, 0}, Rows: []int32{0}, Vals: []float64{1}}, // ColPtr not monotone
+		{NumRows: 1, B: []float64{1},
+			Rows: []int32{0}, Vals: []float64{1}}, // nonzeros without ColPtr
+		NewProblem(1, []float64{1}, []float64{math.NaN()}, []Column{{}}), // NaN objective
 	}
 	for i, p := range cases {
 		if err := p.Check(); err == nil {
@@ -190,12 +167,8 @@ func TestCheckRejectsMalformed(t *testing.T) {
 }
 
 func TestVerifyCatchesLies(t *testing.T) {
-	p := &Problem{
-		NumRows: 1,
-		C:       []float64{1},
-		Cols:    []Column{{Rows: []int{0}, Vals: []float64{1}}},
-		B:       []float64{2},
-	}
+	p := NewProblem(1, []float64{2}, []float64{1},
+		[]Column{{Rows: []int{0}, Vals: []float64{1}}})
 	sol, err := Solve(p)
 	if err != nil {
 		t.Fatal(err)
@@ -229,19 +202,19 @@ func randomPacking(rng *xrand.RNG, g, k, colsPerGroup int) *Problem {
 	for grp := 0; grp < g; grp++ {
 		nc := 1 + rng.Intn(colsPerGroup)
 		for c := 0; c < nc; c++ {
-			col := Column{Rows: []int{grp}, Vals: []float64{1}}
+			rows := []int{grp}
+			vals := []float64{1}
 			picks := 1 + rng.Intn(3)
 			used := map[int]bool{}
 			for e := 0; e < picks; e++ {
 				r := g + rng.Intn(k)
 				if !used[r] {
 					used[r] = true
-					col.Rows = append(col.Rows, r)
-					col.Vals = append(col.Vals, 1)
+					rows = append(rows, r)
+					vals = append(vals, 1)
 				}
 			}
-			p.Cols = append(p.Cols, col)
-			p.C = append(p.C, rng.Float64())
+			p.AddColumn(rng.Float64(), rows, vals)
 		}
 	}
 	return p
@@ -285,19 +258,19 @@ func TestDenseRevisedAgreeOnGeneralLPs(t *testing.T) {
 			p.B[i] = rng.Float64() * 10
 		}
 		for j := 0; j < n; j++ {
-			col := Column{}
+			var rows []int
+			var vals []float64
 			for r := 0; r < m; r++ {
 				if rng.Bool(0.5) {
-					col.Rows = append(col.Rows, r)
-					col.Vals = append(col.Vals, rng.Float64()*3) // non-negative keeps it bounded
+					rows = append(rows, r)
+					vals = append(vals, rng.Float64()*3) // non-negative keeps it bounded
 				}
 			}
-			if len(col.Rows) == 0 { // ensure boundedness
-				col.Rows = append(col.Rows, rng.Intn(m))
-				col.Vals = append(col.Vals, 1)
+			if len(rows) == 0 { // ensure boundedness
+				rows = append(rows, rng.Intn(m))
+				vals = append(vals, 1)
 			}
-			p.Cols = append(p.Cols, col)
-			p.C = append(p.C, rng.Float64()*2-0.5)
+			p.AddColumn(rng.Float64()*2-0.5, rows, vals)
 		}
 		dsol, err := (&Dense{}).Solve(p)
 		if err != nil {
@@ -368,6 +341,32 @@ func BenchmarkDenseMediumPacking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := (&Dense{}).Solve(p); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The pooled Devex passes must reproduce the sequential solve bit-for-bit:
+// same pivots, same primal solution, same objective. ParallelThreshold 1
+// forces the worker-pool code paths even on this small LP.
+func TestRevisedDevexWorkerInvariance(t *testing.T) {
+	rng := xrand.New(31)
+	p := randomPacking(rng, 300, 60, 6)
+	solve := func(workers int) *Solution {
+		sol, err := (&Revised{Pricing: "devex", Workers: workers, ParallelThreshold: 1}).Solve(p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sol
+	}
+	ref := solve(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := solve(workers)
+		if got.Objective != ref.Objective || got.Iterations != ref.Iterations {
+			t.Fatalf("workers=%d: objective/iterations %v/%d, want %v/%d",
+				workers, got.Objective, got.Iterations, ref.Objective, ref.Iterations)
+		}
+		if !reflect.DeepEqual(got.X, ref.X) || !reflect.DeepEqual(got.Y, ref.Y) {
+			t.Fatalf("workers=%d: solution vectors differ", workers)
 		}
 	}
 }

@@ -6,6 +6,13 @@ import (
 	"sort"
 )
 
+// spCol is one sparse column handed to the LU kernel — typically a view into
+// the Problem's CSC arrays or into the solver's slack storage, never a copy.
+type spCol struct {
+	rows []int32
+	vals []float64
+}
+
 // luFactors is a sparse LU factorization of a square basis matrix B with
 // row partial pivoting and a sparsity-oriented column order:
 //
@@ -13,21 +20,30 @@ import (
 //	pivRow[k], so that  P·B·Q = L·U  with P, Q the row/column permutations
 //	and L unit-lower-triangular, U upper-triangular, both in "step" space.
 //
-// L and U are stored column-wise: lIdx[k]/lVal[k] hold the strictly-lower
-// entries of L's column k (step indices > k), uIdx[k]/uVal[k] the
-// strictly-upper entries of U's column k (step indices < k), and uDiag[k]
-// the diagonal pivot.
+// L and U are stored column-wise in flat arrays: L's column k occupies
+// lIdx[lPtr[k]:lPtr[k+1]] / lVal[...] (strictly-lower entries, step indices
+// > k), U's column k occupies uIdx[uPtr[k]:uPtr[k+1]] / uVal[...] (strictly-
+// upper entries, step indices < k), and uDiag[k] holds the diagonal pivot.
+// The struct is reusable: factorize overwrites in place, so a solver that
+// refactorizes every few dozen pivots allocates the workspace once instead
+// of millions of per-column slices over a long solve.
 type luFactors struct {
 	m        int
 	colOrder []int // step -> basis position
 	pivRow   []int // step -> original row
 	pos      []int // original row -> step
 
-	lIdx  [][]int32
-	lVal  [][]float64
-	uIdx  [][]int32
-	uVal  [][]float64
-	uDiag []float64
+	lPtr, uPtr []int32
+	lIdx, uIdx []int32
+	lVal, uVal []float64
+	uDiag      []float64
+
+	// factorization scratch, reused across refactorizations
+	w         []float64 // dense accumulator, original-row space
+	inW, seen []bool
+	touched   []int
+	processed []int
+	steps     stepHeap
 }
 
 // stepHeap is a small binary min-heap of step indices used to process
@@ -72,139 +88,176 @@ func (h *stepHeap) pop() int {
 	return top
 }
 
-// luFactorize computes the factorization of the m×m matrix whose columns are
-// cols. Columns are eliminated in order of increasing nonzero count (slacks
-// and other singletons first), an effective cheap fill-reducing heuristic
-// for the near-network bases of the benchmark LP. Returns an error if the
-// matrix is numerically singular.
+// luFactorize computes a fresh factorization of the m×m matrix whose columns
+// are cols (assembly-form convenience used by the tests; the solver reuses
+// one luFactors via factorize).
 func luFactorize(m int, cols []Column) (*luFactors, error) {
-	if len(cols) != m {
-		return nil, fmt.Errorf("lp: lu of %dx%d matrix with %d columns", m, m, len(cols))
+	sp := make([]spCol, len(cols))
+	for i := range cols {
+		rows := make([]int32, len(cols[i].Rows))
+		for k, r := range cols[i].Rows {
+			rows[k] = int32(r)
+		}
+		sp[i] = spCol{rows: rows, vals: cols[i].Vals}
 	}
-	f := &luFactors{
-		m:        m,
-		colOrder: make([]int, m),
-		pivRow:   make([]int, m),
-		pos:      make([]int, m),
-		lIdx:     make([][]int32, m),
-		lVal:     make([][]float64, m),
-		uIdx:     make([][]int32, m),
-		uVal:     make([][]float64, m),
-		uDiag:    make([]float64, m),
+	f := &luFactors{}
+	if err := f.factorize(m, sp); err != nil {
+		return nil, err
 	}
-	for i := range f.colOrder {
+	return f, nil
+}
+
+// resize (re)shapes the persistent arrays for an m×m factorization and
+// clears the scratch state.
+func (f *luFactors) resize(m int) {
+	f.m = m
+	if cap(f.colOrder) < m {
+		f.colOrder = make([]int, m)
+		f.pivRow = make([]int, m)
+		f.pos = make([]int, m)
+		f.uDiag = make([]float64, m)
+		f.lPtr = make([]int32, m+1)
+		f.uPtr = make([]int32, m+1)
+		f.w = make([]float64, m)
+		f.inW = make([]bool, m)
+		f.seen = make([]bool, m)
+	} else {
+		f.colOrder = f.colOrder[:m]
+		f.pivRow = f.pivRow[:m]
+		f.pos = f.pos[:m]
+		f.uDiag = f.uDiag[:m]
+		f.lPtr = f.lPtr[:m+1]
+		f.uPtr = f.uPtr[:m+1]
+		f.w = f.w[:m]
+		f.inW = f.inW[:m]
+		f.seen = f.seen[:m]
+	}
+	for i := 0; i < m; i++ {
 		f.colOrder[i] = i
 		f.pos[i] = -1
+		f.w[i] = 0
+		f.inW[i] = false
+		f.seen[i] = false
 	}
+	f.lIdx, f.lVal = f.lIdx[:0], f.lVal[:0]
+	f.uIdx, f.uVal = f.uIdx[:0], f.uVal[:0]
+	f.touched = f.touched[:0]
+	f.processed = f.processed[:0]
+	f.steps = f.steps[:0]
+	f.lPtr[0], f.uPtr[0] = 0, 0
+}
+
+// factorize overwrites f with the factorization of the m×m matrix whose
+// columns are cols. Columns are eliminated in order of increasing nonzero
+// count (slacks and other singletons first), an effective cheap
+// fill-reducing heuristic for the near-network bases of the benchmark LP.
+// Returns an error if the matrix is numerically singular.
+func (f *luFactors) factorize(m int, cols []spCol) error {
+	if len(cols) != m {
+		return fmt.Errorf("lp: lu of %dx%d matrix with %d columns", m, m, len(cols))
+	}
+	f.resize(m)
 	sort.SliceStable(f.colOrder, func(a, b int) bool {
-		return len(cols[f.colOrder[a]].Rows) < len(cols[f.colOrder[b]].Rows)
+		return len(cols[f.colOrder[a]].rows) < len(cols[f.colOrder[b]].rows)
 	})
 
-	w := make([]float64, m)      // dense accumulator, original-row space
-	inW := make([]bool, m)       // w[r] is live
-	seen := make([]bool, m)      // step already processed this column
-	touched := make([]int, 0, m) // live rows to reset
-	var steps stepHeap           // pivoted steps pending elimination
-	var processed []int          // steps to clear from seen
-
-	// lRows holds L entries in original-row space while rows are still being
-	// pivoted; they are translated to step space after the last column.
-	lRows := make([][]int32, m)
-
+	// While rows are still being pivoted, lIdx holds L entries in
+	// original-row space; they are translated to step space after the last
+	// column.
 	for k := 0; k < m; k++ {
-		j := f.colOrder[k]
-		col := cols[j]
-		steps = steps[:0]
-		processed = processed[:0]
-		touched = touched[:0]
-		for i, r := range col.Rows {
-			if !inW[r] {
-				inW[r] = true
-				touched = append(touched, r)
+		col := cols[f.colOrder[k]]
+		f.steps = f.steps[:0]
+		f.processed = f.processed[:0]
+		f.touched = f.touched[:0]
+		for i, r32 := range col.rows {
+			r := int(r32)
+			if !f.inW[r] {
+				f.inW[r] = true
+				f.touched = append(f.touched, r)
 			}
-			w[r] += col.Vals[i]
-			if f.pos[r] >= 0 && !seen[f.pos[r]] {
-				seen[f.pos[r]] = true
-				processed = append(processed, f.pos[r])
-				steps.push(f.pos[r])
+			f.w[r] += col.vals[i]
+			if p := f.pos[r]; p >= 0 && !f.seen[p] {
+				f.seen[p] = true
+				f.processed = append(f.processed, p)
+				f.steps.push(p)
 			}
 		}
 		// Forward-eliminate through previously factored columns in
 		// increasing step order (a topological order of L).
-		for len(steps) > 0 {
-			js := steps.pop()
+		for len(f.steps) > 0 {
+			js := f.steps.pop()
 			pr := f.pivRow[js]
-			alpha := w[pr]
-			w[pr] = 0
+			alpha := f.w[pr]
+			f.w[pr] = 0
 			if alpha == 0 {
 				continue
 			}
-			f.uIdx[k] = append(f.uIdx[k], int32(js))
-			f.uVal[k] = append(f.uVal[k], alpha)
-			for i, r32 := range lRows[js] {
+			f.uIdx = append(f.uIdx, int32(js))
+			f.uVal = append(f.uVal, alpha)
+			lIdx := f.lIdx[f.lPtr[js]:f.lPtr[js+1]]
+			lVal := f.lVal[f.lPtr[js]:f.lPtr[js+1]]
+			for i, r32 := range lIdx {
 				r := int(r32)
-				if !inW[r] {
-					inW[r] = true
-					touched = append(touched, r)
+				if !f.inW[r] {
+					f.inW[r] = true
+					f.touched = append(f.touched, r)
 				}
-				w[r] -= alpha * f.lVal[js][i]
-				if p := f.pos[r]; p >= 0 && !seen[p] {
-					seen[p] = true
-					processed = append(processed, p)
-					steps.push(p)
+				f.w[r] -= alpha * lVal[i]
+				if p := f.pos[r]; p >= 0 && !f.seen[p] {
+					f.seen[p] = true
+					f.processed = append(f.processed, p)
+					f.steps.push(p)
 				}
 			}
 		}
 		// Partial pivoting among the remaining (unpivoted) rows.
 		piv, pr := 0.0, -1
-		for _, r := range touched {
+		for _, r := range f.touched {
 			if f.pos[r] >= 0 {
 				continue
 			}
-			if a := math.Abs(w[r]); a > piv {
+			if a := math.Abs(f.w[r]); a > piv {
 				piv, pr = a, r
 			}
 		}
 		if pr < 0 || piv < 1e-12 {
-			return nil, fmt.Errorf("lp: basis numerically singular at step %d", k)
+			return fmt.Errorf("lp: basis numerically singular at step %d", k)
 		}
-		pivVal := w[pr]
+		pivVal := f.w[pr]
 		f.pivRow[k] = pr
 		f.pos[pr] = k
 		f.uDiag[k] = pivVal
-		for _, r := range touched {
+		for _, r := range f.touched {
 			if f.pos[r] >= 0 {
 				continue // pivot rows (incl. the current one) are not part of L
 			}
-			if v := w[r]; v != 0 {
-				lRows[k] = append(lRows[k], int32(r))
-				f.lVal[k] = append(f.lVal[k], v/pivVal)
+			if v := f.w[r]; v != 0 {
+				f.lIdx = append(f.lIdx, int32(r))
+				f.lVal = append(f.lVal, v/pivVal)
 			}
 		}
-		for _, r := range touched {
-			w[r] = 0
-			inW[r] = false
+		for _, r := range f.touched {
+			f.w[r] = 0
+			f.inW[r] = false
 		}
-		for _, s := range processed {
-			seen[s] = false
+		for _, s := range f.processed {
+			f.seen[s] = false
 		}
+		f.lPtr[k+1] = int32(len(f.lIdx))
+		f.uPtr[k+1] = int32(len(f.uIdx))
 	}
 	// Translate L's row indices to step space (every row now has a step).
-	for k := 0; k < m; k++ {
-		idx := make([]int32, len(lRows[k]))
-		for i, r := range lRows[k] {
-			idx[i] = int32(f.pos[r])
-		}
-		f.lIdx[k] = idx
+	for i, r := range f.lIdx {
+		f.lIdx[i] = int32(f.pos[r])
 	}
-	return f, nil
+	return nil
 }
 
 // solveB computes d = B⁻¹a for a sparse right-hand side a given as
 // (rows, vals) in original-row space. The result is written into out,
 // indexed by basis position; work must be a zeroed scratch vector of
 // length m and is returned zeroed.
-func (f *luFactors) solveB(rows []int, vals []float64, out, work []float64) {
+func (f *luFactors) solveB(rows []int32, vals []float64, out, work []float64) {
 	z := work
 	for i, r := range rows {
 		z[f.pos[r]] += vals[i]
@@ -215,7 +268,8 @@ func (f *luFactors) solveB(rows []int, vals []float64, out, work []float64) {
 		if v == 0 {
 			continue
 		}
-		idx, val := f.lIdx[k], f.lVal[k]
+		idx := f.lIdx[f.lPtr[k]:f.lPtr[k+1]]
+		val := f.lVal[f.lPtr[k]:f.lPtr[k+1]]
 		for i, s := range idx {
 			z[s] -= v * val[i]
 		}
@@ -225,7 +279,8 @@ func (f *luFactors) solveB(rows []int, vals []float64, out, work []float64) {
 		v := z[k] / f.uDiag[k]
 		z[k] = 0
 		if v != 0 {
-			idx, val := f.uIdx[k], f.uVal[k]
+			idx := f.uIdx[f.uPtr[k]:f.uPtr[k+1]]
+			val := f.uVal[f.uPtr[k]:f.uPtr[k+1]]
 			for i, s := range idx {
 				z[s] -= v * val[i]
 			}
@@ -242,7 +297,8 @@ func (f *luFactors) solveBT(c, out, work []float64) {
 	// Uᵀ t = Qᵀc (forward in step order, row-oriented via U's columns)
 	for k := 0; k < f.m; k++ {
 		v := c[f.colOrder[k]]
-		idx, val := f.uIdx[k], f.uVal[k]
+		idx := f.uIdx[f.uPtr[k]:f.uPtr[k+1]]
+		val := f.uVal[f.uPtr[k]:f.uPtr[k+1]]
 		for i, s := range idx {
 			v -= val[i] * t[s]
 		}
@@ -251,7 +307,8 @@ func (f *luFactors) solveBT(c, out, work []float64) {
 	// Lᵀ s = t (backward, row-oriented via L's columns)
 	for k := f.m - 1; k >= 0; k-- {
 		v := t[k]
-		idx, val := f.lIdx[k], f.lVal[k]
+		idx := f.lIdx[f.lPtr[k]:f.lPtr[k+1]]
+		val := f.lVal[f.lPtr[k]:f.lPtr[k+1]]
 		for i, s := range idx {
 			v -= val[i] * t[s]
 		}

@@ -40,9 +40,13 @@ func checkSolve(t *testing.T, m int, cols []Column, rhsRows []int, rhsVals []flo
 	if err != nil {
 		t.Fatalf("factorize: %v", err)
 	}
+	rows32 := make([]int32, len(rhsRows))
+	for i, r := range rhsRows {
+		rows32[i] = int32(r)
+	}
 	out := make([]float64, m)
 	work := make([]float64, m)
-	f.solveB(rhsRows, rhsVals, out, work)
+	f.solveB(rows32, rhsVals, out, work)
 	for i, v := range work {
 		if v != 0 {
 			t.Fatalf("work vector not restored to zero at %d: %v", i, v)
@@ -176,9 +180,9 @@ func TestLURandomRoundTrip(t *testing.T) {
 			x[i] = rng.Float64()*4 - 2
 		}
 		b := multiply(m, cols, x)
-		rows := make([]int, m)
+		rows := make([]int32, m)
 		for i := range rows {
-			rows[i] = i
+			rows[i] = int32(i)
 		}
 		out := make([]float64, m)
 		work := make([]float64, m)

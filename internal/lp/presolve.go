@@ -61,10 +61,11 @@ func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
 	// Pass 1: force columns through b=0 rows to zero.
 	keepCol := make([]bool, n)
 	var forced []int
-	for j, col := range p.Cols {
+	for j := 0; j < n; j++ {
 		keepCol[j] = true
-		for k, r := range col.Rows {
-			if p.B[r] == 0 && col.Vals[k] > 0 {
+		rows, vals := p.Col(j)
+		for k, r := range rows {
+			if p.B[r] == 0 && vals[k] > 0 {
 				keepCol[j] = false
 				forced = append(forced, j)
 				break
@@ -79,14 +80,15 @@ func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
 		ubound[j] = inf
 	}
 	hasCols := make([]bool, m)
-	for j, col := range p.Cols {
+	for j := 0; j < n; j++ {
 		if !keepCol[j] {
 			continue
 		}
-		for k, r := range col.Rows {
+		rows, vals := p.Col(j)
+		for k, r := range rows {
 			hasCols[r] = true
-			if p.B[r] <= 1 && col.Vals[k] > 0 {
-				if u := p.B[r] / col.Vals[k]; u < ubound[j] {
+			if p.B[r] <= 1 && vals[k] > 0 {
+				if u := p.B[r] / vals[k]; u < ubound[j] {
 					ubound[j] = u
 				}
 			}
@@ -98,18 +100,19 @@ func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
 	keepRow := make([]bool, m)
 	mass := make([]float64, m)
 	unbounded := make([]bool, m)
-	for j, col := range p.Cols {
+	for j := 0; j < n; j++ {
 		if !keepCol[j] {
 			continue
 		}
-		for k, r := range col.Rows {
+		rows, vals := p.Col(j)
+		for k, r := range rows {
 			if p.B[r] <= 1 {
 				continue // bounding rows are handled by hasCols
 			}
 			if ubound[j] == inf {
 				unbounded[r] = true
 			} else {
-				mass[r] += col.Vals[k] * ubound[j]
+				mass[r] += vals[k] * ubound[j]
 			}
 		}
 	}
@@ -129,30 +132,39 @@ func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
 
 	// Rebuild.
 	ps := &Presolved{origCols: n, origRows: m, forcedZero: forced}
-	newRow := make([]int, m)
+	newRow := make([]int32, m)
 	for i := 0; i < m; i++ {
 		newRow[i] = -1
 		if keepRow[i] {
-			newRow[i] = len(ps.rowMap)
+			newRow[i] = int32(len(ps.rowMap))
 			ps.rowMap = append(ps.rowMap, i)
 		}
 	}
 	red := &Problem{NumRows: len(ps.rowMap)}
+	keptCols, keptNNZ := 0, 0
+	for j := 0; j < n; j++ {
+		if keepCol[j] {
+			keptCols++
+			keptNNZ += p.ColPtr[j+1] - p.ColPtr[j]
+		}
+	}
+	red.Reserve(keptCols, keptNNZ)
 	for _, i := range ps.rowMap {
 		red.B = append(red.B, p.B[i])
 	}
-	for j, col := range p.Cols {
+	red.ColPtr = append(red.ColPtr, 0)
+	for j := 0; j < n; j++ {
 		if !keepCol[j] {
 			continue
 		}
-		nc := Column{}
-		for k, r := range col.Rows {
-			if newRow[r] >= 0 {
-				nc.Rows = append(nc.Rows, newRow[r])
-				nc.Vals = append(nc.Vals, col.Vals[k])
+		rows, vals := p.Col(j)
+		for k, r := range rows {
+			if nr := newRow[r]; nr >= 0 {
+				red.Rows = append(red.Rows, nr)
+				red.Vals = append(red.Vals, vals[k])
 			}
 		}
-		red.Cols = append(red.Cols, nc)
+		red.ColPtr = append(red.ColPtr, len(red.Rows))
 		red.C = append(red.C, p.C[j])
 		ps.colMap = append(ps.colMap, j)
 	}
@@ -213,17 +225,19 @@ func SolveReduced(p *Problem, s Solver) (*Solution, PresolveStats, error) {
 // reduced problem and repr[j] = index of j's representative in the original
 // problem (repr[j] == j for kept columns).
 func DeduplicateColumns(p *Problem) (*Problem, []int) {
+	n := p.NumCols()
 	best := map[string]int{} // signature -> original column with max c
-	sigOf := make([]string, p.NumCols())
-	for j, col := range p.Cols {
-		sigOf[j] = columnSignature(col)
+	sigOf := make([]string, n)
+	for j := 0; j < n; j++ {
+		rows, vals := p.Col(j)
+		sigOf[j] = columnSignature(rows, vals)
 		if k, ok := best[sigOf[j]]; !ok || p.C[j] > p.C[k] {
 			best[sigOf[j]] = j
 		}
 	}
-	repr := make([]int, p.NumCols())
+	repr := make([]int, n)
 	kept := make([]int, 0, len(best))
-	for j := range p.Cols {
+	for j := 0; j < n; j++ {
 		repr[j] = best[sigOf[j]]
 	}
 	for _, j := range best {
@@ -231,28 +245,33 @@ func DeduplicateColumns(p *Problem) (*Problem, []int) {
 	}
 	sort.Ints(kept)
 	out := &Problem{NumRows: p.NumRows, B: p.B}
+	nnz := 0
 	for _, j := range kept {
-		out.Cols = append(out.Cols, p.Cols[j])
-		out.C = append(out.C, p.C[j])
+		nnz += p.ColPtr[j+1] - p.ColPtr[j]
+	}
+	out.Reserve(len(kept), nnz)
+	for _, j := range kept {
+		rows, vals := p.Col(j)
+		out.addColumn32(p.C[j], rows, vals)
 	}
 	return out, repr
 }
 
 // columnSignature canonically encodes a column's sparsity pattern and
 // values.
-func columnSignature(col Column) string {
+func columnSignature(rows []int32, vals []float64) string {
 	type entry struct {
-		r int
+		r int32
 		v float64
 	}
-	es := make([]entry, len(col.Rows))
-	for i := range col.Rows {
-		es[i] = entry{col.Rows[i], col.Vals[i]}
+	es := make([]entry, len(rows))
+	for i := range rows {
+		es[i] = entry{rows[i], vals[i]}
 	}
 	sort.Slice(es, func(a, b int) bool { return es[a].r < es[b].r })
 	buf := make([]byte, 0, len(es)*12)
 	for _, e := range es {
-		buf = appendInt(buf, e.r)
+		buf = appendInt(buf, int(e.r))
 		buf = append(buf, ':')
 		buf = appendFloat(buf, e.v)
 		buf = append(buf, ';')

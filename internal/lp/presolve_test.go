@@ -10,15 +10,10 @@ import (
 func TestReduceDropsLooseRows(t *testing.T) {
 	// Two "user" rows (b=1) and two "event" rows: row 2 has capacity 10 but
 	// mass only 2 (undroppable rows must bind-able); row 3 has capacity 1.
-	p := &Problem{
-		NumRows: 4,
-		C:       []float64{1, 1},
-		Cols: []Column{
-			{Rows: []int{0, 2}, Vals: []float64{1, 1}},
-			{Rows: []int{1, 2, 3}, Vals: []float64{1, 1, 1}},
-		},
-		B: []float64{1, 1, 10, 1},
-	}
+	p := NewProblem(4, []float64{1, 1, 10, 1}, []float64{1, 1}, []Column{
+		{Rows: []int{0, 2}, Vals: []float64{1, 1}},
+		{Rows: []int{1, 2, 3}, Vals: []float64{1, 1, 1}},
+	})
 	ps, stats, err := Reduce(p)
 	if err != nil {
 		t.Fatal(err)
@@ -51,15 +46,10 @@ func TestReduceDropsLooseRows(t *testing.T) {
 }
 
 func TestReduceForcesZeroCapacityColumns(t *testing.T) {
-	p := &Problem{
-		NumRows: 2,
-		C:       []float64{5, 1},
-		Cols: []Column{
-			{Rows: []int{0}, Vals: []float64{1}}, // through the b=0 row
-			{Rows: []int{1}, Vals: []float64{1}},
-		},
-		B: []float64{0, 1},
-	}
+	p := NewProblem(2, []float64{0, 1}, []float64{5, 1}, []Column{
+		{Rows: []int{0}, Vals: []float64{1}}, // through the b=0 row
+		{Rows: []int{1}, Vals: []float64{1}},
+	})
 	ps, stats, err := Reduce(p)
 	if err != nil {
 		t.Fatal(err)
@@ -105,28 +95,23 @@ func TestReducePreservesOptimum(t *testing.T) {
 }
 
 func TestReduceRejectsMalformed(t *testing.T) {
-	bad := &Problem{NumRows: 1, C: []float64{1}, B: []float64{-1},
-		Cols: []Column{{Rows: []int{0}, Vals: []float64{1}}}}
+	bad := NewProblem(1, []float64{-1}, []float64{1},
+		[]Column{{Rows: []int{0}, Vals: []float64{1}}})
 	if _, _, err := Reduce(bad); err == nil {
 		t.Fatal("malformed problem accepted")
 	}
 }
 
 func TestDeduplicateColumns(t *testing.T) {
-	p := &Problem{
-		NumRows: 2,
-		C:       []float64{1, 3, 2, 3},
-		Cols: []Column{
-			{Rows: []int{0}, Vals: []float64{1}},       // dup class A, c=1
-			{Rows: []int{0}, Vals: []float64{1}},       // dup class A, c=3 (representative)
-			{Rows: []int{1, 0}, Vals: []float64{1, 1}}, // class B (order-insensitive)
-			{Rows: []int{0, 1}, Vals: []float64{1, 1}}, // class B, c=3 (representative)
-		},
-		B: []float64{2, 2},
-	}
+	p := NewProblem(2, []float64{2, 2}, []float64{1, 3, 2, 3}, []Column{
+		{Rows: []int{0}, Vals: []float64{1}},       // dup class A, c=1
+		{Rows: []int{0}, Vals: []float64{1}},       // dup class A, c=3 (representative)
+		{Rows: []int{1, 0}, Vals: []float64{1, 1}}, // class B (order-insensitive)
+		{Rows: []int{0, 1}, Vals: []float64{1, 1}}, // class B, c=3 (representative)
+	})
 	red, repr := DeduplicateColumns(p)
 	if red.NumCols() != 2 {
-		t.Fatalf("got %d columns, want 2: %+v", red.NumCols(), red.Cols)
+		t.Fatalf("got %d columns, want 2: %+v", red.NumCols(), red)
 	}
 	if repr[0] != 1 || repr[1] != 1 {
 		t.Errorf("class A representative = %d,%d, want 1,1", repr[0], repr[1])
@@ -150,15 +135,10 @@ func TestDeduplicateColumns(t *testing.T) {
 
 func TestDeduplicateKeepsDistinctValues(t *testing.T) {
 	// same pattern, different coefficient values → NOT duplicates
-	p := &Problem{
-		NumRows: 1,
-		C:       []float64{1, 1},
-		Cols: []Column{
-			{Rows: []int{0}, Vals: []float64{1}},
-			{Rows: []int{0}, Vals: []float64{2}},
-		},
-		B: []float64{2},
-	}
+	p := NewProblem(1, []float64{2}, []float64{1, 1}, []Column{
+		{Rows: []int{0}, Vals: []float64{1}},
+		{Rows: []int{0}, Vals: []float64{2}},
+	})
 	red, _ := DeduplicateColumns(p)
 	if red.NumCols() != 2 {
 		t.Fatalf("distinct-valued columns folded: %d", red.NumCols())
@@ -169,12 +149,12 @@ func TestColumnSignatureHelpers(t *testing.T) {
 	if string(appendInt(nil, 0)) != "0" || string(appendInt(nil, 1234)) != "1234" {
 		t.Error("appendInt broken")
 	}
-	a := columnSignature(Column{Rows: []int{2, 0}, Vals: []float64{3, 1}})
-	b := columnSignature(Column{Rows: []int{0, 2}, Vals: []float64{1, 3}})
+	a := columnSignature([]int32{2, 0}, []float64{3, 1})
+	b := columnSignature([]int32{0, 2}, []float64{1, 3})
 	if a != b {
 		t.Error("signature not order-insensitive")
 	}
-	c := columnSignature(Column{Rows: []int{0, 2}, Vals: []float64{1, 4}})
+	c := columnSignature([]int32{0, 2}, []float64{1, 4})
 	if a == c {
 		t.Error("signature collision on different values")
 	}

@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"io"
+
+	"github.com/ebsn/igepa/internal/par"
 )
 
 // Revised is a revised primal simplex solver. The basis inverse is never
@@ -20,6 +22,11 @@ import (
 // both dramatically. Dantzig with a partial pricing window remains available
 // and is auto-selected for very wide problems, where the per-pivot O(n)
 // Devex update pass costs more than it saves.
+//
+// The Devex update and pricing passes — the dominant cost at paper scale —
+// run on a bounded worker pool over column ranges. Every column's update is
+// arithmetically independent, so the solve is bit-identical for every
+// worker count and GOMAXPROCS setting.
 type Revised struct {
 	// MaxIter bounds the number of pivots; 0 means 20000 + 200·(m+n).
 	MaxIter int
@@ -33,6 +40,14 @@ type Revised struct {
 	// partial Dantzig pricing before falling back to a full pass.
 	// 0 means 4096.
 	PricingWindow int
+	// Workers bounds the pricing worker pool; 0 means GOMAXPROCS. Results
+	// do not depend on it.
+	Workers int
+	// ParallelThreshold overrides the variable count (n+m) at which the
+	// Devex passes move onto the worker pool; 0 means the package default
+	// (devexParallelThreshold). Tests lower it to force the pooled code
+	// paths on small LPs.
+	ParallelThreshold int
 	// Trace, when non-nil, receives a progress line every TraceEvery
 	// pivots (objective, step size, degenerate share) — the diagnostic
 	// used to tune pricing on pathological instances.
@@ -63,6 +78,14 @@ const DevexColumnLimit = 300_000
 // over partial Dantzig (see the auto-selection comment in Solve).
 const DevexRowThreshold = 3000
 
+// devexParallelThreshold is the variable count (n+m) below which the Devex
+// passes stay on the calling goroutine: under it the per-pivot work is too
+// small to amortize handing chunks to the pool.
+const devexParallelThreshold = 16384
+
+// devexGrain is the minimum column-range chunk handed to a pricing worker.
+const devexGrain = 4096
+
 // perturbScale is the relative magnitude of the anti-degeneracy
 // perturbation.
 const perturbScale = 2e-7
@@ -77,13 +100,15 @@ func perturbDelta(i int, b float64) float64 {
 }
 
 // eta is one product-form update: the pivot that replaced basic position r,
-// described by the FTRAN'd entering column d (sparse, diagonal element dr
-// stored separately).
+// described by the FTRAN'd entering column d. Its off-diagonal entries live
+// in the state's shared eta arena at [lo, hi); the diagonal element dr is
+// stored separately. Keeping the entries in one growable arena (reset at
+// each refactorization) instead of per-eta slices removes two heap
+// allocations per pivot.
 type eta struct {
-	r   int
-	idx []int32
-	val []float64
-	dr  float64
+	r      int
+	lo, hi int32
+	dr     float64
 }
 
 // Solve runs the revised primal simplex on p from the all-slack basis.
@@ -132,6 +157,14 @@ func (s *Revised) Solve(p *Problem) (*Solution, error) {
 	}
 
 	st := newRevisedState(p, m, n, !s.NoPerturb)
+	st.workers = par.Workers(s.Workers)
+	parallelThreshold := s.ParallelThreshold
+	if parallelThreshold <= 0 {
+		parallelThreshold = devexParallelThreshold
+	}
+	if st.workers > 1 && n+m < parallelThreshold {
+		st.workers = 1
+	}
 	if err := st.refactorize(); err != nil {
 		return nil, err
 	}
@@ -257,24 +290,22 @@ func (s *Revised) Solve(p *Problem) (*Solution, error) {
 // revisedState carries the mutable solver state; it exists so the pivot
 // loop above reads top-down without a dozen captured locals.
 type revisedState struct {
-	p    *Problem
-	m, n int
-	b    []float64 // right-hand side, possibly perturbed
-
-	// CSC copy of the constraint matrix: column j occupies
-	// rowIdx[colPtr[j]:colPtr[j+1]] / vals[...]. Flattened storage keeps
-	// the per-pivot Devex pass cache-friendly.
-	colPtr []int32
-	rowIdx []int32
-	vals   []float64
+	p       *Problem
+	m, n    int
+	workers int
+	b       []float64 // right-hand side, possibly perturbed
 
 	basis []int     // basis position -> variable index
 	posOf []int     // variable index -> basis position or -1
 	xB    []float64 // values of basic variables
 	cB    []float64 // objective coefficients of basic variables
 
-	lu   *luFactors
-	etas []eta
+	lu        *luFactors
+	basisCols []spCol // views of the current basis columns (refactorize)
+
+	etas   []eta
+	etaIdx []int32 // shared eta arena (see eta)
+	etaVal []float64
 
 	y    []float64 // dual prices, original-row space
 	d    []float64 // FTRAN result, basis-position space
@@ -287,23 +318,29 @@ type revisedState struct {
 	weights []float64
 	scratch []float64 // second zeroed work vector (btranUnit)
 
-	slackCol []int // reusable single-entry column for slack variables
-	slackVal []float64
+	// chunk-argmax scratch for the parallel pricing pass
+	chunkBest  []int
+	chunkScore []float64
+
+	rowSeq []int32   // rowSeq[i] = i: slack column indices and full-rhs rows
+	ones   []float64 // all ones: slack column values
 }
 
 func newRevisedState(p *Problem, m, n int, perturb bool) *revisedState {
 	st := &revisedState{
 		p: p, m: m, n: n,
-		b:        append([]float64(nil), p.B...),
-		basis:    make([]int, m),
-		posOf:    make([]int, n+m),
-		xB:       make([]float64, m),
-		cB:       make([]float64, m),
-		y:        make([]float64, m),
-		d:        make([]float64, m),
-		work:     make([]float64, m),
-		slackCol: make([]int, 1),
-		slackVal: []float64{1},
+		workers: 1,
+		b:       append([]float64(nil), p.B...),
+		basis:   make([]int, m),
+		posOf:   make([]int, n+m),
+		xB:      make([]float64, m),
+		cB:      make([]float64, m),
+		y:       make([]float64, m),
+		d:       make([]float64, m),
+		work:    make([]float64, m),
+		lu:      &luFactors{},
+		rowSeq:  make([]int32, m),
+		ones:    make([]float64, m),
 	}
 	if perturb {
 		for i := range st.b {
@@ -312,19 +349,9 @@ func newRevisedState(p *Problem, m, n int, perturb bool) *revisedState {
 			}
 		}
 	}
-	nnz := 0
-	for j := range p.Cols {
-		nnz += len(p.Cols[j].Rows)
-	}
-	st.colPtr = make([]int32, n+1)
-	st.rowIdx = make([]int32, 0, nnz)
-	st.vals = make([]float64, 0, nnz)
-	for j := range p.Cols {
-		for k, r := range p.Cols[j].Rows {
-			st.rowIdx = append(st.rowIdx, int32(r))
-			st.vals = append(st.vals, p.Cols[j].Vals[k])
-		}
-		st.colPtr[j+1] = int32(len(st.rowIdx))
+	for i := 0; i < m; i++ {
+		st.rowSeq[i] = int32(i)
+		st.ones[i] = 1
 	}
 	for i := range st.posOf {
 		st.posOf[i] = -1
@@ -344,36 +371,34 @@ func (st *revisedState) objCoef(v int) float64 {
 	return 0
 }
 
-// columnOf returns the sparse constraint column of variable v
-// (a structural column or a unit slack column).
-func (st *revisedState) columnOf(v int) ([]int, []float64) {
+// columnOf returns the sparse constraint column of variable v as views —
+// into the problem's CSC arrays for a structural column, into the state's
+// slack storage for a unit slack column. Never a copy.
+func (st *revisedState) columnOf(v int) ([]int32, []float64) {
 	if v < st.n {
-		c := &st.p.Cols[v]
-		return c.Rows, c.Vals
+		return st.p.Col(v)
 	}
-	st.slackCol[0] = v - st.n
-	return st.slackCol, st.slackVal
+	i := v - st.n
+	return st.rowSeq[i : i+1], st.ones[i : i+1]
 }
 
 // refactorize rebuilds the LU factorization of the current basis, clears the
 // eta file, and recomputes x_B = B⁻¹b to shed accumulated round-off.
 func (st *revisedState) refactorize() error {
-	cols := make([]Column, st.m)
+	if st.basisCols == nil {
+		st.basisCols = make([]spCol, st.m)
+	}
 	for i, v := range st.basis {
 		rows, vals := st.columnOf(v)
-		cols[i] = Column{Rows: append([]int(nil), rows...), Vals: append([]float64(nil), vals...)}
+		st.basisCols[i] = spCol{rows: rows, vals: vals}
 	}
-	f, err := luFactorize(st.m, cols)
-	if err != nil {
+	if err := st.lu.factorize(st.m, st.basisCols); err != nil {
 		return err
 	}
-	st.lu = f
 	st.etas = st.etas[:0]
-	rows := make([]int, st.m)
-	for i := range rows {
-		rows[i] = i
-	}
-	st.lu.solveB(rows, st.b, st.xB, st.work)
+	st.etaIdx = st.etaIdx[:0]
+	st.etaVal = st.etaVal[:0]
+	st.lu.solveB(st.rowSeq, st.b, st.xB, st.work)
 	for i := range st.xB {
 		if st.xB[i] < 0 && st.xB[i] > -1e-9 {
 			st.xB[i] = 0
@@ -391,8 +416,10 @@ func (st *revisedState) ftran(q int) {
 		xr := st.d[e.r] / e.dr
 		st.d[e.r] = xr
 		if xr != 0 {
-			for i, s := range e.idx {
-				st.d[s] -= e.val[i] * xr
+			idx := st.etaIdx[e.lo:e.hi]
+			val := st.etaVal[e.lo:e.hi]
+			for i, s := range idx {
+				st.d[s] -= val[i] * xr
 			}
 		}
 	}
@@ -433,35 +460,36 @@ func (st *revisedState) work2() []float64 {
 func (st *revisedState) applyEtasT(z []float64) {
 	for k := len(st.etas) - 1; k >= 0; k-- {
 		e := &st.etas[k]
+		idx := st.etaIdx[e.lo:e.hi]
+		val := st.etaVal[e.lo:e.hi]
 		sum := 0.0
-		for i, s := range e.idx {
-			sum += e.val[i] * z[s]
+		for i, s := range idx {
+			sum += val[i] * z[s]
 		}
 		z[e.r] = (z[e.r] - sum) / e.dr
 	}
 }
 
 // pushEta records the current FTRAN vector st.d as the eta for a pivot at
-// basic position r.
+// basic position r, appending its entries to the shared arena.
 func (st *revisedState) pushEta(r int) {
-	dr := st.d[r]
-	var idx []int32
-	var val []float64
+	lo := int32(len(st.etaIdx))
 	for i, v := range st.d {
 		if i != r && (v > 1e-13 || v < -1e-13) {
-			idx = append(idx, int32(i))
-			val = append(val, v)
+			st.etaIdx = append(st.etaIdx, int32(i))
+			st.etaVal = append(st.etaVal, v)
 		}
 	}
-	st.etas = append(st.etas, eta{r: r, idx: idx, val: val, dr: dr})
+	st.etas = append(st.etas, eta{r: r, lo: lo, hi: int32(len(st.etaIdx)), dr: st.d[r]})
 }
 
 // reducedCost returns c_q − yᵀ a_q for variable q under the current duals.
 func (st *revisedState) reducedCost(q int) float64 {
 	if q < st.n {
 		red := st.p.C[q]
-		for k := st.colPtr[q]; k < st.colPtr[q+1]; k++ {
-			red -= st.y[st.rowIdx[k]] * st.vals[k]
+		lo, hi := st.p.ColPtr[q], st.p.ColPtr[q+1]
+		for k := lo; k < hi; k++ {
+			red -= st.y[st.p.Rows[k]] * st.p.Vals[k]
 		}
 		return red
 	}
@@ -491,30 +519,76 @@ func (st *revisedState) refreshReducedCosts() {
 		}
 	}
 	reset := maxW > 1e8 || maxW == 0
-	for j := 0; j < st.n+st.m; j++ {
-		if st.posOf[j] >= 0 {
-			st.rvec[j] = 0
-		} else {
-			st.rvec[j] = st.reducedCost(j)
+	par.Ranges(st.workers, st.n+st.m, devexGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if st.posOf[j] >= 0 {
+				st.rvec[j] = 0
+			} else {
+				st.rvec[j] = st.reducedCost(j)
+			}
+			if reset {
+				st.weights[j] = 1
+			}
 		}
-		if reset {
-			st.weights[j] = 1
-		}
-	}
+	})
 }
 
 // priceDevex selects the entering variable maximizing r²/weight over
 // variables with positive reduced cost, per the stored (incrementally
-// updated) reduced costs.
+// updated) reduced costs. The scan is chunked over the worker pool; the
+// chunk results combine to exactly the sequential first-strict-maximum, so
+// the selected column does not depend on the worker count.
 func (st *revisedState) priceDevex() int {
+	total := st.n + st.m
+	// Solve already forces workers to 1 below the parallel threshold.
+	if st.workers <= 1 {
+		best := -1
+		bestScore := 0.0
+		for j, r := range st.rvec {
+			if r <= reducedTol {
+				continue
+			}
+			if score := r * r / st.weights[j]; score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		return best
+	}
+	nChunks := st.workers * 4
+	chunk := (total + nChunks - 1) / nChunks
+	if chunk < devexGrain {
+		chunk = devexGrain
+		nChunks = (total + chunk - 1) / chunk
+	}
+	if cap(st.chunkBest) < nChunks {
+		st.chunkBest = make([]int, nChunks)
+		st.chunkScore = make([]float64, nChunks)
+	}
+	chunkBest := st.chunkBest[:nChunks]
+	chunkScore := st.chunkScore[:nChunks]
+	par.For(st.workers, nChunks, 1, func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > total {
+			hi = total
+		}
+		best := -1
+		bestScore := 0.0
+		for j := lo; j < hi; j++ {
+			r := st.rvec[j]
+			if r <= reducedTol {
+				continue
+			}
+			if score := r * r / st.weights[j]; score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		chunkBest[c], chunkScore[c] = best, bestScore
+	})
 	best := -1
 	bestScore := 0.0
-	for j, r := range st.rvec {
-		if r <= reducedTol {
-			continue
-		}
-		if score := r * r / st.weights[j]; score > bestScore {
-			best, bestScore = j, score
+	for c := 0; c < nChunks; c++ {
+		if chunkBest[c] >= 0 && chunkScore[c] > bestScore {
+			best, bestScore = chunkBest[c], chunkScore[c]
 		}
 	}
 	return best
@@ -523,7 +597,10 @@ func (st *revisedState) priceDevex() int {
 // updateDevex performs the Forrest–Goldfarb update after choosing entering
 // variable q and leaving basic position r: it computes the pivot row
 // α = (B⁻¹)ᵣA, folds it into the stored reduced costs, and grows the
-// reference weights. Must be called before the basis is modified.
+// reference weights. Must be called before the basis is modified. The
+// per-column pass — the dominant per-pivot cost at paper scale — is chunked
+// over the worker pool; each column's arithmetic is self-contained, so the
+// result is identical for every worker count.
 func (st *revisedState) updateDevex(q, r int) {
 	st.btranUnit(r)
 	alphaQ := st.d[r] // pivot element
@@ -539,40 +616,31 @@ func (st *revisedState) updateDevex(q, r int) {
 	}
 	beta := st.beta
 	invAlphaQ := 1 / alphaQ
-	// structural variables
-	for j := 0; j < st.n; j++ {
-		if st.posOf[j] >= 0 || j == q {
-			continue
+	colPtr, rowIdx, vals := st.p.ColPtr, st.p.Rows, st.p.Vals
+	par.Ranges(st.workers, st.n+st.m, devexGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if st.posOf[j] >= 0 || j == q {
+				continue
+			}
+			var alpha float64
+			if j < st.n {
+				for k := colPtr[j]; k < colPtr[j+1]; k++ {
+					alpha += beta[rowIdx[k]] * vals[k]
+				}
+			} else {
+				// slack: α_j is just the β entry of the slack's row
+				alpha = beta[j-st.n]
+			}
+			if alpha == 0 {
+				continue
+			}
+			st.rvec[j] -= ratio * alpha
+			t := alpha * invAlphaQ
+			if w := t * t * wq; w > st.weights[j] {
+				st.weights[j] = w
+			}
 		}
-		var alpha float64
-		for k := st.colPtr[j]; k < st.colPtr[j+1]; k++ {
-			alpha += beta[st.rowIdx[k]] * st.vals[k]
-		}
-		if alpha == 0 {
-			continue
-		}
-		st.rvec[j] -= ratio * alpha
-		t := alpha * invAlphaQ
-		if w := t * t * wq; w > st.weights[j] {
-			st.weights[j] = w
-		}
-	}
-	// slack variables: α_j is just the β entry of the slack's row
-	for i := 0; i < st.m; i++ {
-		j := st.n + i
-		if st.posOf[j] >= 0 || j == q {
-			continue
-		}
-		alpha := beta[i]
-		if alpha == 0 {
-			continue
-		}
-		st.rvec[j] -= ratio * alpha
-		t := alpha * invAlphaQ
-		if w := t * t * wq; w > st.weights[j] {
-			st.weights[j] = w
-		}
-	}
+	})
 	// entering becomes basic; leaving picks up the textbook post-pivot
 	// reduced cost and weight.
 	st.rvec[q] = 0

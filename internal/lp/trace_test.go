@@ -55,9 +55,14 @@ func TestDeduplicateThenSolve(t *testing.T) {
 	rng := xrand.New(77)
 	p := randomPacking(rng, 20, 6, 4)
 	// inject exact duplicates of the first five columns with lower rewards
-	for j := 0; j < 5 && j < p.NumCols(); j++ {
-		p.Cols = append(p.Cols, p.Cols[j])
-		p.C = append(p.C, p.C[j]*0.5)
+	n0 := p.NumCols()
+	for j := 0; j < 5 && j < n0; j++ {
+		rows, vals := p.Col(j)
+		rowsCopy := make([]int, len(rows))
+		for k, r := range rows {
+			rowsCopy[k] = int(r)
+		}
+		p.AddColumn(p.C[j]*0.5, rowsCopy, vals)
 	}
 	red, repr := DeduplicateColumns(p)
 	if red.NumCols() >= p.NumCols() {

@@ -62,7 +62,8 @@ type Instance struct {
 	// Beta is β ∈ [0,1], balancing interest against interaction degree.
 	Beta float64
 
-	bidders [][]int // Nv, rebuilt lazily from Users[*].Bids
+	bidders [][]int      // Nv, rebuilt lazily from Users[*].Bids
+	weights *WeightCache // w(u,v) over bid lists, built lazily (weights.go)
 }
 
 // NumEvents returns |V|.
@@ -81,7 +82,8 @@ func (in *Instance) Bidders(v int) []int {
 }
 
 // RebuildBidders recomputes the per-event bidder lists from the users' bid
-// sets. Call it after mutating any user's Bids.
+// sets. Call it after mutating any user's Bids. It also drops the weight
+// cache, which is aligned with the bid lists.
 func (in *Instance) RebuildBidders() {
 	b := make([][]int, len(in.Events))
 	for u := range in.Users {
@@ -90,6 +92,7 @@ func (in *Instance) RebuildBidders() {
 		}
 	}
 	in.bidders = b
+	in.weights = nil
 }
 
 // DPI returns the degree of potential interaction D(G,u) (Definition 6).
@@ -130,8 +133,12 @@ func (in *Instance) Check() error {
 		if us.Capacity < 0 {
 			return fmt.Errorf("model: user %d has negative capacity %d", u, us.Capacity)
 		}
-		if us.Degree < 0 || us.Degree > len(in.Users)-1 && len(in.Users) > 1 {
-			return fmt.Errorf("model: user %d has impossible degree %d", u, us.Degree)
+		maxDegree := len(in.Users) - 1
+		if maxDegree < 0 {
+			maxDegree = 0
+		}
+		if us.Degree < 0 || us.Degree > maxDegree {
+			return fmt.Errorf("model: user %d has impossible degree %d (|U| = %d)", u, us.Degree, len(in.Users))
 		}
 		prev := -1
 		for _, v := range us.Bids {
@@ -206,10 +213,11 @@ func (a *Arrangement) Clone() *Arrangement {
 // Utility computes Utility(M) (Definition 7) for the arrangement under the
 // instance's interest function, social degrees and β.
 func Utility(in *Instance, a *Arrangement) float64 {
+	wc := in.Weights()
 	total := 0.0
 	for u, set := range a.Sets {
 		for _, v := range set {
-			total += in.Weight(u, v)
+			total += wc.Of(u, v)
 		}
 	}
 	return total
@@ -237,7 +245,7 @@ func Validate(in *Instance, a *Arrangement) error {
 			if i > 0 && set[i-1] >= v {
 				return fmt.Errorf("model: user %d has unsorted or duplicate events", u)
 			}
-			if !contains(bids, v) {
+			if !Contains(bids, v) {
 				return fmt.Errorf("model: user %d assigned event %d they did not bid for", u, v)
 			}
 			load[v]++
@@ -258,8 +266,10 @@ func Validate(in *Instance, a *Arrangement) error {
 	return nil
 }
 
-// contains reports whether sorted slice s contains x.
-func contains(s []int, x int) bool {
+// Contains reports whether sorted slice s contains x (binary search). It is
+// the allocation-free membership test the assignment hot paths use in place
+// of per-call map construction.
+func Contains(s []int, x int) bool {
 	i := sort.SearchInts(s, x)
 	return i < len(s) && s[i] == x
 }

@@ -240,3 +240,83 @@ func TestComputeStats(t *testing.T) {
 		t.Errorf("MeanDegree = %v, want 1", s.MeanDegree)
 	}
 }
+
+func TestCheckRejectsImpossibleDegrees(t *testing.T) {
+	base := func() *Instance {
+		return &Instance{
+			Events:    []Event{{Capacity: 1}},
+			Users:     []User{{Capacity: 1, Bids: []int{0}}},
+			Conflicts: func(v, w int) bool { return false },
+			Interest:  func(u, v int) float64 { return 1 },
+		}
+	}
+	// single-user instance: any positive degree is impossible (|U|-1 = 0).
+	// The pre-fix operator precedence silently accepted this case.
+	in := base()
+	in.Users[0].Degree = 5
+	if err := in.Check(); err == nil {
+		t.Error("degree 5 accepted on a single-user instance")
+	}
+	in = base()
+	in.Users[0].Degree = 0
+	if err := in.Check(); err != nil {
+		t.Errorf("degree 0 rejected on a single-user instance: %v", err)
+	}
+	// multi-user: degree must stay within |U|-1
+	in = base()
+	in.Users = append(in.Users, User{Capacity: 1, Bids: []int{0}})
+	in.Users[0].Degree = 1
+	if err := in.Check(); err != nil {
+		t.Errorf("degree 1 rejected with two users: %v", err)
+	}
+	in.Users[0].Degree = 2
+	if err := in.Check(); err == nil {
+		t.Error("degree 2 accepted with two users")
+	}
+	in.Users[0].Degree = -1
+	if err := in.Check(); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestWeightCacheMatchesDirectEvaluation(t *testing.T) {
+	in := &Instance{
+		Events: []Event{{Capacity: 1}, {Capacity: 2}, {Capacity: 1}},
+		Users: []User{
+			{Capacity: 2, Bids: []int{0, 2}, Degree: 1},
+			{Capacity: 1, Bids: []int{1}, Degree: 0},
+		},
+		Conflicts: func(v, w int) bool { return false },
+		Interest:  func(u, v int) float64 { return float64(u+1) / float64(v+2) },
+		Beta:      0.7,
+	}
+	wc := in.Weights()
+	for u := range in.Users {
+		row := wc.Row(u)
+		if len(row) != len(in.Users[u].Bids) {
+			t.Fatalf("user %d row length %d, want %d", u, len(row), len(in.Users[u].Bids))
+		}
+		for i, v := range in.Users[u].Bids {
+			want := in.Weight(u, v)
+			if wc.At(u, i) != want || wc.Of(u, v) != want || row[i] != want {
+				t.Fatalf("user %d event %d: cache %v/%v/%v, want %v",
+					u, v, wc.At(u, i), wc.Of(u, v), row[i], want)
+			}
+		}
+	}
+	// un-bid pair falls back to direct evaluation
+	if wc.Of(0, 1) != in.Weight(0, 1) {
+		t.Error("un-bid pair lookup diverged from direct evaluation")
+	}
+	// cache is invalidated by RebuildBidders and Invalidate
+	in.Users[0].Bids = []int{0, 1, 2}
+	in.RebuildBidders()
+	if got := len(in.Weights().Row(0)); got != 3 {
+		t.Errorf("stale cache after RebuildBidders: row length %d, want 3", got)
+	}
+	in.Beta = 0.2
+	in.Invalidate()
+	if in.Weights().Of(0, 0) != in.Weight(0, 0) {
+		t.Error("stale cache after Invalidate")
+	}
+}

@@ -1,0 +1,86 @@
+package model
+
+import "sort"
+
+// WeightCache is a CSR-style cache of the pair weights w(u,v) over each
+// user's bid list: row u holds one weight per entry of Users[u].Bids, in bid
+// order. Every stage of the arrangement pipeline — admissible-set
+// enumeration, LP assembly, repair, greedy fill, the baselines and the
+// utility evaluation — scores the same (user, bid) pairs, so computing
+// β·SI(lv,lu) + (1−β)·D(G,u) once per pair and sharing the table removes the
+// per-call interest-function churn from every hot path.
+//
+// A cache is immutable after construction and therefore safe for concurrent
+// readers (the parallel enumeration and sampling stages rely on this).
+type WeightCache struct {
+	in  *Instance
+	off []int32   // user u's row is w[off[u]:off[u+1]]
+	w   []float64 // weights aligned with Users[u].Bids
+}
+
+// buildWeightCache computes the full table in one pass.
+func buildWeightCache(in *Instance) *WeightCache {
+	nu := len(in.Users)
+	off := make([]int32, nu+1)
+	total := 0
+	for u := range in.Users {
+		total += len(in.Users[u].Bids)
+		off[u+1] = int32(total)
+	}
+	w := make([]float64, total)
+	for u := range in.Users {
+		base := 1 - in.Beta
+		dpi := base * in.DPI(u)
+		row := w[off[u]:off[u+1]]
+		for i, v := range in.Users[u].Bids {
+			// identical arithmetic to Instance.Weight so cached and direct
+			// evaluation agree bit-for-bit
+			row[i] = in.Beta*in.Interest(u, v) + dpi
+		}
+	}
+	return &WeightCache{in: in, off: off, w: w}
+}
+
+// At returns w(u, Users[u].Bids[i]) — the aligned, search-free accessor for
+// callers already iterating a bid list by position.
+func (c *WeightCache) At(u, i int) float64 {
+	return c.w[int(c.off[u])+i]
+}
+
+// Row returns user u's cached weights, aligned with Users[u].Bids. The
+// returned slice is shared; callers must not modify it.
+func (c *WeightCache) Row(u int) []float64 {
+	return c.w[c.off[u]:c.off[u+1]]
+}
+
+// Of returns w(u,v) by binary search over u's sorted bid list. Pairs outside
+// the bid list (which no feasible arrangement contains) fall back to direct
+// evaluation.
+func (c *WeightCache) Of(u, v int) float64 {
+	bids := c.in.Users[u].Bids
+	i := sort.SearchInts(bids, v)
+	if i >= len(bids) || bids[i] != v {
+		return c.in.Weight(u, v)
+	}
+	return c.w[int(c.off[u])+i]
+}
+
+// Weights returns the instance's weight cache, building it on first use.
+// The cache is invalidated by RebuildBidders and Invalidate; callers that
+// mutate Bids, Degree, Beta or the interest function must call one of them
+// before the next read. The first call must not race with other accessors;
+// once built, concurrent reads are safe.
+func (in *Instance) Weights() *WeightCache {
+	if in.weights == nil {
+		in.weights = buildWeightCache(in)
+	}
+	return in.weights
+}
+
+// Invalidate drops the instance's derived caches (bidder lists and pair
+// weights) so they are rebuilt from the current Events/Users/Beta/Interest
+// on next use. Call it after mutating any of those.
+func (in *Instance) Invalidate() {
+	in.bidders = nil
+	in.weights = nil
+}

@@ -96,7 +96,8 @@ func (p *GreedyPlanner) bestFeasibleSet(u int, accept func(v int) bool) []int {
 	if len(open) == 0 {
 		return nil
 	}
-	w := func(v int) float64 { return p.in.Weight(u, v) }
+	wc := p.in.Weights()
+	w := func(v int) float64 { return wc.Of(u, v) }
 	r := admissible.Enumerate(open, usr.Capacity, p.conf, w, admissible.Config{MaxSetsPerUser: p.maxSets})
 	bestW := 0.0
 	var best []int
@@ -138,8 +139,9 @@ func NewThreshold(in *model.Instance, tau, guard float64, maxSets int) *Threshol
 
 // Arrive implements Planner.
 func (p *ThresholdPlanner) Arrive(u int) []int {
+	wc := p.in.Weights()
 	best := p.bestFeasibleSet(u, func(v int) bool {
-		if p.in.Weight(u, v) >= p.Tau {
+		if wc.Of(u, v) >= p.Tau {
 			return true // heavy pairs may use any seat
 		}
 		openSeats := (1 - p.Guard) * float64(p.in.Events[v].Capacity)

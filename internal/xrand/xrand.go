@@ -4,9 +4,9 @@
 //
 // The generator is xoshiro256** seeded through splitmix64. It is implemented
 // here rather than taken from math/rand so that experiment outputs are
-// bit-for-bit reproducible across Go releases: the published experiment
-// numbers in EXPERIMENTS.md depend only on the seed, never on the standard
-// library's generator of the day.
+// bit-for-bit reproducible across Go releases: recorded experiment numbers
+// depend only on the seed, never on the standard library's generator of the
+// day.
 //
 // The zero value of RNG is not usable; construct one with New.
 package xrand
@@ -40,6 +40,19 @@ func New(seed int64) *RNG {
 // parallel workers.
 func (r *RNG) Split() *RNG {
 	return New(int64(r.Uint64() ^ 0xd1b54a32d192ed03))
+}
+
+// NewStream returns the RNG for sub-stream `stream` of the given seed. The
+// streams of one seed are statistically independent of each other and of
+// New(seed), and — unlike Split, which advances shared state — depend only
+// on (seed, stream). That makes them the right tool for parallel per-item
+// randomness: each item i draws from NewStream(seed, i), so results are
+// bit-identical no matter how items are distributed over workers.
+func NewStream(seed int64, stream uint64) *RNG {
+	z := stream + 0xd1b54a32d192ed03
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return New(seed ^ int64(z^(z>>31)))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
