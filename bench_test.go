@@ -252,6 +252,37 @@ func BenchmarkLPPackingMedium(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedOnline is the serving-layer point: a Meetup-style arrival
+// stream replayed through internal/shard at S ∈ {1,2,4,8}. The S=1 row is
+// the single-shard baseline the sharded rows are compared against; utility
+// is reported as a metric so lease-fragmentation regressions are visible
+// alongside throughput.
+func BenchmarkShardedOnline(b *testing.B) {
+	in, err := igepa.Meetup(igepa.MeetupConfig{Seed: 1, NumEvents: 120, NumUsers: 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := make([]int, in.NumUsers())
+	for i := range order {
+		order[i] = i
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			var util float64
+			for i := 0; i < b.N; i++ {
+				res, err := igepa.ServeSharded(in, order, igepa.ShardOptions{Shards: s, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = res.Utility
+			}
+			b.ReportMetric(util, "utility")
+			b.ReportMetric(float64(len(order))*float64(b.N)/b.Elapsed().Seconds(), "arrivals/s")
+		})
+	}
+}
+
 func BenchmarkGreedyDefaults(b *testing.B) {
 	in, err := igepa.Synthetic(igepa.SyntheticConfig{Seed: 1})
 	if err != nil {

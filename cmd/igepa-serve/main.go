@@ -1,0 +1,174 @@
+// Command igepa-serve replays an online arrival stream through the sharded
+// serving layer (internal/shard) and reports how utility and throughput
+// behave as the shard count grows — the serving-side counterpart of
+// igepa-bench's offline sweeps.
+//
+// Usage:
+//
+//	igepa-serve                          # Meetup-like stream, S ∈ {1,2,4,8}
+//	igepa-serve -shards 1,2,4,8,16 -batch 64
+//	igepa-serve -workload synthetic -users 2000 -events 100
+//	igepa-serve -planner threshold -tau 0.5 -guard 0.25
+//
+// Every row is deterministic given -seed: the same stream, partition and
+// lease schedule reproduce bit-identical arrangements on every run and
+// every GOMAXPROCS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ebsn/igepa"
+	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+type config struct {
+	workload string
+	events   int
+	users    int
+	seed     int64
+	shards   []int
+	batch    int
+	planner  string
+	tau      float64
+	guard    float64
+	workers  int
+	lpBound  bool
+}
+
+func main() {
+	var cfg config
+	var shardList string
+	flag.StringVar(&cfg.workload, "workload", "meetup", "arrival workload: meetup or synthetic")
+	flag.IntVar(&cfg.events, "events", 80, "number of events (0 = workload default)")
+	flag.IntVar(&cfg.users, "users", 600, "number of users / arrivals (0 = workload default)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for instance, arrival order and shard partition")
+	flag.StringVar(&shardList, "shards", "1,2,4,8", "comma-separated shard counts to sweep")
+	flag.IntVar(&cfg.batch, "batch", 0, "arrivals between lease renewals (0 = default)")
+	flag.StringVar(&cfg.planner, "planner", "greedy", "per-shard policy: greedy or threshold")
+	flag.Float64Var(&cfg.tau, "tau", 0.5, "threshold planner: admission weight")
+	flag.Float64Var(&cfg.guard, "guard", 0.25, "threshold planner: reserved capacity fraction")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool bound (0 = all cores; results identical)")
+	flag.BoolVar(&cfg.lpBound, "lp", true, "also solve the offline LP bound for comparison")
+	flag.Parse()
+
+	var err error
+	cfg.shards, err = parseShards(shardList)
+	if err == nil {
+		err = run(os.Stdout, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "igepa-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func parseShards(list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || s < 1 {
+			return nil, fmt.Errorf("bad shard count %q", tok)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func run(w *os.File, cfg config) error {
+	in, err := makeInstance(cfg)
+	if err != nil {
+		return err
+	}
+	kind, err := plannerKind(cfg.planner)
+	if err != nil {
+		return err
+	}
+	order := xrand.New(cfg.seed).Perm(in.NumUsers())
+
+	bound := 0.0
+	if cfg.lpBound {
+		res, err := igepa.LPPacking(in, igepa.LPPackingOptions{Seed: cfg.seed, Workers: cfg.workers})
+		if err != nil {
+			return fmt.Errorf("offline LP bound: %w", err)
+		}
+		bound = res.LPObjective
+	}
+
+	fmt.Fprintf(w, "workload=%s |V|=%d |U|=%d planner=%s seed=%d\n",
+		cfg.workload, in.NumEvents(), in.NumUsers(), kind, cfg.seed)
+	if cfg.lpBound {
+		fmt.Fprintf(w, "offline LP bound: %.4f\n", bound)
+	}
+	fmt.Fprintf(w, "%8s %12s %10s %10s %8s %8s %10s %12s\n",
+		"shards", "utility", "vs-single", "vs-bound", "pairs", "moved", "elapsed", "arrivals/s")
+
+	optFor := func(s int) shard.Options {
+		return shard.Options{
+			Shards: s, Batch: cfg.batch, Workers: cfg.workers, Seed: cfg.seed,
+			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
+		}
+	}
+	// The vs-single baseline is always a real S=1 run, whatever -shards says.
+	base, err := shard.Serve(in, order, optFor(1))
+	if err != nil {
+		return err
+	}
+	single := base.Utility
+	for _, s := range cfg.shards {
+		start := time.Now()
+		res, err := shard.Serve(in, order, optFor(s))
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if err := igepa.Validate(in, res.Arrangement); err != nil {
+			return fmt.Errorf("S=%d produced infeasible arrangement: %w", s, err)
+		}
+		vsSingle, vsBound := "-", "-"
+		if single > 0 {
+			vsSingle = fmt.Sprintf("%.1f%%", 100*res.Utility/single)
+		}
+		if bound > 0 {
+			vsBound = fmt.Sprintf("%.1f%%", 100*res.Utility/bound)
+		}
+		rate := float64(len(order)) / elapsed.Seconds()
+		fmt.Fprintf(w, "%8d %12.4f %10s %10s %8d %8d %10s %12.0f\n",
+			s, res.Utility, vsSingle, vsBound,
+			res.Arrangement.Size(), res.MovedSeats,
+			elapsed.Round(time.Millisecond), rate)
+	}
+	return nil
+}
+
+func makeInstance(cfg config) (*igepa.Instance, error) {
+	switch cfg.workload {
+	case "meetup":
+		return igepa.Meetup(igepa.MeetupConfig{
+			Seed: cfg.seed, NumEvents: cfg.events, NumUsers: cfg.users,
+		})
+	case "synthetic":
+		return igepa.Synthetic(igepa.SyntheticConfig{
+			Seed: cfg.seed, NumEvents: cfg.events, NumUsers: cfg.users,
+		})
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want meetup or synthetic)", cfg.workload)
+	}
+}
+
+func plannerKind(name string) (shard.PlannerKind, error) {
+	switch name {
+	case "greedy":
+		return shard.PlannerGreedy, nil
+	case "threshold":
+		return shard.PlannerThreshold, nil
+	default:
+		return 0, fmt.Errorf("unknown planner %q (want greedy or threshold)", name)
+	}
+}

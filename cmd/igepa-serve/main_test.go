@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	cfg := config{
+		workload: "synthetic", events: 20, users: 80, seed: 1,
+		shards: []int{1, 2, 4}, planner: "greedy", lpBound: true,
+	}
+	if err := run(null, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.workload = "meetup"
+	cfg.planner = "threshold"
+	cfg.lpBound = false
+	if err := run(null, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseShards: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "1,,2", "-3"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer null.Close()
+	if err := run(null, config{workload: "nope", shards: []int{1}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(null, config{workload: "synthetic", users: 10, events: 5, planner: "nope", shards: []int{1}}); err == nil {
+		t.Error("unknown planner accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package igepa_test
+
+// Fuzzing for the JSON codec: decoding arbitrary bytes must never panic,
+// and for any bytes that decode successfully the codec must be a
+// fixed point — encode(decode(encode(x))) is byte-identical to
+// encode(decode(x)). The identity is asserted on the re-encoded form (not
+// the raw input) because the codec canonicalizes: unknown JSON fields are
+// dropped, conflicts are re-derived from the materialized matrix and beta
+// is re-printed with %g.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ebsn/igepa"
+)
+
+// seedInstanceJSON returns a valid encoded instance for the fuzz corpus.
+func seedInstanceJSON(tb testing.TB, seed int64) []byte {
+	tb.Helper()
+	in, err := igepa.Synthetic(igepa.SyntheticConfig{
+		Seed: seed, NumEvents: 6, NumUsers: 10, MaxEventCap: 3,
+		MinBids: 1, MaxBids: 3,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := igepa.SaveInstance(&buf, in); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(seedInstanceJSON(f, 1))
+	f.Add(seedInstanceJSON(f, 2))
+	f.Add([]byte(`{"beta":"0.5","events":[{"capacity":1}],"users":[{"capacity":1,"degree":0,"bids":[0],"interest":[0.25]}],"conflicts":[]}`))
+	f.Add([]byte(`{"sets":[[0,1],[]]}`))
+	f.Add([]byte(`{"beta":"nan"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"beta":"1e999","events":null,"users":null,"conflicts":[[0,9]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Instance path: malformed input must error cleanly, valid input
+		// must round-trip to a byte-identical fixed point.
+		if in, err := igepa.LoadInstance(bytes.NewReader(data)); err == nil {
+			var first bytes.Buffer
+			if err := igepa.SaveInstance(&first, in); err != nil {
+				t.Fatalf("re-encoding a loaded instance failed: %v", err)
+			}
+			in2, err := igepa.LoadInstance(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("decoding our own encoding failed: %v\nencoded: %s", err, first.Bytes())
+			}
+			var second bytes.Buffer
+			if err := igepa.SaveInstance(&second, in2); err != nil {
+				t.Fatalf("second re-encoding failed: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("instance codec is not a fixed point:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+			}
+		}
+
+		// Arrangement path: same contract, same bytes as input.
+		if arr, err := igepa.LoadArrangement(bytes.NewReader(data)); err == nil {
+			var first bytes.Buffer
+			if err := igepa.SaveArrangement(&first, arr); err != nil {
+				t.Fatalf("re-encoding a loaded arrangement failed: %v", err)
+			}
+			arr2, err := igepa.LoadArrangement(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("decoding our own arrangement encoding failed: %v", err)
+			}
+			var second bytes.Buffer
+			if err := igepa.SaveArrangement(&second, arr2); err != nil {
+				t.Fatalf("second arrangement re-encoding failed: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("arrangement codec is not a fixed point:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+			}
+		}
+	})
+}

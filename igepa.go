@@ -32,6 +32,7 @@ import (
 	"github.com/ebsn/igepa/internal/core"
 	"github.com/ebsn/igepa/internal/model"
 	"github.com/ebsn/igepa/internal/online"
+	"github.com/ebsn/igepa/internal/shard"
 	"github.com/ebsn/igepa/internal/workload"
 )
 
@@ -142,6 +143,35 @@ func OnlineGreedy(in *Instance, order []int) (*Arrangement, error) {
 // protecting late high-value arrivals from early low-value fill.
 func OnlineThreshold(in *Instance, order []int, tau, guard float64) (*Arrangement, error) {
 	return online.Run(in, order, online.NewThreshold(in, tau, guard, 0))
+}
+
+// Sharded online serving (internal/shard): the arrival stream is partitioned
+// across S shards, each running an independent online planner on its own
+// goroutine against a lease on a slice of every event's capacity, with
+// leases renewed between arrival batches. The merged arrangement is feasible
+// by construction and bit-identical for every worker count.
+type (
+	// ShardOptions configures sharded serving (shard count, batch size,
+	// planner policy, seed).
+	ShardOptions = shard.Options
+	// ShardResult carries the merged arrangement plus lease-protocol
+	// diagnostics.
+	ShardResult = shard.Result
+	// ShardPlannerKind selects the per-shard online policy.
+	ShardPlannerKind = shard.PlannerKind
+)
+
+// Per-shard planner policies.
+const (
+	ShardPlannerGreedy    = shard.PlannerGreedy
+	ShardPlannerThreshold = shard.PlannerThreshold
+)
+
+// ServeSharded replays the arrival order across opt.Shards shards and
+// returns the merged arrangement (see internal/shard for the lease
+// protocol).
+func ServeSharded(in *Instance, order []int, opt ShardOptions) (*ShardResult, error) {
+	return shard.Serve(in, order, opt)
 }
 
 // AlgorithmNames lists the names accepted by Solve, in display order.

@@ -8,6 +8,7 @@ import (
 	"github.com/ebsn/igepa/internal/conflict"
 	"github.com/ebsn/igepa/internal/core"
 	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/model/modeltest"
 	"github.com/ebsn/igepa/internal/xrand"
 )
 
@@ -78,7 +79,7 @@ func TestAllBaselinesFeasible(t *testing.T) {
 			RandomV(in, seed),
 			Greedy(in),
 		} {
-			if model.Validate(in, arr) != nil {
+			if modeltest.Check(in, arr) != nil {
 				return false
 			}
 		}
@@ -111,9 +112,7 @@ func TestGreedyOnTiny(t *testing.T) {
 	if got := model.Utility(in, arr); math.Abs(got-2.15) > 1e-9 {
 		t.Errorf("greedy utility %v, want 2.15", got)
 	}
-	if err := model.Validate(in, arr); err != nil {
-		t.Fatal(err)
-	}
+	modeltest.RequireFeasible(t, "greedy-tiny", in, arr)
 }
 
 func TestRandomBaselinesSeedStable(t *testing.T) {
@@ -137,9 +136,7 @@ func TestOptimalOnTiny(t *testing.T) {
 	if math.Abs(val-2.15) > 1e-9 {
 		t.Errorf("optimal value %v, want 2.15", val)
 	}
-	if err := model.Validate(in, arr); err != nil {
-		t.Fatal(err)
-	}
+	modeltest.RequireFeasible(t, "optimal-tiny", in, arr)
 	if math.Abs(model.Utility(in, arr)-val) > 1e-9 {
 		t.Error("reported optimum disagrees with arrangement utility")
 	}
@@ -163,7 +160,7 @@ func TestOptimalDominatesAndLPBounds(t *testing.T) {
 	f := func(seed int64) bool {
 		in := randomInstance(seed)
 		arr, opt, err := Optimal(in)
-		if err != nil || model.Validate(in, arr) != nil {
+		if err != nil || modeltest.Check(in, arr) != nil {
 			return false
 		}
 		for _, other := range []*model.Arrangement{
@@ -193,7 +190,7 @@ func TestLocalSearchOnlyImproves(t *testing.T) {
 		start := RandomU(in, seed)
 		before := model.Utility(in, start)
 		improved := LocalSearch(in, start, 0)
-		if model.Validate(in, improved) != nil {
+		if modeltest.Check(in, improved) != nil {
 			return false
 		}
 		return model.Utility(in, improved) >= before-1e-9

@@ -79,6 +79,14 @@ type Options struct {
 	// GreedyFill, if set, adds a post-repair greedy fill-in of leftover
 	// capacity (extension; not part of Algorithm 1).
 	GreedyFill bool
+	// Presolve, if set, shrinks the benchmark LP before the solve:
+	// duplicate columns are folded onto their best representative
+	// (lp.DeduplicateColumns) and never-binding rows plus forced-zero
+	// columns removed (lp.Reduce), then the solution is mapped back to the
+	// original column space. The reductions preserve the optimal objective
+	// exactly, so the LP bound and the sampling distributions are
+	// unchanged up to solver round-off and degenerate alternate optima.
+	Presolve bool
 	// Workers bounds the worker pool of the per-user stages (admissible-set
 	// enumeration and rounding-sample draws) and is forwarded to the LP
 	// solver's pricing pool when the solver is auto-selected; 0 means
@@ -105,6 +113,11 @@ type Result struct {
 	SampledPairs   int // event-user pairs before repair
 	RepairDropped  int // pairs removed by the capacity repair
 	FilledPairs    int // pairs added by GreedyFill (0 unless enabled)
+
+	// Presolve diagnostics (all 0 unless Options.Presolve).
+	PresolveFoldedCols  int // duplicate columns folded
+	PresolveDroppedRows int // never-binding rows removed
+	PresolveForcedCols  int // columns fixed to zero by empty rows
 }
 
 // LPPacking runs Algorithm 1 on the instance.
@@ -131,8 +144,11 @@ func LPPacking(in *model.Instance, opt Options) (*Result, error) {
 	prob, owner := BuildBenchmarkLP(in, sets)
 
 	var sol *lp.Solution
+	var pre presolveInfo
 	var err error
-	if opt.Solver == nil {
+	if opt.Presolve {
+		sol, pre, err = solvePresolved(prob, opt)
+	} else if opt.Solver == nil {
 		sol, err = lp.SolveWorkers(prob, opt.Workers)
 	} else {
 		sol, err = opt.Solver.Solve(prob)
@@ -140,7 +156,69 @@ func LPPacking(in *model.Instance, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: benchmark LP: %w", err)
 	}
-	return finish(in, conf, sets, owner, prob, sol, alpha, opt, rng, truncated)
+	res, err := finish(in, conf, sets, owner, prob, sol, alpha, opt, rng, truncated)
+	if err != nil {
+		return nil, err
+	}
+	res.PresolveFoldedCols = pre.foldedCols
+	res.PresolveDroppedRows = pre.droppedRows
+	res.PresolveForcedCols = pre.forcedCols
+	return res, nil
+}
+
+// presolveInfo carries what the presolve chain removed.
+type presolveInfo struct {
+	foldedCols  int
+	droppedRows int
+	forcedCols  int
+}
+
+// solvePresolved runs the presolve chain — fold duplicate columns, remove
+// never-binding rows and forced-zero columns, solve the reduced LP — and
+// maps the solution back to the original column space: folded duplicates
+// and forced columns get 0 (their mass sits on the representative, which
+// belongs to the same user because every column crosses its user's row, so
+// the per-user sampling distributions stay valid).
+func solvePresolved(prob *lp.Problem, opt Options) (*lp.Solution, presolveInfo, error) {
+	dedup, repr := lp.DeduplicateColumns(prob)
+	ps, stats, err := lp.Reduce(dedup)
+	if err != nil {
+		return nil, presolveInfo{}, err
+	}
+	info := presolveInfo{
+		foldedCols:  prob.NumCols() - dedup.NumCols(),
+		droppedRows: stats.DroppedRows,
+		forcedCols:  stats.ForcedColumns,
+	}
+	var sol *lp.Solution
+	if opt.Solver == nil {
+		sol, err = lp.SolveWorkers(ps.Problem, opt.Workers)
+	} else {
+		sol, err = opt.Solver.Solve(ps.Problem)
+	}
+	if err != nil {
+		return nil, info, err
+	}
+	sol = ps.Unreduce(sol) // dedup column space, original row space
+
+	// Expand from the deduplicated column space to the original one.
+	// DeduplicateColumns keeps the representatives (repr[j] == j) in
+	// ascending order, so dedup column k is original column kept[k].
+	x := make([]float64, prob.NumCols())
+	k := 0
+	for j, r := range repr {
+		if r == j {
+			x[j] = sol.X[k]
+			k++
+		}
+	}
+	return &lp.Solution{
+		Status:     sol.Status,
+		X:          x,
+		Y:          sol.Y,
+		Objective:  sol.Objective,
+		Iterations: sol.Iterations,
+	}, info, nil
 }
 
 // enumerateAll computes Au for every user on the bounded worker pool. It

@@ -8,6 +8,7 @@ import (
 	"github.com/ebsn/igepa/internal/admissible"
 	"github.com/ebsn/igepa/internal/conflict"
 	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/model/modeltest"
 	"github.com/ebsn/igepa/internal/xrand"
 )
 
@@ -83,9 +84,7 @@ func TestLPPackingFeasibleOnTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := model.Validate(in, res.Arrangement); err != nil {
-		t.Fatalf("infeasible arrangement: %v", err)
-	}
+	modeltest.RequireFeasible(t, "lp-packing-tiny", in, res.Arrangement)
 	if res.Utility < 0 || res.Utility > res.LPObjective+1e-9 {
 		t.Errorf("utility %v outside [0, LP=%v]", res.Utility, res.LPObjective)
 	}
@@ -166,7 +165,7 @@ func TestLPPackingAlwaysFeasible(t *testing.T) {
 				if err != nil {
 					return false
 				}
-				if model.Validate(in, res.Arrangement) != nil {
+				if modeltest.Check(in, res.Arrangement) != nil {
 					return false
 				}
 				if res.Utility > res.LPObjective+1e-6 {
@@ -192,7 +191,7 @@ func TestGreedyFillOnlyImproves(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if model.Validate(in, filled.Arrangement) != nil {
+		if modeltest.Check(in, filled.Arrangement) != nil {
 			return false
 		}
 		// same seed → same sampled sets → fill can only add value

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/lp"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/model/modeltest"
+	"github.com/ebsn/igepa/internal/workload"
+)
+
+// TestPresolveEquivalence is the ROADMAP equivalence requirement: with
+// Options.Presolve on and off, LPPacking reaches the same certified LP
+// optimum on both the synthetic and the Meetup workload, and both runs
+// produce feasible arrangements.
+func TestPresolveEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (*model.Instance, error)
+	}{
+		{"synthetic", func() (*model.Instance, error) {
+			return workload.Synthetic(workload.SyntheticConfig{
+				Seed: 5, NumEvents: 40, NumUsers: 250, MaxEventCap: 12,
+			})
+		}},
+		{"synthetic-tight", func() (*model.Instance, error) {
+			return workload.Synthetic(workload.SyntheticConfig{
+				Seed: 6, NumEvents: 30, NumUsers: 200, MaxEventCap: 3,
+			})
+		}},
+		{"meetup", func() (*model.Instance, error) {
+			return workload.Meetup(workload.MeetupConfig{
+				Seed: 7, NumEvents: 60, NumUsers: 400,
+			})
+		}},
+		{"synthetic-zerocap", func() (*model.Instance, error) {
+			in, err := workload.Synthetic(workload.SyntheticConfig{
+				Seed: 8, NumEvents: 30, NumUsers: 150, MaxEventCap: 10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// closed registrations: some events accept nobody, so the
+			// forced-column reduction must fire
+			for v := 0; v < in.NumEvents(); v += 4 {
+				in.Events[v].Capacity = 0
+			}
+			return in, nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := LPPacking(in, Options{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre, err := LPPacking(in, Options{Seed: 3, Presolve: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The reductions preserve the optimum exactly; the residual
+			// tolerance is the revised solver's deterministic anti-degeneracy
+			// RHS perturbation (2e-7 relative per row, see lp.Revised), which
+			// differs between the original and the reduced row set.
+			if diff := math.Abs(plain.LPObjective - pre.LPObjective); diff > 1e-6*(1+math.Abs(plain.LPObjective)) {
+				t.Errorf("objective diverged: plain %.12f vs presolve %.12f", plain.LPObjective, pre.LPObjective)
+			}
+			modeltest.RequireFeasible(t, "plain", in, plain.Arrangement)
+			modeltest.RequireFeasible(t, "presolve", in, pre.Arrangement)
+			if pre.Utility > pre.LPObjective+1e-9 {
+				t.Errorf("presolve utility %v exceeds its LP bound %v", pre.Utility, pre.LPObjective)
+			}
+			if tc.name == "synthetic-zerocap" && pre.PresolveForcedCols == 0 {
+				t.Error("zero-capacity events should force columns in presolve")
+			}
+			t.Logf("%s: objective=%.4f folded=%d dropped-rows=%d forced-cols=%d",
+				tc.name, pre.LPObjective, pre.PresolveFoldedCols, pre.PresolveDroppedRows, pre.PresolveForcedCols)
+		})
+	}
+}
+
+// TestSolvePresolvedCertifiedAgainstOriginal white-boxes the presolve chain:
+// the solution mapped back to the original column space must pass lp.Verify
+// against the ORIGINAL problem — primal and dual feasibility plus strong
+// duality, certifying that no reduction changed the optimum.
+func TestSolvePresolvedCertifiedAgainstOriginal(t *testing.T) {
+	in, err := workload.Synthetic(workload.SyntheticConfig{
+		Seed: 9, NumEvents: 25, NumUsers: 150, MaxEventCap: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero a few capacities so the forced-column reduction fires too.
+	for v := 0; v < in.NumEvents(); v += 7 {
+		in.Events[v].Capacity = 0
+	}
+	in.Weights()
+	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
+	sets, _ := enumerateAll(in, conf, 0, 1)
+	prob, _ := BuildBenchmarkLP(in, sets)
+
+	sol, info, err := solvePresolved(prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Verify(prob, sol, 1e-6); err != nil {
+		t.Fatalf("presolved solution fails certification on original problem: %v", err)
+	}
+	if info.forcedCols == 0 {
+		t.Error("expected forced columns from the zero-capacity events")
+	}
+	if len(sol.X) != prob.NumCols() || len(sol.Y) != prob.NumRows {
+		t.Fatalf("solution shape: %d/%d, want %d/%d", len(sol.X), len(sol.Y), prob.NumCols(), prob.NumRows)
+	}
+}
+
+// TestPresolveRespectsExplicitSolver pins that Options.Solver is honored on
+// the reduced problem (the dense oracle must agree with the auto path).
+func TestPresolveRespectsExplicitSolver(t *testing.T) {
+	in := tinyInstance()
+	auto, err := LPPacking(in, Options{Seed: 2, Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := LPPacking(in, Options{Seed: 2, Presolve: true, Solver: &lp.Dense{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auto.LPObjective-dense.LPObjective) > 1e-9 {
+		t.Errorf("auto %v vs dense %v", auto.LPObjective, dense.LPObjective)
+	}
+}

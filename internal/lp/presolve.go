@@ -25,6 +25,7 @@ type Presolved struct {
 	// forcedZero lists original columns fixed at 0 (they crossed a
 	// zero-capacity row).
 	forcedZero []int
+	orig       *Problem // original problem, for the dual completion
 	origCols   int
 	origRows   int
 }
@@ -131,7 +132,7 @@ func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
 	}
 
 	// Rebuild.
-	ps := &Presolved{origCols: n, origRows: m, forcedZero: forced}
+	ps := &Presolved{origCols: n, origRows: m, forcedZero: forced, orig: p}
 	newRow := make([]int32, m)
 	for i := 0; i < m; i++ {
 		newRow[i] = -1
@@ -179,7 +180,11 @@ func Reduce(p *Problem) (*Presolved, PresolveStats, error) {
 }
 
 // Unreduce maps a solution of the reduced problem back to the original
-// variable and row spaces (forced columns get 0; dropped rows get dual 0).
+// variable and row spaces. Forced columns get 0 and never-binding dropped
+// rows get dual 0; dropped b=0 rows then get their duals raised just enough
+// to cover the reduced cost of the forced columns crossing them — b_i = 0,
+// so the completion changes neither bᵀy nor complementary slackness, and
+// the returned solution passes Verify against the ORIGINAL problem.
 func (ps *Presolved) Unreduce(sol *Solution) *Solution {
 	x := make([]float64, ps.origCols)
 	for j, v := range sol.X {
@@ -188,6 +193,22 @@ func (ps *Presolved) Unreduce(sol *Solution) *Solution {
 	y := make([]float64, ps.origRows)
 	for i, v := range sol.Y {
 		y[ps.rowMap[i]] = v
+	}
+	for _, j := range ps.forcedZero {
+		rows, vals := ps.orig.Col(j)
+		red := ps.orig.C[j]
+		for k, r := range rows {
+			red -= y[r] * vals[k]
+		}
+		if red <= 0 {
+			continue
+		}
+		for k, r := range rows {
+			if ps.orig.B[r] == 0 && vals[k] > 0 {
+				y[r] += red / vals[k]
+				break
+			}
+		}
 	}
 	return &Solution{
 		Status:     sol.Status,

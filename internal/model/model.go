@@ -121,7 +121,7 @@ func (in *Instance) Check() error {
 	if in.Interest == nil {
 		return fmt.Errorf("model: instance has no interest function")
 	}
-	if in.Beta < 0 || in.Beta > 1 {
+	if !(in.Beta >= 0 && in.Beta <= 1) { // negated form also rejects NaN
 		return fmt.Errorf("model: beta = %v outside [0,1]", in.Beta)
 	}
 	for v, ev := range in.Events {
@@ -208,6 +208,67 @@ func (a *Arrangement) Clone() *Arrangement {
 		}
 	}
 	return c
+}
+
+// Loads returns the per-event attendance counts of the arrangement over
+// numEvents events. Events outside [0, numEvents) are ignored (Validate
+// rejects them separately).
+func (a *Arrangement) Loads(numEvents int) []int {
+	load := make([]int, numEvents)
+	for _, set := range a.Sets {
+		for _, v := range set {
+			if v >= 0 && v < numEvents {
+				load[v]++
+			}
+		}
+	}
+	return load
+}
+
+// Equal reports whether two arrangements assign exactly the same event sets
+// to the same users. It is the bit-identity predicate of the determinism
+// tests.
+func (a *Arrangement) Equal(b *Arrangement) bool {
+	if len(a.Sets) != len(b.Sets) {
+		return false
+	}
+	for u := range a.Sets {
+		if len(a.Sets[u]) != len(b.Sets[u]) {
+			return false
+		}
+		for i, v := range a.Sets[u] {
+			if b.Sets[u][i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MergeDisjoint merges arrangements over disjoint user sets into one
+// arrangement of n users: each user's event set is taken (copied, so later
+// mutation of the result never reaches the parts) from the single part that
+// assigned them anything. It errors if two parts assign events to the same
+// user or a part is larger than n — the contract under which the sharded
+// serving layer combines per-shard arrangements (each user belongs to
+// exactly one shard, so the parts are disjoint by construction).
+func MergeDisjoint(n int, parts ...*Arrangement) (*Arrangement, error) {
+	out := NewArrangement(n)
+	for pi, part := range parts {
+		if len(part.Sets) > n {
+			return nil, fmt.Errorf("model: merge part %d covers %d users, want at most %d", pi, len(part.Sets), n)
+		}
+		for u, set := range part.Sets {
+			if len(set) == 0 {
+				continue
+			}
+			if len(out.Sets[u]) > 0 {
+				return nil, fmt.Errorf("model: merge parts overlap on user %d", u)
+			}
+			out.Sets[u] = append([]int(nil), set...)
+		}
+	}
+	return out, nil
 }
 
 // Utility computes Utility(M) (Definition 7) for the arrangement under the

@@ -320,3 +320,64 @@ func TestWeightCacheMatchesDirectEvaluation(t *testing.T) {
 		t.Error("stale cache after Invalidate")
 	}
 }
+
+func TestArrangementLoads(t *testing.T) {
+	a := &Arrangement{Sets: [][]int{{0, 2}, {0}, nil, {2}}}
+	load := a.Loads(3)
+	if load[0] != 2 || load[1] != 0 || load[2] != 2 {
+		t.Errorf("Loads = %v, want [2 0 2]", load)
+	}
+	// out-of-range events are ignored, not counted and not panicking
+	b := &Arrangement{Sets: [][]int{{-1, 5}}}
+	if got := b.Loads(3); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("out-of-range Loads = %v, want zeros", got)
+	}
+}
+
+func TestArrangementEqual(t *testing.T) {
+	a := &Arrangement{Sets: [][]int{{0, 1}, nil}}
+	b := &Arrangement{Sets: [][]int{{0, 1}, {}}}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("nil and empty sets must compare equal")
+	}
+	for _, c := range []*Arrangement{
+		{Sets: [][]int{{0, 2}, nil}},
+		{Sets: [][]int{{0}, nil}},
+		{Sets: [][]int{{0, 1}}},
+		{Sets: [][]int{{0, 1}, nil, nil}},
+	} {
+		if a.Equal(c) {
+			t.Errorf("Equal accepted differing arrangement %v", c.Sets)
+		}
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must equal original")
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	p1 := &Arrangement{Sets: [][]int{{0}, nil, nil}}
+	p2 := &Arrangement{Sets: [][]int{nil, {1, 2}, nil}}
+	got, err := MergeDisjoint(3, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Arrangement{Sets: [][]int{{0}, {1, 2}, nil}}
+	if !got.Equal(want) {
+		t.Errorf("merged %v, want %v", got.Sets, want.Sets)
+	}
+
+	// overlap on user 0 is rejected
+	if _, err := MergeDisjoint(3, p1, &Arrangement{Sets: [][]int{{2}}}); err == nil {
+		t.Error("overlapping parts accepted")
+	}
+	// oversized part is rejected
+	if _, err := MergeDisjoint(1, p2); err == nil {
+		t.Error("oversized part accepted")
+	}
+	// empty merge yields an empty arrangement of n users
+	empty, err := MergeDisjoint(2)
+	if err != nil || len(empty.Sets) != 2 || empty.Size() != 0 {
+		t.Errorf("empty merge: %v, %v", empty, err)
+	}
+}

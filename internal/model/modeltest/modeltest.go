@@ -1,0 +1,135 @@
+// Package modeltest is the shared feasibility oracle of the planner test
+// suites. Every algorithm in this repository — offline LP-packing, the
+// baselines, local search, the online planners and the sharded serving
+// layer — must produce arrangements satisfying the same Definition-4
+// constraints, so their tests assert them through one package instead of
+// ad-hoc per-test checks.
+//
+// The helpers re-derive each invariant from first principles (recounting
+// loads, re-evaluating the conflict predicate, re-searching bid lists)
+// rather than delegating to model.Validate, and RequireFeasible additionally
+// cross-checks that model.Validate agrees — so a bug in the validator and a
+// bug in a planner cannot mask each other.
+package modeltest
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/model"
+)
+
+// CheckCapacities verifies capacity conservation: no event hosts more
+// attendees than its capacity, counted independently of model.Validate.
+func CheckCapacities(in *model.Instance, a *model.Arrangement) error {
+	load := a.Loads(in.NumEvents())
+	for v, n := range load {
+		if n > in.Events[v].Capacity {
+			return errf("event %d oversubscribed: %d attendees, capacity %d", v, n, in.Events[v].Capacity)
+		}
+	}
+	return nil
+}
+
+// CheckConflictFree verifies that no user attends two conflicting events.
+func CheckConflictFree(in *model.Instance, a *model.Arrangement) error {
+	for u, set := range a.Sets {
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				if in.Conflicts(set[i], set[j]) {
+					return errf("user %d attends conflicting events %d and %d", u, set[i], set[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDegrees verifies the per-user degree bounds: every assigned set has
+// between 0 and cu events, contains no duplicates, and stays within the
+// user's bid list.
+func CheckDegrees(in *model.Instance, a *model.Arrangement) error {
+	for u, set := range a.Sets {
+		if len(set) > in.Users[u].Capacity {
+			return errf("user %d attends %d events, capacity %d", u, len(set), in.Users[u].Capacity)
+		}
+		seen := map[int]bool{}
+		for _, v := range set {
+			if v < 0 || v >= in.NumEvents() {
+				return errf("user %d assigned unknown event %d", u, v)
+			}
+			if seen[v] {
+				return errf("user %d assigned event %d twice", u, v)
+			}
+			seen[v] = true
+			if !model.Contains(in.Users[u].Bids, v) {
+				return errf("user %d assigned event %d they did not bid for", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Feasible runs every invariant check and returns the first violation, or
+// nil for a feasible arrangement.
+func Feasible(in *model.Instance, a *model.Arrangement) error {
+	if len(a.Sets) != len(in.Users) {
+		return errf("arrangement covers %d users, instance has %d", len(a.Sets), len(in.Users))
+	}
+	if err := CheckDegrees(in, a); err != nil {
+		return err
+	}
+	if err := CheckCapacities(in, a); err != nil {
+		return err
+	}
+	return CheckConflictFree(in, a)
+}
+
+// Check is Feasible plus the cross-check that model.Validate agrees — the
+// full oracle in error form, usable from testing/quick property closures
+// that return bool.
+func Check(in *model.Instance, a *model.Arrangement) error {
+	if err := Feasible(in, a); err != nil {
+		return err
+	}
+	if err := model.Validate(in, a); err != nil {
+		return errf("model.Validate disagrees with invariant oracle: %v", err)
+	}
+	return nil
+}
+
+// RequireFeasible fails the test unless the arrangement satisfies every
+// invariant AND model.Validate agrees. The label prefixes failure messages
+// so table-driven callers can tell sub-cases apart.
+func RequireFeasible(t testing.TB, label string, in *model.Instance, a *model.Arrangement) {
+	t.Helper()
+	if err := Check(in, a); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+}
+
+// RequireWithinBudget fails the test unless per-event loads stay within the
+// given budget vector — the lease-slice invariant of the sharded serving
+// layer (budget ≤ capacity implies CheckCapacities, but not vice versa).
+func RequireWithinBudget(t testing.TB, label string, in *model.Instance, a *model.Arrangement, budget []int) {
+	t.Helper()
+	load := a.Loads(in.NumEvents())
+	for v, n := range load {
+		if n > budget[v] {
+			t.Fatalf("%s: event %d exceeds budget: %d seats granted, %d leased", label, v, n, budget[v])
+		}
+	}
+}
+
+// RequireEqual fails the test unless the two arrangements are bit-identical
+// — the determinism assertion shared by the reproducibility tests.
+func RequireEqual(t testing.TB, label string, want, got *model.Arrangement) {
+	t.Helper()
+	if !want.Equal(got) {
+		t.Fatalf("%s: arrangements differ\nwant: %v\ngot:  %v", label, want.Sets, got.Sets)
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("modeltest: "+format, args...)
+}

@@ -1,0 +1,82 @@
+package modeltest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/model"
+)
+
+// The oracle itself needs negative tests: a feasibility checker that never
+// fires is indistinguishable from a correct planner.
+
+func oracleInstance() *model.Instance {
+	return &model.Instance{
+		Events: []model.Event{{Capacity: 1}, {Capacity: 2}, {Capacity: 1}},
+		Users: []model.User{
+			{Capacity: 2, Bids: []int{0, 1, 2}},
+			{Capacity: 1, Bids: []int{1}},
+		},
+		Conflicts: func(v, w int) bool { return (v == 0 && w == 2) || (v == 2 && w == 0) },
+		Interest:  func(u, v int) float64 { return 0.5 },
+		Beta:      1,
+	}
+}
+
+func TestOracleAcceptsFeasible(t *testing.T) {
+	in := oracleInstance()
+	a := &model.Arrangement{Sets: [][]int{{0, 1}, {1}}}
+	if err := Check(in, a); err != nil {
+		t.Fatalf("feasible arrangement rejected: %v", err)
+	}
+	RequireFeasible(t, "feasible", in, a)
+	RequireWithinBudget(t, "budget", in, a, []int{1, 2, 1})
+}
+
+func TestOracleCatchesViolations(t *testing.T) {
+	in := oracleInstance()
+	cases := []struct {
+		name string
+		sets [][]int
+		want string
+	}{
+		{"oversubscribed-event", [][]int{{0}, {0}}, "oversubscribed"},
+		{"conflicting-events", [][]int{{0, 2}, nil}, "conflicting"},
+		{"user-capacity", [][]int{nil, {0, 1}}, "capacity"},
+		{"not-bid", [][]int{nil, {0}}, "did not bid"},
+		{"unknown-event", [][]int{{9}, nil}, "unknown"},
+		{"duplicate-event", [][]int{{1, 1}, nil}, "twice"},
+	}
+	for _, tc := range cases {
+		a := &model.Arrangement{Sets: tc.sets}
+		err := Feasible(in, a)
+		if tc.name == "oversubscribed-event" {
+			// user rows pass; only the capacity count catches it
+			err = CheckCapacities(in, a)
+		}
+		if err == nil {
+			t.Errorf("%s: oracle accepted infeasible arrangement %v", tc.name, tc.sets)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Feasible(in, &model.Arrangement{Sets: [][]int{nil}}); err == nil {
+		t.Error("arrangement with wrong user count accepted")
+	}
+}
+
+func TestOracleCrossChecksValidate(t *testing.T) {
+	// user 1 "attends" event 0 they did bid for... construct a case where the
+	// oracle passes but Validate must also run: unsorted sets pass the oracle
+	// (it is order-blind) but fail Validate's canonical-form check.
+	in := oracleInstance()
+	a := &model.Arrangement{Sets: [][]int{{1, 0}, nil}}
+	if err := Feasible(in, a); err != nil {
+		t.Fatalf("order-blind oracle should accept unsorted set: %v", err)
+	}
+	if err := Check(in, a); err == nil {
+		t.Error("Check must reject what model.Validate rejects (unsorted set)")
+	}
+}

@@ -56,23 +56,60 @@ func Run(in *model.Instance, order []int, p Planner) (*model.Arrangement, error)
 
 // GreedyPlanner grants each arrival its best admissible set that fits the
 // remaining event capacities.
+//
+// The planner draws seats from a capacity budget rather than from the
+// instance's raw Capacity fields. NewGreedy gives the planner a private
+// budget equal to the event capacities (the classic single-planner setting);
+// NewGreedyBudget aliases a caller-owned budget slice, which is how the
+// sharded serving layer (internal/shard) grants each shard a lease on a
+// slice of every event's capacity and renews it between batches.
 type GreedyPlanner struct {
 	in      *model.Instance
 	conf    *conflict.Matrix
-	load    []int
+	budget  []int // seats this planner may grant per event (may be caller-owned)
+	load    []int // seats this planner has granted per event
 	maxSets int
 }
 
-// NewGreedy returns a greedy online planner. maxSets caps the per-user
-// admissible-set enumeration (0 = package default).
+// NewGreedy returns a greedy online planner whose budget is the instance's
+// event capacities. maxSets caps the per-user admissible-set enumeration
+// (0 = package default).
 func NewGreedy(in *model.Instance, maxSets int) *GreedyPlanner {
+	budget := make([]int, in.NumEvents())
+	for v := range budget {
+		budget[v] = in.Events[v].Capacity
+	}
+	return NewGreedyBudget(in, budget, maxSets)
+}
+
+// NewGreedyBudget returns a greedy online planner that grants at most
+// budget[v] seats of event v. The slice is aliased, not copied: the caller
+// may raise (or, down to the current load, lower) entries between Arrive
+// calls to renew a capacity lease, and the planner observes the new values
+// on the next arrival. Mutating the budget concurrently with Arrive is a
+// data race; the sharded serving layer only writes it at batch boundaries.
+func NewGreedyBudget(in *model.Instance, budget []int, maxSets int) *GreedyPlanner {
+	return NewGreedyBudgetShared(in, conflict.FromFunc(in.NumEvents(), in.Conflicts), budget, maxSets)
+}
+
+// NewGreedyBudgetShared is NewGreedyBudget with a caller-provided conflict
+// matrix, shared read-only: a serving layer constructing one planner per
+// shard over the same instance materializes the O(|V|²) matrix once instead
+// of once per shard.
+func NewGreedyBudgetShared(in *model.Instance, conf *conflict.Matrix, budget []int, maxSets int) *GreedyPlanner {
 	return &GreedyPlanner{
 		in:      in,
-		conf:    conflict.FromFunc(in.NumEvents(), in.Conflicts),
+		conf:    conf,
+		budget:  budget,
 		load:    make([]int, in.NumEvents()),
 		maxSets: maxSets,
 	}
 }
+
+// Loads returns the per-event seat counts this planner has granted so far.
+// The slice is the planner's internal state: callers must not modify it and
+// must not read it concurrently with Arrive.
+func (p *GreedyPlanner) Loads() []int { return p.load }
 
 // Arrive implements Planner.
 func (p *GreedyPlanner) Arrive(u int) []int {
@@ -84,12 +121,12 @@ func (p *GreedyPlanner) Arrive(u int) []int {
 }
 
 // bestFeasibleSet returns the maximum-weight admissible set of user u whose
-// events all pass accept and have remaining capacity.
+// events all pass accept and have remaining budget.
 func (p *GreedyPlanner) bestFeasibleSet(u int, accept func(v int) bool) []int {
 	usr := &p.in.Users[u]
 	var open []int
 	for _, v := range usr.Bids {
-		if p.load[v] < p.in.Events[v].Capacity && accept(v) {
+		if p.load[v] < p.budget[v] && accept(v) {
 			open = append(open, v)
 		}
 	}
@@ -111,8 +148,11 @@ func (p *GreedyPlanner) bestFeasibleSet(u int, accept func(v int) bool) []int {
 }
 
 // ThresholdPlanner is GreedyPlanner plus a reservation rule: the last
-// Guard·cv seats of every event are reserved for pairs with w(u,v) ≥ Tau;
-// lighter pairs are admitted only into the first (1−Guard)·cv seats.
+// Guard·budget(v) seats of every event are reserved for pairs with
+// w(u,v) ≥ Tau; lighter pairs are admitted only into the first
+// (1−Guard)·budget(v) seats. With the default budget (NewThreshold) the
+// budget is cv, the paper-setting reservation rule; under a capacity lease
+// the guard protects the same fraction of the leased slice.
 type ThresholdPlanner struct {
 	GreedyPlanner
 	// Tau is the admission threshold on pair weight.
@@ -122,8 +162,25 @@ type ThresholdPlanner struct {
 	Guard float64
 }
 
-// NewThreshold returns a threshold online planner.
+// NewThreshold returns a threshold online planner whose budget is the
+// instance's event capacities.
 func NewThreshold(in *model.Instance, tau, guard float64, maxSets int) *ThresholdPlanner {
+	budget := make([]int, in.NumEvents())
+	for v := range budget {
+		budget[v] = in.Events[v].Capacity
+	}
+	return NewThresholdBudget(in, budget, tau, guard, maxSets)
+}
+
+// NewThresholdBudget returns a threshold online planner over a caller-owned
+// capacity budget (see NewGreedyBudget for the aliasing contract).
+func NewThresholdBudget(in *model.Instance, budget []int, tau, guard float64, maxSets int) *ThresholdPlanner {
+	return NewThresholdBudgetShared(in, conflict.FromFunc(in.NumEvents(), in.Conflicts), budget, tau, guard, maxSets)
+}
+
+// NewThresholdBudgetShared is NewThresholdBudget with a caller-provided
+// conflict matrix (see NewGreedyBudgetShared).
+func NewThresholdBudgetShared(in *model.Instance, conf *conflict.Matrix, budget []int, tau, guard float64, maxSets int) *ThresholdPlanner {
 	if guard < 0 {
 		guard = 0
 	}
@@ -131,7 +188,7 @@ func NewThreshold(in *model.Instance, tau, guard float64, maxSets int) *Threshol
 		guard = 1
 	}
 	return &ThresholdPlanner{
-		GreedyPlanner: *NewGreedy(in, maxSets),
+		GreedyPlanner: *NewGreedyBudgetShared(in, conf, budget, maxSets),
 		Tau:           tau,
 		Guard:         guard,
 	}
@@ -144,7 +201,7 @@ func (p *ThresholdPlanner) Arrive(u int) []int {
 		if wc.Of(u, v) >= p.Tau {
 			return true // heavy pairs may use any seat
 		}
-		openSeats := (1 - p.Guard) * float64(p.in.Events[v].Capacity)
+		openSeats := (1 - p.Guard) * float64(p.budget[v])
 		return float64(p.load[v]) < openSeats
 	})
 	for _, v := range best {

@@ -8,6 +8,7 @@ import (
 	"github.com/ebsn/igepa/internal/baselines"
 	"github.com/ebsn/igepa/internal/conflict"
 	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/model/modeltest"
 	"github.com/ebsn/igepa/internal/xrand"
 )
 
@@ -62,7 +63,7 @@ func TestGreedyPlannerFeasibleAndBounded(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if model.Validate(in, arr) != nil {
+		if modeltest.Check(in, arr) != nil {
 			return false
 		}
 		// the online value can never beat the offline optimum
@@ -200,7 +201,7 @@ func TestThresholdAlwaysFeasible(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return model.Validate(in, th) == nil
+		return modeltest.Check(in, th) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -214,5 +215,185 @@ func TestGuardClamping(t *testing.T) {
 	}
 	if p := NewThreshold(in, 0.5, 7, 0); p.Guard != 1 {
 		t.Errorf("Guard not clamped down: %v", p.Guard)
+	}
+}
+
+// --- threshold edge cases: tau/guard extremes, zero capacity, exhaustion ---
+
+// TestThresholdTauZeroEqualsGreedy: with tau = 0 every pair is "heavy", so
+// any guard value degenerates to pure greedy.
+func TestThresholdTauZeroEqualsGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed)
+		order := fullOrder(in.NumUsers())
+		g, err := Run(in, order, NewGreedy(in, 0))
+		if err != nil {
+			return false
+		}
+		for _, guard := range []float64{0, 0.5, 1} {
+			th, err := Run(in, order, NewThreshold(in, 0, guard, 0))
+			if err != nil || !g.Equal(th) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThresholdGuardOneAdmitsOnlyHeavy: with Guard = 1 every seat is
+// reserved, so pairs below tau are never granted — and with tau above every
+// weight, nobody receives anything.
+func TestThresholdGuardOneAdmitsOnlyHeavy(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed)
+		order := fullOrder(in.NumUsers())
+		th, err := Run(in, order, NewThreshold(in, 0.6, 1, 0))
+		if err != nil || modeltest.Check(in, th) != nil {
+			return false
+		}
+		wc := in.Weights()
+		for u, set := range th.Sets {
+			for _, v := range set {
+				if wc.Of(u, v) < 0.6 {
+					return false // light pair slipped past a full guard
+				}
+			}
+		}
+		// tau above any possible weight (w ≤ β·1 + (1-β)·1 = 1): nothing granted
+		starve, err := Run(in, fullOrder(in.NumUsers()), NewThreshold(in, 1.1, 1, 0))
+		return err == nil && starve.Size() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOnlineZeroCapacityEvents: zero-capacity events are never granted by
+// either planner, for any tau/guard combination including the extremes.
+func TestOnlineZeroCapacityEvents(t *testing.T) {
+	in := randomInstance(8)
+	for v := 0; v < in.NumEvents(); v += 2 {
+		in.Events[v].Capacity = 0
+	}
+	order := fullOrder(in.NumUsers())
+	planners := []Planner{
+		NewGreedy(in, 0),
+		NewThreshold(in, 0, 0, 0),
+		NewThreshold(in, 0.5, 0.5, 0),
+		NewThreshold(in, 1, 1, 0),
+	}
+	for pi, p := range planners {
+		arr, err := Run(in, order, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modeltest.RequireFeasible(t, "planner", in, arr)
+		load := arr.Loads(in.NumEvents())
+		for v := 0; v < in.NumEvents(); v += 2 {
+			if load[v] != 0 {
+				t.Errorf("planner %d granted %d seats of zero-capacity event %d", pi, load[v], v)
+			}
+		}
+	}
+}
+
+// TestCapacityExhaustionMidStream: when an event sells out mid-stream the
+// remaining arrivals must fall back to their best set among still-open
+// events rather than walking away empty.
+func TestCapacityExhaustionMidStream(t *testing.T) {
+	// event 0: the prize, capacity 1; event 1: consolation, capacity 3.
+	// Three users bid both with cu = 1. The first arrival takes event 0
+	// (higher weight); the rest must take event 1.
+	w := map[int]float64{0: 0.9, 1: 0.4}
+	in := &model.Instance{
+		Events: []model.Event{{Capacity: 1}, {Capacity: 3}},
+		Users: []model.User{
+			{Capacity: 1, Bids: []int{0, 1}},
+			{Capacity: 1, Bids: []int{0, 1}},
+			{Capacity: 1, Bids: []int{0, 1}},
+		},
+		Conflicts: func(v, wv int) bool { return false },
+		Interest:  func(u, v int) float64 { return w[v] },
+		Beta:      1,
+	}
+	arr, err := Run(in, []int{2, 0, 1}, NewGreedy(in, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Sets[2]) != 1 || arr.Sets[2][0] != 0 {
+		t.Fatalf("first arrival should take the prize: %v", arr.Sets)
+	}
+	for _, u := range []int{0, 1} {
+		if len(arr.Sets[u]) != 1 || arr.Sets[u][0] != 1 {
+			t.Fatalf("user %d should fall back to event 1: %v", u, arr.Sets)
+		}
+	}
+	modeltest.RequireFeasible(t, "exhaustion", in, arr)
+
+	// threshold with a guard: the consolation event guards its last seats
+	// for heavy pairs, so with tau between the weights the later light
+	// arrivals are refused once the open fraction is consumed.
+	th, err := Run(in, []int{2, 0, 1}, NewThreshold(in, 0.6, 2.0/3.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// open seats of event 1 = (1-2/3)*3 = 1: user 0 takes it, user 1 gets nothing
+	if len(th.Sets[0]) != 1 || th.Sets[0][0] != 1 || len(th.Sets[1]) != 0 {
+		t.Fatalf("guard did not bite mid-stream: %v", th.Sets)
+	}
+}
+
+// TestBudgetPlannersRespectExternalBudget pins the capacity-lease contract:
+// a planner never grants beyond its budget even when the instance capacity
+// is larger, raising the budget between arrivals admits later users, and
+// Loads reflects every grant.
+func TestBudgetPlannersRespectExternalBudget(t *testing.T) {
+	in := &model.Instance{
+		Events: []model.Event{{Capacity: 10}},
+		Users: []model.User{
+			{Capacity: 1, Bids: []int{0}},
+			{Capacity: 1, Bids: []int{0}},
+			{Capacity: 1, Bids: []int{0}},
+		},
+		Conflicts: func(v, w int) bool { return false },
+		Interest:  func(u, v int) float64 { return 1 },
+		Beta:      1,
+	}
+	budget := []int{1}
+	p := NewGreedyBudget(in, budget, 0)
+	if got := p.Arrive(0); len(got) != 1 {
+		t.Fatalf("first arrival refused within budget: %v", got)
+	}
+	if got := p.Arrive(1); len(got) != 0 {
+		t.Fatalf("budget exceeded: %v", got)
+	}
+	budget[0] = 2 // lease renewal grants one more seat
+	if got := p.Arrive(2); len(got) != 1 {
+		t.Fatalf("renewed budget not honored: %v", got)
+	}
+	if loads := p.Loads(); loads[0] != 2 {
+		t.Fatalf("Loads = %v, want [2]", loads)
+	}
+
+	// threshold: the guard protects a fraction of the budget, not of the
+	// instance capacity. Budget 2, guard 0.5, tau 0.9: light pairs may use
+	// only (1-0.5)*2 = 1 seat.
+	light := func(u, v int) float64 { return 0.5 }
+	in2 := &model.Instance{
+		Events:    []model.Event{{Capacity: 10}},
+		Users:     in.Users,
+		Conflicts: func(v, w int) bool { return false },
+		Interest:  light,
+		Beta:      1,
+	}
+	tb := NewThresholdBudget(in2, []int{2}, 0.9, 0.5, 0)
+	if got := tb.Arrive(0); len(got) != 1 {
+		t.Fatalf("first light arrival refused: %v", got)
+	}
+	if got := tb.Arrive(1); len(got) != 0 {
+		t.Fatalf("guard on budget not honored: %v", got)
 	}
 }

@@ -78,3 +78,12 @@ func For(workers, n, grain int, fn func(i int)) {
 		}
 	})
 }
+
+// Do runs fn(i) for every i in [0, n) with one task per index — For with
+// grain 1, named for the "fixed set of heterogeneous tasks" reading: the
+// sharded serving layer runs one shard per index, each a long-lived planner
+// over its own batch slice. The determinism contract is the same: bodies
+// must be independent and write only index-owned state.
+func Do(workers, n int, fn func(i int)) {
+	For(workers, n, 1, fn)
+}

@@ -1,0 +1,276 @@
+// Package shard serves online IGEPA arrival streams across S independent
+// shards — the serving architecture for platform-scale traffic, where one
+// global planner over one global capacity table would serialize every
+// arrival.
+//
+// # Partition
+//
+// Users are partitioned across shards by a stateless hash of (seed, user)
+// (xrand.Hash64), so shard membership depends only on the seed — never on
+// arrival order, batch boundaries or worker scheduling. Events are shared:
+// every shard may grant seats of every event, but only out of its own
+// capacity lease.
+//
+// # Capacity leases
+//
+// Each shard holds a lease on a slice of every event's capacity: a budget
+// vector budget[s][v] with the invariant
+//
+//	Σ_s budget[s][v] ≤ cv   for every event v, at every instant,
+//
+// which makes the merged arrangement feasible by construction — no seat can
+// be granted twice because no seat is ever leased twice. Initially each
+// event's capacity is split evenly, the remainder rotated by event index so
+// no shard systematically collects the extra seats. Arrivals are processed
+// in batches of B; between batches the coordinator renews the leases:
+// every shard's unused seats return to the pool and the pool is re-split
+// evenly (remainder rotated by event and epoch). Consumed seats stay with
+// the shard that granted them, so renewal never invalidates a past grant.
+// Renewal is what keeps utility loss from capacity fragmentation bounded:
+// a shard that received seats its users never wanted holds them for at most
+// one batch.
+//
+// # Determinism and merge
+//
+// Within a batch the shards run concurrently (one planner per shard on the
+// bounded par pool), each writing only its own arrangement part and its own
+// planner state, and reading only its own lease vector (written exclusively
+// between batches). The result is therefore a pure function of
+// (instance, order, Options) — bit-identical for every Workers value and
+// GOMAXPROCS — and the per-shard parts are merged with model.MergeDisjoint,
+// which verifies the parts never overlap on a user.
+package shard
+
+import (
+	"fmt"
+
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/online"
+	"github.com/ebsn/igepa/internal/par"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// DefaultBatch is the lease-renewal period (arrivals per epoch) used when
+// Options.Batch is 0.
+const DefaultBatch = 128
+
+// shardSalt decorrelates the user→shard hash from other uses of the seed
+// (interest tables, RNG streams).
+const shardSalt = 0x5eed
+
+// PlannerKind selects the per-shard online policy.
+type PlannerKind int
+
+const (
+	// PlannerGreedy runs online.GreedyPlanner per shard.
+	PlannerGreedy PlannerKind = iota
+	// PlannerThreshold runs online.ThresholdPlanner per shard (Tau/Guard
+	// from Options); the guard protects a fraction of each shard's lease.
+	PlannerThreshold
+)
+
+// String implements fmt.Stringer.
+func (k PlannerKind) String() string {
+	switch k {
+	case PlannerGreedy:
+		return "greedy"
+	case PlannerThreshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("PlannerKind(%d)", int(k))
+	}
+}
+
+// Options configures Serve.
+type Options struct {
+	// Shards is S, the number of independent serving shards. 0 means 1.
+	Shards int
+	// Batch is B, the number of arrivals between lease renewals.
+	// 0 means DefaultBatch.
+	Batch int
+	// Workers bounds the worker pool running the shard planners; 0 means
+	// GOMAXPROCS. Results are bit-identical for every value.
+	Workers int
+	// Seed drives the user→shard partition hash.
+	Seed int64
+	// Planner selects the per-shard policy.
+	Planner PlannerKind
+	// Tau, Guard parameterize PlannerThreshold (see online.ThresholdPlanner).
+	Tau, Guard float64
+	// MaxSetsPerUser caps per-user admissible-set enumeration
+	// (0 = package default).
+	MaxSetsPerUser int
+}
+
+// Result carries the merged arrangement plus the serving diagnostics.
+type Result struct {
+	Arrangement *model.Arrangement
+	Utility     float64
+
+	Shards int
+	Batch  int
+	// Epochs is the number of arrival batches processed.
+	Epochs int
+	// LeaseRenewals is the number of renewal rounds (Epochs−1 when more
+	// than one shard runs, 0 otherwise).
+	LeaseRenewals int
+	// MovedSeats is the total number of seats whose owning shard changed
+	// across all renewals — the lease-protocol traffic a distributed
+	// deployment would pay in coordination messages.
+	MovedSeats int
+	// Arrivals[s] is the number of arrivals served by shard s.
+	Arrivals []int
+}
+
+// ShardOf returns the shard in [0, shards) owning user u. The partition is
+// a pure function of (seed, u, shards).
+func ShardOf(seed int64, u, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(xrand.Hash64(seed, u, shardSalt) % uint64(shards))
+}
+
+// shardPlanner pairs a planner's Arrive with its load vector so the
+// coordinator can read per-shard consumption at renewal time regardless of
+// the concrete policy.
+type shardPlanner struct {
+	arrive func(u int) []int
+	loads  []int
+}
+
+// Serve replays the arrival order across Options.Shards shards and returns
+// the merged arrangement. Users absent from order receive no events; it
+// errors on out-of-range or duplicate arrivals, mirroring online.Run.
+func Serve(in *model.Instance, order []int, opt Options) (*Result, error) {
+	if err := in.Check(); err != nil {
+		return nil, err
+	}
+	s := opt.Shards
+	if s <= 0 {
+		s = 1
+	}
+	b := opt.Batch
+	if b <= 0 {
+		b = DefaultBatch
+	}
+	nu, nv := in.NumUsers(), in.NumEvents()
+	seen := make([]bool, nu)
+	for _, u := range order {
+		if u < 0 || u >= nu {
+			return nil, fmt.Errorf("shard: arrival of unknown user %d", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("shard: user %d arrived twice", u)
+		}
+		seen[u] = true
+	}
+
+	// Materialize the shared weight cache before any parallel stage so the
+	// lazy initialization never races (same contract as core.LPPacking),
+	// and the conflict matrix once for all S planners.
+	in.Weights()
+	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
+
+	// Initial leases: even split, remainder rotated by event index.
+	budgets := make([][]int, s)
+	for si := range budgets {
+		budgets[si] = make([]int, nv)
+	}
+	for v := 0; v < nv; v++ {
+		cv := in.Events[v].Capacity
+		base, rem := cv/s, cv%s
+		for si := 0; si < s; si++ {
+			budgets[si][v] = base
+		}
+		for k := 0; k < rem; k++ {
+			budgets[(v+k)%s][v]++
+		}
+	}
+
+	planners := make([]shardPlanner, s)
+	parts := make([]*model.Arrangement, s)
+	for si := 0; si < s; si++ {
+		switch opt.Planner {
+		case PlannerGreedy:
+			p := online.NewGreedyBudgetShared(in, conf, budgets[si], opt.MaxSetsPerUser)
+			planners[si] = shardPlanner{arrive: p.Arrive, loads: p.Loads()}
+		case PlannerThreshold:
+			p := online.NewThresholdBudgetShared(in, conf, budgets[si], opt.Tau, opt.Guard, opt.MaxSetsPerUser)
+			planners[si] = shardPlanner{arrive: p.Arrive, loads: p.Loads()}
+		default:
+			return nil, fmt.Errorf("shard: unknown planner kind %v", opt.Planner)
+		}
+		parts[si] = model.NewArrangement(nu)
+	}
+
+	res := &Result{Shards: s, Batch: b, Arrivals: make([]int, s)}
+	batches := make([][]int, s)
+	newRem := make([]int, s)
+	for start := 0; start < len(order); start += b {
+		end := start + b
+		if end > len(order) {
+			end = len(order)
+		}
+		for si := range batches {
+			batches[si] = batches[si][:0]
+		}
+		for _, u := range order[start:end] {
+			si := ShardOf(opt.Seed, u, s)
+			batches[si] = append(batches[si], u)
+			res.Arrivals[si]++
+		}
+		par.Do(opt.Workers, s, func(si int) {
+			for _, u := range batches[si] {
+				parts[si].Sets[u] = planners[si].arrive(u)
+			}
+		})
+		res.Epochs++
+		if end < len(order) && s > 1 {
+			res.MovedSeats += renewLeases(in, budgets, planners, res.Epochs, newRem)
+			res.LeaseRenewals++
+		}
+	}
+
+	merged, err := model.MergeDisjoint(nu, parts...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: merging shard arrangements: %w", err)
+	}
+	merged.Normalize()
+	res.Arrangement = merged
+	res.Utility = model.Utility(in, merged)
+	return res, nil
+}
+
+// renewLeases implements the renewal round: per event, reclaim every
+// shard's unused seats and re-split the free pool evenly, rotating the
+// remainder by (event, epoch) so the extra seats circulate. Consumed seats
+// stay with their shard, so Σ_s budget[s][v] = cv is restored exactly.
+// Returns the number of seats that changed owner.
+func renewLeases(in *model.Instance, budgets [][]int, planners []shardPlanner, epoch int, newRem []int) int {
+	s := len(budgets)
+	moved := 0
+	for v := 0; v < in.NumEvents(); v++ {
+		used := 0
+		for si := 0; si < s; si++ {
+			used += planners[si].loads[v]
+		}
+		pool := in.Events[v].Capacity - used
+		base, rem := pool/s, pool%s
+		for si := 0; si < s; si++ {
+			newRem[si] = base
+		}
+		for k := 0; k < rem; k++ {
+			newRem[(v+epoch+k)%s]++
+		}
+		for si := 0; si < s; si++ {
+			load := planners[si].loads[v]
+			if oldRem := budgets[si][v] - load; newRem[si] > oldRem {
+				moved += newRem[si] - oldRem
+			}
+			budgets[si][v] = load + newRem[si]
+		}
+	}
+	return moved
+}

@@ -264,16 +264,25 @@ func (r *RNG) Categorical(weights []float64) int {
 	return -1
 }
 
-// HashFloat returns a deterministic pseudo-uniform value in [0,1) derived
-// from (seed, a, b) via splitmix64 finalization. It is used for implicit
-// interest tables: SI(u, v) can be evaluated lazily without materializing a
-// |U|×|V| matrix, yet is stable for a given seed.
-func HashFloat(seed int64, a, b int) float64 {
+// Hash64 returns 64 deterministic pseudo-uniform bits derived from
+// (seed, a, b) via splitmix64 finalization. It is the stateless counterpart
+// of NewStream: the right tool when a single well-mixed value per item is
+// needed rather than a whole stream — the sharded serving layer hashes users
+// to shards with it, so the partition depends only on (seed, user), never on
+// arrival order or worker scheduling.
+func Hash64(seed int64, a, b int) uint64 {
 	z := uint64(seed) ^ 0x9e3779b97f4a7c15
 	z ^= uint64(a)*0xff51afd7ed558ccd + uint64(b)*0xc4ceb9fe1a85ec53
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return float64(z>>11) * (1.0 / (1 << 53))
+	return z ^ (z >> 31)
+}
+
+// HashFloat returns a deterministic pseudo-uniform value in [0,1) derived
+// from (seed, a, b) via splitmix64 finalization. It is used for implicit
+// interest tables: SI(u, v) can be evaluated lazily without materializing a
+// |U|×|V| matrix, yet is stable for a given seed.
+func HashFloat(seed int64, a, b int) float64 {
+	return float64(Hash64(seed, a, b)>>11) * (1.0 / (1 << 53))
 }
