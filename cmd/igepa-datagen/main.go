@@ -1,11 +1,14 @@
 // Command igepa-datagen generates IGEPA problem instances as JSON: the
-// Table I synthetic family or the Meetup-like real-data analogue.
+// Table I synthetic family or the Meetup-like real-data analogue. It can
+// also emit a timestamped JSONL arrival log next to the instance, the
+// streaming-ingestion input of cmd/igepa-serve.
 //
 // Usage:
 //
 //	igepa-datagen -kind synthetic -seed 1 -out instance.json
 //	igepa-datagen -kind synthetic -events 300 -users 5000 -pcf 0.4
 //	igepa-datagen -kind meetup -seed 1 -out meetup.json
+//	igepa-datagen -kind meetup -out m.json -arrivals m-arrivals.jsonl -rate 2000
 package main
 
 import (
@@ -15,13 +18,16 @@ import (
 	"os"
 
 	"github.com/ebsn/igepa"
+	"github.com/ebsn/igepa/internal/workload"
 )
 
 func main() {
 	var (
-		kind = flag.String("kind", "synthetic", "dataset family: synthetic or meetup")
-		seed = flag.Int64("seed", 1, "generation seed")
-		out  = flag.String("out", "", "output path (default stdout)")
+		kind     = flag.String("kind", "synthetic", "dataset family: synthetic or meetup")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		out      = flag.String("out", "", "output path (default stdout)")
+		arrivals = flag.String("arrivals", "", "also write a timestamped JSONL arrival log to this path")
+		rate     = flag.Float64("rate", 1000, "arrival log: mean arrivals per second")
 
 		// Table I factors (synthetic)
 		events = flag.Int("events", 0, "|V| (default 200)")
@@ -33,13 +39,13 @@ func main() {
 		beta   = flag.Float64("beta", 0, "utility balance β (default 0.5)")
 	)
 	flag.Parse()
-	if err := run(*kind, *seed, *out, *events, *users, *maxCv, *maxCu, *pcf, *pdeg, *beta); err != nil {
+	if err := run(*kind, *seed, *out, *arrivals, *rate, *events, *users, *maxCv, *maxCu, *pcf, *pdeg, *beta); err != nil {
 		fmt.Fprintln(os.Stderr, "igepa-datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, seed int64, out string, events, users, maxCv, maxCu int, pcf, pdeg, beta float64) error {
+func run(kind string, seed int64, out, arrivals string, rate float64, events, users, maxCv, maxCu int, pcf, pdeg, beta float64) error {
 	var in *igepa.Instance
 	var err error
 	switch kind {
@@ -72,8 +78,30 @@ func run(kind string, seed int64, out string, events, users, maxCv, maxCu int, p
 	if err := igepa.SaveInstance(w, in); err != nil {
 		return err
 	}
+	if arrivals != "" {
+		if err := writeArrivalLog(arrivals, seed, in.NumUsers(), rate); err != nil {
+			return err
+		}
+	}
 	st := igepa.ComputeStats(in)
 	fmt.Fprintf(os.Stderr, "generated %s: |V|=%d |U|=%d bids=%d conflict-rate=%.3f mean-degree=%.1f mean-DPI=%.3f\n",
 		kind, st.NumEvents, st.NumUsers, st.TotalBids, st.ConflictRate, st.MeanDegree, st.MeanDPI)
+	return nil
+}
+
+// writeArrivalLog emits the deterministic timestamped arrival stream for the
+// instance: every user once, seeded random order, exponential gaps.
+func writeArrivalLog(path string, seed int64, numUsers int, rate float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	arr := workload.SyntheticArrivals(seed, numUsers, rate)
+	if err := workload.WriteArrivals(f, arr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d arrivals over %.1fs to %s\n",
+		len(arr), float64(arr[len(arr)-1].TMillis)/1000, path)
 	return nil
 }

@@ -6,11 +6,12 @@ import (
 	"testing"
 
 	"github.com/ebsn/igepa"
+	"github.com/ebsn/igepa/internal/workload"
 )
 
 func TestGenerateSyntheticRoundTrips(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "synthetic.json")
-	if err := run("synthetic", 1, out, 12, 30, 4, 2, 0.3, 0.5, 0.5); err != nil {
+	if err := run("synthetic", 1, out, "", 0, 12, 30, 4, 2, 0.3, 0.5, 0.5); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -37,7 +38,7 @@ func TestGenerateSyntheticRoundTrips(t *testing.T) {
 
 func TestGenerateMeetup(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "meetup.json")
-	if err := run("meetup", 1, out, 25, 60, 0, 0, 0, 0, 0.5); err != nil {
+	if err := run("meetup", 1, out, "", 0, 25, 60, 0, 0, 0, 0, 0.5); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -54,14 +55,52 @@ func TestGenerateMeetup(t *testing.T) {
 	}
 }
 
+func TestGenerateArrivalLog(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "inst.json")
+	log := filepath.Join(dir, "arrivals.jsonl")
+	if err := run("synthetic", 5, out, log, 2000, 10, 40, 4, 2, 0.3, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	arr, err := workload.ReadArrivals(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 40 {
+		t.Fatalf("arrival log has %d entries, want 40", len(arr))
+	}
+	seen := make([]bool, 40)
+	for _, a := range arr {
+		if a.User >= 40 || seen[a.User] {
+			t.Fatalf("bad or duplicate user %d in arrival log", a.User)
+		}
+		seen[a.User] = true
+	}
+	// the log must match the library generator bit-for-bit (same seed)
+	want := workload.SyntheticArrivals(5, 40, 2000)
+	for i := range arr {
+		if arr[i] != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v", i, arr[i], want[i])
+		}
+	}
+}
+
 func TestGenerateRejectsUnknownKind(t *testing.T) {
-	if err := run("bogus", 1, "", 0, 0, 0, 0, 0, 0, 0); err == nil {
+	if err := run("bogus", 1, "", "", 0, 0, 0, 0, 0, 0, 0, 0); err == nil {
 		t.Error("unknown kind accepted")
 	}
 }
 
 func TestGenerateBadPath(t *testing.T) {
-	if err := run("synthetic", 1, "/nonexistent-dir/x.json", 5, 5, 2, 2, 0.1, 0.1, 0.5); err == nil {
+	if err := run("synthetic", 1, "/nonexistent-dir/x.json", "", 0, 5, 5, 2, 2, 0.1, 0.1, 0.5); err == nil {
 		t.Error("unwritable path accepted")
+	}
+	if err := run("synthetic", 1, filepath.Join(t.TempDir(), "ok.json"), "/nonexistent-dir/a.jsonl", 0, 5, 5, 2, 2, 0.1, 0.1, 0.5); err == nil {
+		t.Error("unwritable arrival-log path accepted")
 	}
 }

@@ -1,7 +1,7 @@
 // Command igepa-serve replays an online arrival stream through the sharded
-// serving layer (internal/shard) and reports how utility and throughput
-// behave as the shard count grows — the serving-side counterpart of
-// igepa-bench's offline sweeps.
+// serving layer (internal/shard) and reports how utility, throughput and
+// decision latency behave as the shard count grows — the serving-side
+// counterpart of igepa-bench's offline sweeps.
 //
 // Usage:
 //
@@ -9,37 +9,54 @@
 //	igepa-serve -shards 1,2,4,8,16 -batch 64
 //	igepa-serve -workload synthetic -users 2000 -events 100
 //	igepa-serve -planner threshold -tau 0.5 -guard 0.25
+//	igepa-serve -lease lp                # warm-started LP lease splits
+//	igepa-serve -arrivals stream.jsonl   # replay a recorded arrival log
+//	igepa-serve -live-bound              # incremental LP bound per batch
 //
-// Every row is deterministic given -seed: the same stream, partition and
-// lease schedule reproduce bit-identical arrangements on every run and
-// every GOMAXPROCS.
+// The arrival stream is either a timestamped JSONL log written by
+// igepa-datagen -arrivals, or the built-in synthetic stream. Every row is
+// deterministic given -seed: the same stream, partition and lease schedule
+// reproduce bit-identical arrangements on every run and every GOMAXPROCS
+// (decision latencies, being wall-clock measurements, vary — the decisions
+// do not).
+//
+// With -live-bound the command also exercises the incremental planner
+// (igepa.NewPlanner / Planner.Update): after each batch it removes the served
+// users and the consumed seats from a shadow instance and warm re-solves the
+// benchmark LP, reporting how the remaining-opportunity bound decays and how
+// many re-solves the persistent solver served warm.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/ebsn/igepa"
 	"github.com/ebsn/igepa/internal/shard"
-	"github.com/ebsn/igepa/internal/xrand"
+	"github.com/ebsn/igepa/internal/workload"
 )
 
 type config struct {
-	workload string
-	events   int
-	users    int
-	seed     int64
-	shards   []int
-	batch    int
-	planner  string
-	tau      float64
-	guard    float64
-	workers  int
-	lpBound  bool
+	workload  string
+	events    int
+	users     int
+	seed      int64
+	shards    []int
+	batch     int
+	planner   string
+	tau       float64
+	guard     float64
+	workers   int
+	lpBound   bool
+	lease     string
+	arrivals  string
+	rate      float64
+	liveBound bool
 }
 
 func main() {
@@ -56,6 +73,10 @@ func main() {
 	flag.Float64Var(&cfg.guard, "guard", 0.25, "threshold planner: reserved capacity fraction")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker-pool bound (0 = all cores; results identical)")
 	flag.BoolVar(&cfg.lpBound, "lp", true, "also solve the offline LP bound for comparison")
+	flag.StringVar(&cfg.lease, "lease", "demand", "lease renewal policy: demand, even or lp")
+	flag.StringVar(&cfg.arrivals, "arrivals", "", "replay arrivals from this JSONL log (igepa-datagen -arrivals)")
+	flag.Float64Var(&cfg.rate, "rate", 1000, "synthetic stream: mean arrivals per second")
+	flag.BoolVar(&cfg.liveBound, "live-bound", false, "track the incremental LP bound across batches (warm re-solves)")
 	flag.Parse()
 
 	var err error
@@ -90,7 +111,15 @@ func run(w *os.File, cfg config) error {
 	if err != nil {
 		return err
 	}
-	order := xrand.New(cfg.seed).Perm(in.NumUsers())
+	lease, err := leasePolicy(cfg.lease)
+	if err != nil {
+		return err
+	}
+	stream, err := makeStream(cfg, in.NumUsers())
+	if err != nil {
+		return err
+	}
+	order := workload.ArrivalOrder(stream)
 
 	bound := 0.0
 	if cfg.lpBound {
@@ -101,18 +130,19 @@ func run(w *os.File, cfg config) error {
 		bound = res.LPObjective
 	}
 
-	fmt.Fprintf(w, "workload=%s |V|=%d |U|=%d planner=%s seed=%d\n",
-		cfg.workload, in.NumEvents(), in.NumUsers(), kind, cfg.seed)
+	fmt.Fprintf(w, "workload=%s |V|=%d |U|=%d arrivals=%d planner=%s lease=%s seed=%d\n",
+		cfg.workload, in.NumEvents(), in.NumUsers(), len(order), kind, lease, cfg.seed)
 	if cfg.lpBound {
 		fmt.Fprintf(w, "offline LP bound: %.4f\n", bound)
 	}
-	fmt.Fprintf(w, "%8s %12s %10s %10s %8s %8s %10s %12s\n",
-		"shards", "utility", "vs-single", "vs-bound", "pairs", "moved", "elapsed", "arrivals/s")
+	fmt.Fprintf(w, "%8s %12s %10s %10s %8s %8s %10s %12s %10s %10s\n",
+		"shards", "utility", "vs-single", "vs-bound", "pairs", "moved", "elapsed", "arrivals/s", "p50", "p99")
 
 	optFor := func(s int) shard.Options {
 		return shard.Options{
 			Shards: s, Batch: cfg.batch, Workers: cfg.workers, Seed: cfg.seed,
 			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
+			Lease: lease, RecordLatency: true,
 		}
 	}
 	// The vs-single baseline is always a real S=1 run, whatever -shards says.
@@ -139,12 +169,131 @@ func run(w *os.File, cfg config) error {
 			vsBound = fmt.Sprintf("%.1f%%", 100*res.Utility/bound)
 		}
 		rate := float64(len(order)) / elapsed.Seconds()
-		fmt.Fprintf(w, "%8d %12.4f %10s %10s %8d %8d %10s %12.0f\n",
+		p50, p99 := latencyPercentiles(res.Latencies, order)
+		fmt.Fprintf(w, "%8d %12.4f %10s %10s %8d %8d %10s %12.0f %10s %10s\n",
 			s, res.Utility, vsSingle, vsBound,
 			res.Arrangement.Size(), res.MovedSeats,
-			elapsed.Round(time.Millisecond), rate)
+			elapsed.Round(time.Millisecond), rate,
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
+
+	if cfg.liveBound {
+		if err := liveBound(w, in, order, base, cfg); err != nil {
+			return fmt.Errorf("live bound: %w", err)
+		}
 	}
 	return nil
+}
+
+// latencyPercentiles extracts the served users' decision latencies and
+// returns (p50, p99).
+func latencyPercentiles(lat []time.Duration, order []int) (p50, p99 time.Duration) {
+	if len(lat) == 0 || len(order) == 0 {
+		return 0, 0
+	}
+	samples := make([]time.Duration, 0, len(order))
+	for _, u := range order {
+		samples = append(samples, lat[u])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// liveBound replays the batch schedule against the incremental planner: a
+// shadow copy of the instance loses each batch's served users and consumed
+// seats, and the benchmark LP is warm re-solved after every batch. The
+// committed utility plus the remaining LP optimum is a live upper bound on
+// the best total utility still reachable — the serving-time counterpart of
+// Lemma 1's offline bound.
+func liveBound(w *os.File, in *igepa.Instance, order []int, served *shard.Result, cfg config) error {
+	shadow := cloneInstance(in)
+	p, err := igepa.NewPlanner(shadow, igepa.LPPackingOptions{Seed: cfg.seed, Workers: cfg.workers})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	batch := cfg.batch
+	if batch <= 0 {
+		batch = shard.DefaultBatch
+	}
+	committedArr := igepa.Arrangement{Sets: make([][]int, in.NumUsers())}
+	fmt.Fprintf(w, "\nlive bound (batch=%d): committed + remaining LP after each batch\n", batch)
+	fmt.Fprintf(w, "%8s %8s %12s %14s %12s\n", "epoch", "served", "committed", "remaining-LP", "total-bound")
+
+	totalServed := 0
+	for start, epoch := 0, 1; start < len(order); start, epoch = start+batch, epoch+1 {
+		end := min(start+batch, len(order))
+		var delta igepa.PlannerDelta
+		usedSeats := map[int]int{}
+		for _, u := range order[start:end] {
+			committedArr.Sets[u] = served.Arrangement.Sets[u]
+			for _, v := range served.Arrangement.Sets[u] {
+				usedSeats[v]++
+			}
+			shadow.Users[u].Bids = nil // decided: out of the remaining problem
+			delta.Users = append(delta.Users, u)
+		}
+		for v, n := range usedSeats {
+			shadow.Events[v].Capacity -= n
+			delta.Events = append(delta.Events, v)
+		}
+		res, err := p.Update(delta)
+		if err != nil {
+			return err
+		}
+		totalServed += end - start
+		committed := igepa.Utility(in, &committedArr)
+		fmt.Fprintf(w, "%8d %8d %12.4f %14.4f %12.4f\n",
+			epoch, totalServed, committed, res.LPObjective, committed+res.LPObjective)
+	}
+	st := p.Stats()
+	fmt.Fprintf(w, "incremental solver: %d warm re-solves, %d cold (fallbacks: %d singular, %d infeasible), %d warm pivots\n",
+		st.WarmSolves, st.ColdSolves, st.FallbackSingular, st.FallbackInfeasible, st.WarmPivots)
+	return nil
+}
+
+// cloneInstance deep-copies the mutable parts of the instance so the live
+// bound can consume it without touching the serving input.
+func cloneInstance(in *igepa.Instance) *igepa.Instance {
+	out := &igepa.Instance{
+		Events:    append([]igepa.Event(nil), in.Events...),
+		Users:     append([]igepa.User(nil), in.Users...),
+		Conflicts: in.Conflicts,
+		Interest:  in.Interest,
+		Beta:      in.Beta,
+	}
+	for u := range out.Users {
+		out.Users[u].Bids = append([]int(nil), in.Users[u].Bids...)
+	}
+	return out
+}
+
+// makeStream loads the JSONL arrival log, or generates the deterministic
+// synthetic stream (every user once, seeded order, exponential gaps).
+func makeStream(cfg config, numUsers int) ([]workload.Arrival, error) {
+	if cfg.arrivals == "" {
+		return workload.SyntheticArrivals(cfg.seed, numUsers, cfg.rate), nil
+	}
+	f, err := os.Open(cfg.arrivals)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	arr, err := workload.ReadArrivals(f)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range arr {
+		if a.User >= numUsers {
+			return nil, fmt.Errorf("arrival %d: user %d outside instance (|U| = %d)", i, a.User, numUsers)
+		}
+	}
+	return arr, nil
 }
 
 func makeInstance(cfg config) (*igepa.Instance, error) {
@@ -170,5 +319,18 @@ func plannerKind(name string) (shard.PlannerKind, error) {
 		return shard.PlannerThreshold, nil
 	default:
 		return 0, fmt.Errorf("unknown planner %q (want greedy or threshold)", name)
+	}
+}
+
+func leasePolicy(name string) (shard.LeasePolicy, error) {
+	switch name {
+	case "", "demand":
+		return shard.LeaseDemand, nil
+	case "even":
+		return shard.LeaseEven, nil
+	case "lp":
+		return shard.LeaseLP, nil
+	default:
+		return 0, fmt.Errorf("unknown lease policy %q (want demand, even or lp)", name)
 	}
 }

@@ -2,15 +2,24 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
+
+	"github.com/ebsn/igepa/internal/workload"
 )
 
-func TestRunSmoke(t *testing.T) {
+func devNull(t *testing.T) *os.File {
+	t.Helper()
 	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer null.Close()
+	t.Cleanup(func() { null.Close() })
+	return null
+}
+
+func TestRunSmoke(t *testing.T) {
+	null := devNull(t)
 	cfg := config{
 		workload: "synthetic", events: 20, users: 80, seed: 1,
 		shards: []int{1, 2, 4}, planner: "greedy", lpBound: true,
@@ -23,6 +32,59 @@ func TestRunSmoke(t *testing.T) {
 	cfg.lpBound = false
 	if err := run(null, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLeasePoliciesAndLiveBound(t *testing.T) {
+	null := devNull(t)
+	for _, lease := range []string{"demand", "even", "lp"} {
+		cfg := config{
+			workload: "synthetic", events: 15, users: 90, seed: 2,
+			shards: []int{2, 4}, planner: "greedy", lease: lease, batch: 16,
+		}
+		if err := run(null, cfg); err != nil {
+			t.Fatalf("lease=%s: %v", lease, err)
+		}
+	}
+	// the incremental live-bound path (warm Planner.Update per batch)
+	cfg := config{
+		workload: "synthetic", events: 15, users: 90, seed: 3,
+		shards: []int{2}, planner: "greedy", batch: 16, liveBound: true,
+	}
+	if err := run(null, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplaysArrivalLog(t *testing.T) {
+	null := devNull(t)
+	dir := t.TempDir()
+	log := filepath.Join(dir, "arrivals.jsonl")
+	arr := workload.SyntheticArrivals(9, 70, 500)
+	f, err := os.Create(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteArrivals(f, arr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cfg := config{
+		workload: "synthetic", events: 15, users: 70, seed: 9,
+		shards: []int{1, 4}, planner: "greedy", arrivals: log,
+	}
+	if err := run(null, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// a log naming users outside the instance must be rejected
+	cfg.users = 50
+	if err := run(null, cfg); err == nil {
+		t.Error("arrival log with out-of-range users accepted")
+	}
+	cfg.users = 70
+	cfg.arrivals = filepath.Join(dir, "missing.jsonl")
+	if err := run(null, cfg); err == nil {
+		t.Error("missing arrival log accepted")
 	}
 }
 
@@ -39,12 +101,14 @@ func TestParseShards(t *testing.T) {
 }
 
 func TestBadConfigRejected(t *testing.T) {
-	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	defer null.Close()
+	null := devNull(t)
 	if err := run(null, config{workload: "nope", shards: []int{1}}); err == nil {
 		t.Error("unknown workload accepted")
 	}
 	if err := run(null, config{workload: "synthetic", users: 10, events: 5, planner: "nope", shards: []int{1}}); err == nil {
 		t.Error("unknown planner accepted")
+	}
+	if err := run(null, config{workload: "synthetic", users: 10, events: 5, planner: "greedy", lease: "nope", shards: []int{1}}); err == nil {
+		t.Error("unknown lease policy accepted")
 	}
 }

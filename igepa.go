@@ -92,6 +92,27 @@ func LPPacking(in *Instance, opt LPPackingOptions) (*LPPackingResult, error) {
 	return core.LPPacking(in, opt)
 }
 
+// Incremental planning (serving extension): a Planner keeps the LP-packing
+// pipeline's state alive between solves — admissible sets, the benchmark LP
+// and a persistent warm-starting simplex basis — so a stream of small
+// instance changes (bids arriving/expiring, capacities shrinking as seats
+// are granted) costs a warm re-solve each instead of a from-scratch run.
+type (
+	// Planner is the incremental mode of LPPacking. Construct with
+	// NewPlanner, mutate the instance in place, then call Update naming
+	// what changed; Close releases the solver arena.
+	Planner = core.Planner
+	// PlannerDelta names the users and events the caller mutated.
+	PlannerDelta = core.Delta
+)
+
+// NewPlanner builds the incremental pipeline on the instance and solves the
+// benchmark LP cold. Options.Presolve and Options.Solver must be unset (the
+// planner drives its own persistent solver).
+func NewPlanner(in *Instance, opt LPPackingOptions) (*Planner, error) {
+	return core.NewPlanner(in, opt)
+}
+
 // Greedy runs GG, the deterministic greedy baseline: feasible (event, user)
 // pairs are added in order of decreasing marginal utility.
 func Greedy(in *Instance) *Arrangement { return baselines.Greedy(in) }
@@ -159,12 +180,22 @@ type (
 	ShardResult = shard.Result
 	// ShardPlannerKind selects the per-shard online policy.
 	ShardPlannerKind = shard.PlannerKind
+	// LeasePolicy selects the lease-renewal split rule.
+	LeasePolicy = shard.LeasePolicy
 )
 
 // Per-shard planner policies.
 const (
 	ShardPlannerGreedy    = shard.PlannerGreedy
 	ShardPlannerThreshold = shard.PlannerThreshold
+)
+
+// Lease-renewal policies: demand-aware proportional split (default), even
+// split (ablation), and the warm-started LP split.
+const (
+	LeaseDemand = shard.LeaseDemand
+	LeaseEven   = shard.LeaseEven
+	LeaseLP     = shard.LeaseLP
 )
 
 // ServeSharded replays the arrival order across opt.Shards shards and

@@ -38,6 +38,47 @@ func TestPublicPipeline(t *testing.T) {
 	}
 }
 
+// TestPublicPlanner drives the incremental serving loop through the public
+// API: bids expire, capacities shrink, and every Update stays feasible with
+// a non-increasing opportunity bound.
+func TestPublicPlanner(t *testing.T) {
+	in := smallInstance(t)
+	p, err := igepa.NewPlanner(in, igepa.LPPackingOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	prevBound := p.Objective()
+	for step := 0; step < 4; step++ {
+		u := step * 7 % in.NumUsers()
+		in.Users[u].Bids = nil // user leaves
+		var d igepa.PlannerDelta
+		d.Users = append(d.Users, u)
+		if v := step % in.NumEvents(); in.Events[v].Capacity > 0 {
+			in.Events[v].Capacity--
+			d.Events = append(d.Events, v)
+		}
+		res, err := p.Update(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := igepa.Validate(in, res.Arrangement); err != nil {
+			t.Fatalf("step %d: infeasible: %v", step, err)
+		}
+		if len(res.Arrangement.Sets[u]) != 0 {
+			t.Fatalf("step %d: departed user %d still assigned %v", step, u, res.Arrangement.Sets[u])
+		}
+		// shrinking the instance can only lower the LP bound
+		if res.LPObjective > prevBound+1e-9 {
+			t.Fatalf("step %d: bound rose from %v to %v", step, prevBound, res.LPObjective)
+		}
+		prevBound = res.LPObjective
+	}
+	if st := p.Stats(); st.WarmSolves == 0 {
+		t.Errorf("no update took the warm path: %+v", st)
+	}
+}
+
 func TestSolveRegistry(t *testing.T) {
 	in := smallInstance(t)
 	for _, name := range igepa.AlgorithmNames() {

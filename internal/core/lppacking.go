@@ -69,8 +69,9 @@ type Options struct {
 	Alpha float64
 	// Seed drives the sampling (and RepairRandom) randomness.
 	Seed int64
-	// Solver overrides the LP solver; nil selects automatically by size.
-	Solver lp.Solver
+	// Solver overrides the LP solving backend; nil selects automatically by
+	// size.
+	Solver lp.Backend
 	// MaxSetsPerUser caps admissible-set enumeration per user
 	// (see internal/admissible); 0 means the package default.
 	MaxSetsPerUser int
@@ -226,16 +227,9 @@ func solvePresolved(prob *lp.Problem, opt Options) (*lp.Solution, presolveInfo, 
 // was truncated. Each user's enumeration is independent and writes only its
 // own slot, so the result does not depend on the worker count.
 func enumerateAll(in *model.Instance, conf *conflict.Matrix, maxSets, workers int) ([][]admissible.Set, int) {
-	wc := in.Weights()
 	sets := make([][]admissible.Set, in.NumUsers())
 	trunc := make([]bool, in.NumUsers())
-	par.For(workers, in.NumUsers(), 16, func(u int) {
-		usr := &in.Users[u]
-		w := func(v int) float64 { return wc.Of(u, v) }
-		r := admissible.Enumerate(usr.Bids, usr.Capacity, conf, w, admissible.Config{MaxSetsPerUser: maxSets})
-		sets[u] = r.Sets
-		trunc[u] = r.Truncated
-	})
+	enumerateInto(in, conf, sets, trunc, nil, maxSets, workers)
 	truncated := 0
 	for _, t := range trunc {
 		if t {

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ebsn/igepa/internal/admissible"
+	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/lp"
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/par"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// Delta names the parts of the instance a caller mutated since the previous
+// solve. The Planner re-derives exactly those parts — admissible sets and LP
+// columns for the listed users, LP row bounds for the listed events — and
+// warm-starts the LP from the previous basis. The user and event counts of
+// the instance must not change; model departures as a user whose Bids were
+// set to nil and closed events as Capacity 0.
+type Delta struct {
+	// Users whose Bids or Capacity changed (bids arrived, expired, or the
+	// user left).
+	Users []int
+	// Events whose Capacity changed (seats granted elsewhere, capacity
+	// raised).
+	Events []int
+}
+
+// Empty reports whether the delta names nothing.
+func (d *Delta) Empty() bool { return len(d.Users) == 0 && len(d.Events) == 0 }
+
+// Planner is the incremental mode of LPPacking: it owns a persistent
+// warm-starting LP solver (lp.Solver) plus the enumeration state behind the
+// benchmark LP, so a stream of small instance deltas costs a warm re-solve
+// each instead of a from-scratch pipeline run. The serving stack uses it to
+// keep a live LP bound (and arrangement) while bids arrive and capacities
+// shrink.
+//
+// The caller mutates the instance in place (Users[u].Bids, Users[u].Capacity,
+// Events[v].Capacity), then calls Update naming what changed. Derived caches
+// (weights, bidder lists) are re-synced by the Planner; results after an
+// Update are identical to rebuilding a Planner on the mutated instance
+// except for LP-degenerate alternate optima (the objective agrees to
+// round-off, and every solution certifies against the current LP).
+//
+// A Planner is not safe for concurrent use. Close releases the solver state
+// back to the dimension-keyed arena pool.
+type Planner struct {
+	in   *model.Instance
+	opt  Options
+	conf *conflict.Matrix
+
+	sets      [][]admissible.Set
+	truncated []bool
+	owner     [][2]int // column -> (user, set index), aligned with the LP
+
+	solver *lp.Solver
+	sol    *lp.Solution
+
+	changed []bool // scratch: user membership of the current delta
+}
+
+// NewPlanner builds the pipeline state for the instance, solves the
+// benchmark LP cold, and returns a Planner ready for Update calls.
+// Options.Presolve and Options.Solver are incompatible with incremental
+// operation (presolve re-maps the column space under the solver's feet, and
+// the persistent solver is the revised simplex by construction); setting
+// either is an error.
+func NewPlanner(in *model.Instance, opt Options) (*Planner, error) {
+	if opt.Presolve {
+		return nil, fmt.Errorf("core: incremental planner does not support Presolve")
+	}
+	if opt.Solver != nil {
+		return nil, fmt.Errorf("core: incremental planner drives its own persistent solver; Options.Solver must be nil")
+	}
+	if err := in.Check(); err != nil {
+		return nil, err
+	}
+	if alpha := opt.Alpha; alpha != 0 && (alpha < 0 || alpha > 1) {
+		return nil, fmt.Errorf("core: alpha = %v outside (0,1]", alpha)
+	}
+	in.Weights()
+	p := &Planner{
+		in:        in,
+		opt:       opt,
+		conf:      conflict.FromFunc(in.NumEvents(), in.Conflicts),
+		truncated: make([]bool, in.NumUsers()),
+		solver:    lp.NewSolver(lp.Revised{Workers: opt.Workers}),
+	}
+	workers := par.Workers(opt.Workers)
+	p.sets = make([][]admissible.Set, in.NumUsers())
+	enumerateInto(in, p.conf, p.sets, p.truncated, nil, opt.MaxSetsPerUser, workers)
+	prob, owner := BuildBenchmarkLP(in, p.sets)
+	p.owner = owner
+	sol, err := p.solver.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: benchmark LP: %w", err)
+	}
+	p.sol = sol
+	return p, nil
+}
+
+// Close releases the persistent solver state to the arena pool. The Planner
+// must not be used afterwards.
+func (p *Planner) Close() {
+	if p.solver != nil {
+		p.solver.Release()
+	}
+}
+
+// Stats exposes the underlying solver's warm/cold counters.
+func (p *Planner) Stats() lp.SolverStats { return p.solver.Stats() }
+
+// Objective returns the current benchmark-LP optimum — the live upper bound
+// on the optimal utility of the current instance.
+func (p *Planner) Objective() float64 { return p.sol.Objective }
+
+// Update re-syncs the Planner with the instance after the caller's mutation,
+// re-solving the LP warm from the previous basis, and returns the rounded
+// result for the updated instance.
+func (p *Planner) Update(d Delta) (*Result, error) {
+	in := p.in
+	nu := in.NumUsers()
+	for _, u := range d.Users {
+		if u < 0 || u >= nu {
+			return nil, fmt.Errorf("core: delta names unknown user %d", u)
+		}
+	}
+	for _, v := range d.Events {
+		if v < 0 || v >= in.NumEvents() {
+			return nil, fmt.Errorf("core: delta names unknown event %d", v)
+		}
+	}
+	if len(d.Users) > 0 {
+		// Bids changed: the CSR weight cache and bidder lists are stale.
+		in.Invalidate()
+	}
+	if err := in.Check(); err != nil {
+		return nil, fmt.Errorf("core: instance invalid after mutation: %w", err)
+	}
+	in.Weights()
+
+	var lpd lp.ProblemDelta
+	if len(d.Users) > 0 {
+		if cap(p.changed) < nu {
+			p.changed = make([]bool, nu)
+		} else {
+			p.changed = p.changed[:nu]
+			for i := range p.changed {
+				p.changed[i] = false
+			}
+		}
+		users := append([]int(nil), d.Users...)
+		sort.Ints(users)
+		users = dedupeSorted(users)
+		for _, u := range users {
+			p.changed[u] = true
+		}
+		enumerateInto(in, p.conf, p.sets, p.truncated, users, p.opt.MaxSetsPerUser, par.Workers(p.opt.Workers))
+
+		// Replace the changed users' columns: remove all their old ones,
+		// append the re-enumerated ones in ascending user order. The
+		// surviving columns keep their relative order (lp.ProblemDelta's
+		// contract), so the owner map is rebuilt by the same rule.
+		newOwner := p.owner[:0:0]
+		for j, ow := range p.owner {
+			if p.changed[ow[0]] {
+				lpd.RemoveCols = append(lpd.RemoveCols, j)
+			} else {
+				newOwner = append(newOwner, ow)
+			}
+		}
+		for _, u := range users {
+			for si, s := range p.sets[u] {
+				rows := make([]int, 0, len(s.Events)+1)
+				rows = append(rows, u)
+				for _, v := range s.Events {
+					rows = append(rows, nu+v)
+				}
+				lpd.AddCols = append(lpd.AddCols, lp.Column{Rows: rows, Vals: onesOf(len(rows))})
+				lpd.AddC = append(lpd.AddC, s.Weight)
+				newOwner = append(newOwner, [2]int{u, si})
+			}
+		}
+		p.owner = newOwner
+	}
+	for _, v := range d.Events {
+		lpd.SetB = append(lpd.SetB, lp.BoundChange{Row: nu + v, B: float64(in.Events[v].Capacity)})
+	}
+
+	sol, err := p.solver.Resolve(lpd)
+	if err != nil {
+		return nil, fmt.Errorf("core: benchmark LP re-solve: %w", err)
+	}
+	p.sol = sol
+	return p.Round()
+}
+
+// Round samples, repairs and scores an arrangement from the current LP
+// solution — the tail of Algorithm 1 over the incremental state. It is
+// deterministic given Options.Seed, so calling it twice without an Update in
+// between returns identical results.
+func (p *Planner) Round() (*Result, error) {
+	alpha := p.opt.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	truncated := 0
+	for _, t := range p.truncated {
+		if t {
+			truncated++
+		}
+	}
+	return finish(p.in, p.conf, p.sets, p.owner, p.solver.Problem(), p.sol,
+		alpha, p.opt, xrand.New(p.opt.Seed), truncated)
+}
+
+// onesOf returns a fresh all-ones coefficient vector.
+func onesOf(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// dedupeSorted compacts consecutive duplicates in a sorted slice.
+func dedupeSorted(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// enumerateInto (re-)enumerates admissible sets for the given users (nil
+// means every user) on the bounded worker pool, writing each user's sets and
+// truncation flag into the caller's slots.
+func enumerateInto(in *model.Instance, conf *conflict.Matrix, sets [][]admissible.Set,
+	trunc []bool, users []int, maxSets, workers int) {
+	wc := in.Weights()
+	body := func(u int) {
+		usr := &in.Users[u]
+		w := func(v int) float64 { return wc.Of(u, v) }
+		r := admissible.Enumerate(usr.Bids, usr.Capacity, conf, w, admissible.Config{MaxSetsPerUser: maxSets})
+		sets[u] = r.Sets
+		trunc[u] = r.Truncated
+	}
+	if users == nil {
+		par.For(workers, in.NumUsers(), 16, body)
+		return
+	}
+	par.For(workers, len(users), 16, func(i int) { body(users[i]) })
+}

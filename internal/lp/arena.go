@@ -1,0 +1,48 @@
+package lp
+
+import "sync"
+
+// The state arena pool recycles revisedStates across Solver lifetimes,
+// keyed by the row dimension m. A high-QPS serving loop that creates a
+// Solver per request (or per lease-renewal round) reuses the LU workspace,
+// eta arena and pricing vectors of an earlier solve of the same shape
+// instead of reallocating them — the benchmark LP's row count is fixed by
+// the instance, so the key has very low cardinality in practice.
+//
+// States are pooled per dimension rather than in one pool so that a small
+// problem never pins the multi-megabyte workspace of a large one (and vice
+// versa: acquiring for m rows never hands back an undersized arena that
+// would immediately reallocate everything).
+var statePools sync.Map // m (int) -> *sync.Pool of *revisedState
+
+// acquireState returns a recycled state for an m-row problem, or a fresh one
+// when the pool is empty. The caller must rebind it before use.
+func acquireState(m int) *revisedState {
+	if v, ok := statePools.Load(m); ok {
+		if st, ok := v.(*sync.Pool).Get().(*revisedState); ok && st != nil {
+			return st
+		}
+	}
+	return &revisedState{lu: &luFactors{}}
+}
+
+// releaseState parks a state in the pool for its dimension. The problem
+// reference is dropped (states must not keep problems alive) and the
+// solution buffers are detached — the last returned Solution keeps its
+// backing arrays, so releasing a solver never invalidates results the
+// caller still holds. Every other backing array is kept for the next
+// acquire.
+func releaseState(st *revisedState) {
+	if st == nil {
+		return
+	}
+	st.p = nil
+	// basisCols holds views into the problem's CSC arrays; clear them so a
+	// parked state never pins the released problem's column storage.
+	for i := range st.basisCols {
+		st.basisCols[i] = spCol{}
+	}
+	st.xOut, st.yOut = nil, nil
+	v, _ := statePools.LoadOrStore(st.m, &sync.Pool{})
+	v.(*sync.Pool).Put(st)
+}

@@ -231,8 +231,11 @@ type Solution struct {
 	Iterations int       // simplex pivots performed
 }
 
-// Solver solves packing-form LPs.
-type Solver interface {
+// Backend is a one-shot LP algorithm: it solves a packing-form problem from
+// scratch. Dense and Revised implement it. The stateful, warm-starting
+// counterpart is Solver (solver.go), which owns its basis and factorization
+// across solves and re-optimizes from the previous optimum via Resolve.
+type Backend interface {
 	Solve(p *Problem) (*Solution, error)
 }
 

@@ -9,8 +9,8 @@ import (
 )
 
 // solvers under test; both must agree on every problem.
-func bothSolvers() map[string]Solver {
-	return map[string]Solver{
+func bothSolvers() map[string]Backend {
+	return map[string]Backend{
 		"dense":   &Dense{},
 		"revised": &Revised{},
 		// small refactor interval exercises the refactorization path hard

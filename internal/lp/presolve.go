@@ -221,7 +221,7 @@ func (ps *Presolved) Unreduce(sol *Solution) *Solution {
 
 // SolveReduced is a convenience wrapper: Reduce, solve with the given
 // solver (nil = auto), Unreduce.
-func SolveReduced(p *Problem, s Solver) (*Solution, PresolveStats, error) {
+func SolveReduced(p *Problem, s Backend) (*Solution, PresolveStats, error) {
 	ps, stats, err := Reduce(p)
 	if err != nil {
 		return nil, stats, err

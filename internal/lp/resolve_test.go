@@ -1,0 +1,407 @@
+package lp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// cloneProblem deep-copies a problem (reference semantics for the tests).
+func cloneProblem(p *Problem) *Problem {
+	return &Problem{
+		NumRows: p.NumRows,
+		B:       append([]float64(nil), p.B...),
+		C:       append([]float64(nil), p.C...),
+		ColPtr:  append([]int(nil), p.ColPtr...),
+		Rows:    append([]int32(nil), p.Rows...),
+		Vals:    append([]float64(nil), p.Vals...),
+	}
+}
+
+// applyDeltaRef applies d to p by independent brute force — the reference
+// the Solver's in-place delta application is checked against.
+func applyDeltaRef(p *Problem, d ProblemDelta) *Problem {
+	out := &Problem{NumRows: p.NumRows, B: append([]float64(nil), p.B...)}
+	for _, bc := range d.SetB {
+		out.B[bc.Row] = bc.B
+	}
+	c := append([]float64(nil), p.C...)
+	for _, oc := range d.SetC {
+		c[oc.Col] = oc.C
+	}
+	removed := make(map[int]bool, len(d.RemoveCols))
+	for _, j := range d.RemoveCols {
+		removed[j] = true
+	}
+	for j := 0; j < p.NumCols(); j++ {
+		if removed[j] {
+			continue
+		}
+		rows32, vals := p.Col(j)
+		rows := make([]int, len(rows32))
+		for i, r := range rows32 {
+			rows[i] = int(r)
+		}
+		out.AddColumn(c[j], rows, vals)
+	}
+	for k := range d.AddCols {
+		out.AddColumn(d.AddC[k], d.AddCols[k].Rows, d.AddCols[k].Vals)
+	}
+	return out
+}
+
+// requireResolveMatchesCold applies d through the persistent solver and
+// cross-checks against a cold solve of the independently mutated problem:
+// same problem data, certified optimality on both, and matching objectives.
+func requireResolveMatchesCold(t *testing.T, label string, s *Solver, d ProblemDelta, tol float64) (*Solution, *Solution) {
+	t.Helper()
+	ref := applyDeltaRef(s.Problem(), d)
+	warm, err := s.Resolve(d)
+	if err != nil {
+		t.Fatalf("%s: Resolve: %v", label, err)
+	}
+	if !reflect.DeepEqual(s.Problem().B, ref.B) || !reflect.DeepEqual(s.Problem().C, ref.C) ||
+		!reflect.DeepEqual(s.Problem().Rows, ref.Rows) || !reflect.DeepEqual(s.Problem().Vals, ref.Vals) ||
+		!reflect.DeepEqual(s.Problem().ColPtr, ref.ColPtr) {
+		t.Fatalf("%s: in-place delta application diverged from reference", label)
+	}
+	cold, err := (&Revised{NoPerturb: s.Config.NoPerturb, Pricing: s.Config.Pricing}).Solve(ref)
+	if err != nil {
+		t.Fatalf("%s: cold solve: %v", label, err)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > tol*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("%s: warm objective %v vs cold %v (tol %v)", label, warm.Objective, cold.Objective, tol)
+	}
+	if err := Verify(ref, warm, 1e-6); err != nil {
+		t.Fatalf("%s: warm solution fails certification: %v", label, err)
+	}
+	if err := Verify(ref, cold, 1e-6); err != nil {
+		t.Fatalf("%s: cold solution fails certification: %v", label, err)
+	}
+	return warm, cold
+}
+
+// resolveTol is the warm-vs-cold objective tolerance: both paths solve the
+// identically perturbed problem to proven optimality, but may stop at
+// different optimal bases of a dual-degenerate optimum, so the objectives
+// agree to round-off, not necessarily to the last bit.
+const resolveTol = 1e-9
+
+func TestSolverColdMatchesRevised(t *testing.T) {
+	rng := xrand.New(91)
+	for trial := 0; trial < 10; trial++ {
+		p := randomPacking(rng, 5+rng.Intn(30), 3+rng.Intn(10), 5)
+		s := NewSolver(Revised{})
+		got, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := (&Revised{}).Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// identical code path and start basis: bit-identical
+		if got.Objective != want.Objective || got.Iterations != want.Iterations ||
+			!reflect.DeepEqual(got.X, want.X) || !reflect.DeepEqual(got.Y, want.Y) {
+			t.Fatalf("trial %d: pooled cold solve differs from stateless Revised", trial)
+		}
+		s.Release()
+	}
+}
+
+func TestResolveBoundChanges(t *testing.T) {
+	rng := xrand.New(17)
+	p := randomPacking(rng, 40, 12, 5)
+	s := NewSolver(Revised{})
+	if _, err := s.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	// grow some capacities (keeps the old basis feasible: ideal warm case)
+	var d ProblemDelta
+	for i := 40; i < 52; i += 3 {
+		d.SetB = append(d.SetB, BoundChange{Row: i, B: p.B[i] + 2})
+	}
+	requireResolveMatchesCold(t, "grow-bounds", s, d, resolveTol)
+	if s.Stats().WarmSolves == 0 {
+		t.Errorf("bound growth did not take the warm path: %+v", s.Stats())
+	}
+
+	// shrink capacities — may warm-solve or fall back, must stay correct
+	d = ProblemDelta{}
+	for i := 40; i < 52; i += 2 {
+		d.SetB = append(d.SetB, BoundChange{Row: i, B: math.Max(0, p.B[i]-1)})
+	}
+	requireResolveMatchesCold(t, "shrink-bounds", s, d, resolveTol)
+	s.Release()
+}
+
+func TestResolveColumnChurn(t *testing.T) {
+	rng := xrand.New(29)
+	p := randomPacking(rng, 50, 15, 5)
+	s := NewSolver(Revised{})
+	sol, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove a mix of basic (x > 0) and nonbasic columns, add fresh ones.
+	var d ProblemDelta
+	for j := 0; j < len(sol.X) && len(d.RemoveCols) < 8; j++ {
+		if sol.X[j] > 0.5 {
+			d.RemoveCols = append(d.RemoveCols, j)
+		}
+	}
+	for j := 1; j < len(sol.X) && len(d.RemoveCols) < 12; j += 7 {
+		if sol.X[j] <= 0.5 {
+			d.RemoveCols = append(d.RemoveCols, j)
+		}
+	}
+	for k := 0; k < 6; k++ {
+		grp := rng.Intn(50)
+		ev := 50 + rng.Intn(15)
+		d.AddCols = append(d.AddCols, Column{Rows: []int{grp, ev}, Vals: []float64{1, 1}})
+		d.AddC = append(d.AddC, rng.Float64())
+	}
+	requireResolveMatchesCold(t, "column-churn", s, d, resolveTol)
+	if s.Stats().WarmSolves == 0 {
+		t.Logf("column churn fell back to cold: %+v (correct, but unexpected)", s.Stats())
+	}
+
+	// chained deltas keep working (warm-on-warm)
+	for round := 0; round < 5; round++ {
+		n := s.Problem().NumCols()
+		d = ProblemDelta{RemoveCols: []int{rng.Intn(n)}}
+		grp := rng.Intn(50)
+		d.AddCols = []Column{{Rows: []int{grp, 50 + rng.Intn(15)}, Vals: []float64{1, 1}}}
+		d.AddC = []float64{rng.Float64()}
+		requireResolveMatchesCold(t, "chained", s, d, resolveTol)
+	}
+	s.Release()
+}
+
+func TestResolveObjectiveChanges(t *testing.T) {
+	rng := xrand.New(43)
+	p := randomPacking(rng, 30, 10, 4)
+	s := NewSolver(Revised{})
+	if _, err := s.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	var d ProblemDelta
+	for j := 0; j < p.NumCols(); j += 5 {
+		d.SetC = append(d.SetC, ObjChange{Col: j, C: rng.Float64() * 2})
+	}
+	requireResolveMatchesCold(t, "objective", s, d, resolveTol)
+	if s.Stats().WarmSolves == 0 {
+		t.Errorf("objective-only delta did not take the warm path: %+v", s.Stats())
+	}
+	s.Release()
+}
+
+// TestResolveDualRepairOnShrink engineers a basis that turns primal
+// infeasible under the new bounds: the dual-simplex repair must fix it on
+// the warm path (no cold fallback) and land on the new optimum.
+func TestResolveDualRepairOnShrink(t *testing.T) {
+	// max x s.t. x ≤ 2 (row 0), x ≤ 3 (row 1): optimum x = 2, slack1 = 1.
+	p := NewProblem(2, []float64{2, 3}, []float64{1}, []Column{
+		{Rows: []int{0, 1}, Vals: []float64{1, 1}},
+	})
+	s := NewSolver(Revised{NoPerturb: true})
+	if _, err := s.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	// b1 = 1 < current x = 2 ⇒ the old basis gives slack1 = −1: primal
+	// infeasible until the repair pivots.
+	d := ProblemDelta{SetB: []BoundChange{{Row: 1, B: 1}}}
+	sol, err := s.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1) > 1e-9 {
+		t.Errorf("objective %v, want 1", sol.Objective)
+	}
+	if s.Stats().WarmSolves != 1 || s.Stats().FallbackInfeasible != 0 {
+		t.Errorf("expected a repaired warm solve, stats %+v", s.Stats())
+	}
+}
+
+// TestResolveAfterFailedSolveGoesCold pins that a solve that did not end
+// Optimal never seeds a warm start.
+func TestResolveAfterFailedSolveGoesCold(t *testing.T) {
+	rng := xrand.New(97)
+	p := randomPacking(rng, 20, 8, 4)
+	s := NewSolver(Revised{MaxIter: 1})
+	if _, err := s.Solve(p); err != ErrIterLimit {
+		t.Fatalf("err = %v, want ErrIterLimit", err)
+	}
+	s.Config.MaxIter = 0 // restore the default budget
+	sol, err := s.Resolve(ProblemDelta{SetC: []ObjChange{{Col: 0, C: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.Problem(), sol, 1e-6); err != nil {
+		t.Error(err)
+	}
+	if s.Stats().WarmSolves != 0 || s.Stats().ColdSolves != 2 {
+		t.Errorf("expected cold-only solves, stats %+v", s.Stats())
+	}
+	s.Release()
+}
+
+func TestResolveValidation(t *testing.T) {
+	s := NewSolver(Revised{})
+	if _, err := s.Resolve(ProblemDelta{}); err != ErrNoProblem {
+		t.Errorf("Resolve before Solve: err = %v, want ErrNoProblem", err)
+	}
+	p := NewProblem(1, []float64{2}, []float64{1},
+		[]Column{{Rows: []int{0}, Vals: []float64{1}}})
+	if _, err := s.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ProblemDelta{
+		{SetB: []BoundChange{{Row: 5, B: 1}}},
+		{SetB: []BoundChange{{Row: 0, B: -1}}},
+		{SetB: []BoundChange{{Row: 0, B: math.NaN()}}},
+		{SetC: []ObjChange{{Col: 3, C: 1}}},
+		{SetC: []ObjChange{{Col: 0, C: math.Inf(1)}}},
+		{RemoveCols: []int{9}},
+		{AddCols: []Column{{Rows: []int{0}, Vals: []float64{1}}}}, // missing AddC
+		{AddCols: []Column{{Rows: []int{7}, Vals: []float64{1}}}, AddC: []float64{1}},
+		{AddCols: []Column{{Rows: []int{0}, Vals: []float64{math.NaN()}}}, AddC: []float64{1}},
+	}
+	for i, d := range bad {
+		if _, err := s.Resolve(d); err == nil {
+			t.Errorf("bad delta %d accepted", i)
+		}
+	}
+	// the problem must be untouched by rejected deltas
+	sol, err := s.Resolve(ProblemDelta{})
+	if err != nil || math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("after rejected deltas: sol=%+v err=%v", sol, err)
+	}
+	s.Release()
+	// Release resets: Solve works again
+	if _, err := s.Solve(p); err != nil {
+		t.Errorf("Solve after Release: %v", err)
+	}
+}
+
+// TestResolveWorkerInvariance pins that the warm path, like the cold one, is
+// bit-identical for every worker count (forced Devex so the pooled pricing
+// passes really run).
+func TestResolveWorkerInvariance(t *testing.T) {
+	rng := xrand.New(61)
+	p := randomPacking(rng, 200, 40, 6)
+	var d ProblemDelta
+	for j := 0; j < 30; j += 3 {
+		d.RemoveCols = append(d.RemoveCols, j)
+	}
+	for k := 0; k < 10; k++ {
+		d.AddCols = append(d.AddCols, Column{
+			Rows: []int{rng.Intn(200), 200 + rng.Intn(40)}, Vals: []float64{1, 1}})
+		d.AddC = append(d.AddC, rng.Float64())
+	}
+	d.SetB = append(d.SetB, BoundChange{Row: 205, B: p.B[205] + 1})
+
+	run := func(workers int) *Solution {
+		s := NewSolver(Revised{Pricing: "devex", Workers: workers, ParallelThreshold: 1})
+		if _, err := s.Solve(p); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sol, err := s.Resolve(d)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		s.Release()
+		return sol
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := run(workers)
+		if got.Objective != ref.Objective || got.Iterations != ref.Iterations ||
+			!reflect.DeepEqual(got.X, ref.X) || !reflect.DeepEqual(got.Y, ref.Y) {
+			t.Fatalf("workers=%d: warm resolve differs from workers=1", workers)
+		}
+	}
+}
+
+// FuzzResolve mutates a random packing LP through a persistent solver —
+// removing and adding columns, shrinking and growing bounds, rescaling
+// objectives — and asserts after every step that Resolve's optimum matches a
+// cold solve of the same mutated problem and certifies via Verify.
+func FuzzResolve(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(7))
+	f.Add(int64(-77), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint8) {
+		rng := xrand.New(seed)
+		p := randomPacking(rng, 3+rng.Intn(25), 2+rng.Intn(8), 4)
+		s := NewSolver(Revised{})
+		if _, err := s.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Release()
+		g := 0 // group count unknown here; rows 0..? — recover from B
+		for i, b := range s.Problem().B {
+			if b != 1 {
+				break
+			}
+			g = i + 1
+		}
+		m := s.Problem().NumRows
+		for step := 0; step < int(steps%16); step++ {
+			cur := s.Problem()
+			n := cur.NumCols()
+			var d ProblemDelta
+			switch rng.Intn(4) {
+			case 0: // shrink/grow a capacity row
+				if m > g {
+					row := g + rng.Intn(m-g)
+					nb := float64(rng.Intn(5))
+					d.SetB = append(d.SetB, BoundChange{Row: row, B: nb})
+				}
+			case 1: // remove up to 3 random columns
+				for k := 0; k < 1+rng.Intn(3) && n > 1; k++ {
+					d.RemoveCols = append(d.RemoveCols, rng.Intn(n))
+				}
+			case 2: // add up to 3 random columns
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					rows := []int{}
+					vals := []float64{}
+					if g > 0 {
+						rows = append(rows, rng.Intn(g))
+						vals = append(vals, 1)
+					}
+					if m > g {
+						rows = append(rows, g+rng.Intn(m-g))
+						vals = append(vals, 1)
+					}
+					d.AddCols = append(d.AddCols, Column{Rows: rows, Vals: vals})
+					d.AddC = append(d.AddC, rng.Float64())
+				}
+			case 3: // rescale an objective coefficient
+				if n > 0 {
+					d.SetC = append(d.SetC, ObjChange{Col: rng.Intn(n), C: rng.Float64() * 3})
+				}
+			}
+			if d.Empty() {
+				continue
+			}
+			ref := applyDeltaRef(cur, d)
+			warm, err := s.Resolve(d)
+			if err != nil {
+				t.Fatalf("step %d: Resolve: %v", step, err)
+			}
+			cold, err := (&Revised{}).Solve(ref)
+			if err != nil {
+				t.Fatalf("step %d: cold: %v", step, err)
+			}
+			if math.Abs(warm.Objective-cold.Objective) > 1e-8*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("step %d: warm %v vs cold %v", step, warm.Objective, cold.Objective)
+			}
+			if err := Verify(ref, warm, 1e-6); err != nil {
+				t.Fatalf("step %d: warm certificate: %v", step, err)
+			}
+		}
+	})
+}

@@ -116,16 +116,69 @@ func (s *Revised) Solve(p *Problem) (*Solution, error) {
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
-	m, n := p.NumRows, p.NumCols()
-	if m == 0 {
-		// No constraints: x = 0 is optimal unless some c_j > 0.
-		for _, c := range p.C {
-			if c > reducedTol {
-				return &Solution{Status: Unbounded}, ErrUnbounded
-			}
-		}
-		return &Solution{Status: Optimal, X: make([]float64, n), Y: nil, Objective: 0}, nil
+	if sol, done := trivialSolution(p); done {
+		return sol, solutionErr(sol)
 	}
+	st := newRevisedState(p, !s.NoPerturb)
+	if err := st.refactorize(); err != nil {
+		return nil, err
+	}
+	return s.pivot(st, false)
+}
+
+// trivialSolution handles the m == 0 degenerate case shared by the cold and
+// warm entry points: x = 0 is optimal unless some c_j > 0.
+func trivialSolution(p *Problem) (*Solution, bool) {
+	if p.NumRows != 0 {
+		return nil, false
+	}
+	for _, c := range p.C {
+		if c > reducedTol {
+			return &Solution{Status: Unbounded}, true
+		}
+	}
+	return &Solution{Status: Optimal, X: make([]float64, p.NumCols()), Y: nil, Objective: 0}, true
+}
+
+// solutionErr maps a terminal non-optimal status to its sentinel error.
+func solutionErr(sol *Solution) error {
+	switch sol.Status {
+	case Unbounded:
+		return ErrUnbounded
+	case IterLimit:
+		return ErrIterLimit
+	}
+	return nil
+}
+
+// selectDevex resolves the pricing rule for an m×n problem.
+func (s *Revised) selectDevex(m, n int) (bool, error) {
+	switch s.Pricing {
+	case "devex":
+		return true, nil
+	case "dantzig":
+		return false, nil
+	case "", "auto":
+		// Measured on the Table I workloads (see DESIGN.md): Dantzig wins
+		// below ~3000 rows (|U|=2000 defaults: 0.9s vs 2.5s) because the
+		// per-pivot Devex pass over all columns outweighs its iteration
+		// savings; beyond that the degenerate churn explodes under Dantzig
+		// (|U|=4000: 96k pivots vs 19k) and Devex wins several-fold. On
+		// very wide problems (Meetup: ~8·10⁵ columns) the O(n) update pass
+		// dominates everything, so Dantzig with a pricing window is used.
+		return m > DevexRowThreshold && n+m <= DevexColumnLimit, nil
+	default:
+		return false, fmt.Errorf("lp: unknown pricing rule %q", s.Pricing)
+	}
+}
+
+// pivot runs the simplex loop from st's current basis, which must already be
+// factorized and primal feasible. With warm == false the Devex reference
+// framework is reset (the cold, all-slack start); with warm == true any
+// reference weights carried in st.weights survive, so a re-solve keeps the
+// pricing memory of the previous optimum.
+func (s *Revised) pivot(st *revisedState, warm bool) (*Solution, error) {
+	m, n := st.m, st.n
 	maxIter := s.MaxIter
 	if maxIter <= 0 {
 		maxIter = 20000 + 200*(m+n)
@@ -138,25 +191,11 @@ func (s *Revised) Solve(p *Problem) (*Solution, error) {
 	if window <= 0 {
 		window = 4096
 	}
-	devex := false
-	switch s.Pricing {
-	case "devex":
-		devex = true
-	case "dantzig":
-	case "", "auto":
-		// Measured on the Table I workloads (see DESIGN.md): Dantzig wins
-		// below ~3000 rows (|U|=2000 defaults: 0.9s vs 2.5s) because the
-		// per-pivot Devex pass over all columns outweighs its iteration
-		// savings; beyond that the degenerate churn explodes under Dantzig
-		// (|U|=4000: 96k pivots vs 19k) and Devex wins several-fold. On
-		// very wide problems (Meetup: ~8·10⁵ columns) the O(n) update pass
-		// dominates everything, so Dantzig with a pricing window is used.
-		devex = m > DevexRowThreshold && n+m <= DevexColumnLimit
-	default:
-		return nil, fmt.Errorf("lp: unknown pricing rule %q", s.Pricing)
+	devex, err := s.selectDevex(m, n)
+	if err != nil {
+		return nil, err
 	}
 
-	st := newRevisedState(p, m, n, !s.NoPerturb)
 	st.workers = par.Workers(s.Workers)
 	parallelThreshold := s.ParallelThreshold
 	if parallelThreshold <= 0 {
@@ -165,11 +204,8 @@ func (s *Revised) Solve(p *Problem) (*Solution, error) {
 	if st.workers > 1 && n+m < parallelThreshold {
 		st.workers = 1
 	}
-	if err := st.refactorize(); err != nil {
-		return nil, err
-	}
 	if devex {
-		st.initDevex()
+		st.initDevex(warm)
 	}
 
 	iters := 0
@@ -324,35 +360,76 @@ type revisedState struct {
 
 	rowSeq []int32   // rowSeq[i] = i: slack column indices and full-rhs rows
 	ones   []float64 // all ones: slack column values
+
+	// xOut, yOut back the returned Solution's X and Y. They are reused
+	// across solves on the same state, so a persistent Solver's steady-state
+	// Resolve allocates nothing but the Solution header; see the aliasing
+	// contract on Solver.
+	xOut, yOut []float64
 }
 
-func newRevisedState(p *Problem, m, n int, perturb bool) *revisedState {
-	st := &revisedState{
-		p: p, m: m, n: n,
-		workers: 1,
-		b:       append([]float64(nil), p.B...),
-		basis:   make([]int, m),
-		posOf:   make([]int, n+m),
-		xB:      make([]float64, m),
-		cB:      make([]float64, m),
-		y:       make([]float64, m),
-		d:       make([]float64, m),
-		work:    make([]float64, m),
-		lu:      &luFactors{},
-		rowSeq:  make([]int32, m),
-		ones:    make([]float64, m),
+func newRevisedState(p *Problem, perturb bool) *revisedState {
+	st := &revisedState{lu: &luFactors{}}
+	st.rebind(p, perturb)
+	return st
+}
+
+// resizeF reslices s to length n, allocating only when the capacity is too
+// small. Contents are unspecified; callers overwrite what they read.
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	if perturb {
-		for i := range st.b {
-			if st.b[i] > 0 {
-				st.b[i] += perturbDelta(i, st.b[i])
-			}
+	return s[:n]
+}
+
+// resizeI is resizeF for int slices.
+func resizeI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// rebind points the state at problem p and resets it to the all-slack basis,
+// reusing every backing array whose capacity suffices — the cold-start path
+// of a pooled or persistent solver allocates nothing in steady state. The
+// warm path (Solver.Resolve) instead patches basis, posOf and weights in
+// place and never calls rebind.
+func (st *revisedState) rebind(p *Problem, perturb bool) {
+	m, n := p.NumRows, p.NumCols()
+	st.p, st.m, st.n = p, m, n
+	st.workers = 1
+	st.loadRHS(perturb)
+	st.basis = resizeI(st.basis, m)
+	st.posOf = resizeI(st.posOf, n+m)
+	st.xB = resizeF(st.xB, m)
+	st.cB = resizeF(st.cB, m)
+	st.y = resizeF(st.y, m)
+	st.d = resizeF(st.d, m)
+	st.work = resizeF(st.work, m)
+	for i := range st.work {
+		st.work[i] = 0 // the LU solves require (and preserve) zeroed scratch
+	}
+	if st.scratch != nil {
+		st.scratch = resizeF(st.scratch, m)
+		for i := range st.scratch {
+			st.scratch[i] = 0
 		}
 	}
-	for i := 0; i < m; i++ {
-		st.rowSeq[i] = int32(i)
-		st.ones[i] = 1
+	if st.beta != nil {
+		st.beta = resizeF(st.beta, m)
 	}
+	st.rowSeq = st.rowSeq[:0]
+	st.ones = st.ones[:0]
+	for i := 0; i < m; i++ {
+		st.rowSeq = append(st.rowSeq, int32(i))
+		st.ones = append(st.ones, 1)
+	}
+	st.etas = st.etas[:0]
+	st.etaIdx = st.etaIdx[:0]
+	st.etaVal = st.etaVal[:0]
+	st.basisCols = st.basisCols[:0]
 	for i := range st.posOf {
 		st.posOf[i] = -1
 	}
@@ -361,7 +438,22 @@ func newRevisedState(p *Problem, m, n int, perturb bool) *revisedState {
 		st.posOf[n+i] = i
 		st.xB[i] = st.b[i]
 	}
-	return st
+}
+
+// loadRHS refreshes st.b from the problem's right-hand side, applying the
+// deterministic anti-degeneracy perturbation. The perturbation depends only
+// on (row, bound), so a warm re-solve after a bound delta works on exactly
+// the rhs a cold solve of the changed problem would see.
+func (st *revisedState) loadRHS(perturb bool) {
+	st.b = resizeF(st.b, st.m)
+	copy(st.b, st.p.B)
+	if perturb {
+		for i := range st.b {
+			if st.b[i] > 0 {
+				st.b[i] += perturbDelta(i, st.b[i])
+			}
+		}
+	}
 }
 
 func (st *revisedState) objCoef(v int) float64 {
@@ -385,8 +477,10 @@ func (st *revisedState) columnOf(v int) ([]int32, []float64) {
 // refactorize rebuilds the LU factorization of the current basis, clears the
 // eta file, and recomputes x_B = B⁻¹b to shed accumulated round-off.
 func (st *revisedState) refactorize() error {
-	if st.basisCols == nil {
+	if cap(st.basisCols) < st.m {
 		st.basisCols = make([]spCol, st.m)
+	} else {
+		st.basisCols = st.basisCols[:st.m]
 	}
 	for i, v := range st.basis {
 		rows, vals := st.columnOf(v)
@@ -498,11 +592,21 @@ func (st *revisedState) reducedCost(q int) float64 {
 
 // --- Devex pricing -------------------------------------------------------
 
-// initDevex allocates and fills the Devex state: exact reduced costs for
-// every variable and unit reference weights.
-func (st *revisedState) initDevex() {
-	st.rvec = make([]float64, st.n+st.m)
-	st.weights = make([]float64, st.n+st.m)
+// initDevex sizes and fills the Devex state: exact reduced costs for every
+// variable, plus reference weights. A cold start (warm == false) zeroes the
+// weights so refreshReducedCosts resets them to the unit reference framework
+// — bit-identical to a fresh state. A warm start keeps whatever weights the
+// caller carried over (Solver.Resolve remaps the previous solve's weights),
+// preserving the pricing memory of the previous optimum.
+func (st *revisedState) initDevex(warm bool) {
+	total := st.n + st.m
+	st.rvec = resizeF(st.rvec, total)
+	if !warm || len(st.weights) != total {
+		st.weights = resizeF(st.weights, total)
+		for i := range st.weights {
+			st.weights[i] = 0
+		}
+	}
 	st.refreshReducedCosts()
 }
 
@@ -652,6 +756,120 @@ func (st *revisedState) updateDevex(q, r int) {
 
 // --- Dantzig pricing ------------------------------------------------------
 
+// dualRepairResult reports how a dual-repair phase ended.
+type dualRepairResult int
+
+const (
+	// repairOK: the basis is primal feasible (possibly after zero pivots).
+	repairOK dualRepairResult = iota
+	// repairStalled: no eligible entering column, a degenerate pivot row,
+	// or the pivot budget ran out — the infeasibility could not be fixed.
+	repairStalled
+	// repairSingular: a mid-repair refactorization failed numerically.
+	repairSingular
+)
+
+// dualRepair restores primal feasibility after a warm-start delta changed
+// the right-hand side (or a removed basic column was substituted by a
+// slack), using dual simplex pivots: pick the most negative basic value,
+// price its pivot row, and bring in the entering variable that keeps the
+// reduced costs non-positive. Starting from a (near-)optimal basis the dual
+// values are feasible, so each pivot strictly improves the dual objective
+// and the loop converges in a handful of pivots for a small delta — the
+// reason warm re-solves beat cold ones. Returns the pivot count and how the
+// phase ended; on anything but repairOK the caller falls back to a cold
+// solve, so repair failure costs correctness nothing.
+func (st *revisedState) dualRepair(maxPivots, refactorEvery int) (int, dualRepairResult) {
+	for pivots := 0; ; pivots++ {
+		// leaving row: most negative basic value (deterministic tie-break on
+		// basis position)
+		r := -1
+		worst := -warmFeasTol
+		for i, x := range st.xB {
+			if x < worst {
+				worst = x
+				r = i
+			}
+		}
+		if r < 0 {
+			// clamp repair-tolerance negatives so the primal ratio test
+			// starts from a feasible point
+			for i, x := range st.xB {
+				if x < 0 {
+					st.xB[i] = 0
+				}
+			}
+			return pivots, repairOK
+		}
+		if pivots >= maxPivots {
+			return pivots, repairStalled
+		}
+
+		// price row r: α_j = (B⁻¹)_r·a_j for every nonbasic j, and current
+		// reduced costs via one BTRAN
+		st.btran() // y = B⁻ᵀc_B (st.d is scratch here, reloaded below)
+		st.btranUnit(r)
+		beta := st.beta
+		q := -1
+		var bestRatio, bestAlpha float64
+		total := st.n + st.m
+		for j := 0; j < total; j++ {
+			if st.posOf[j] >= 0 {
+				continue
+			}
+			var alpha float64
+			if j < st.n {
+				lo, hi := st.p.ColPtr[j], st.p.ColPtr[j+1]
+				for k := lo; k < hi; k++ {
+					alpha += beta[st.p.Rows[k]] * st.p.Vals[k]
+				}
+			} else {
+				alpha = beta[j-st.n]
+			}
+			if alpha >= -pivotTol {
+				continue
+			}
+			red := st.reducedCost(j)
+			if red > 0 {
+				red = 0 // dual-infeasible stragglers: treat as boundary
+			}
+			ratio := red / alpha // ≥ 0
+			if q < 0 || ratio < bestRatio-pivotTol ||
+				(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
+				q, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		if q < 0 {
+			return pivots, repairStalled
+		}
+
+		st.ftran(q)
+		dr := st.d[r]
+		if dr > -pivotTol {
+			// pivot row disagrees with its priced α: bail out
+			return pivots, repairStalled
+		}
+		theta := st.xB[r] / dr // xB[r] < 0, dr < 0 ⇒ θ > 0
+		for i := 0; i < st.m; i++ {
+			if v := st.d[i]; v != 0 && i != r {
+				st.xB[i] -= theta * v
+			}
+		}
+		st.xB[r] = theta
+		leaving := st.basis[r]
+		st.posOf[leaving] = -1
+		st.basis[r] = q
+		st.posOf[q] = r
+		st.cB[r] = st.objCoef(q)
+		st.pushEta(r)
+		if len(st.etas) >= refactorEvery {
+			if st.refactorize() != nil {
+				return pivots, repairSingular
+			}
+		}
+	}
+}
+
 // pricePartial scans a window of variables starting at cursor and returns
 // the best improving one; if the window has none it widens to a full pass,
 // which also certifies optimality (return -1).
@@ -692,9 +910,14 @@ func (st *revisedState) priceBland() int {
 	return -1
 }
 
-// extract assembles the optimal solution from the final basis.
+// extract assembles the optimal solution from the final basis. X and Y are
+// views into state-owned buffers, reused by the next solve on this state.
 func (st *revisedState) extract(iters int) *Solution {
-	x := make([]float64, st.n)
+	st.xOut = resizeF(st.xOut, st.n)
+	x := st.xOut
+	for i := range x {
+		x[i] = 0
+	}
 	for i, v := range st.basis {
 		if v < st.n {
 			val := st.xB[i]
@@ -708,7 +931,8 @@ func (st *revisedState) extract(iters int) *Solution {
 	for j, c := range st.p.C {
 		obj += c * x[j]
 	}
-	y := make([]float64, st.m)
+	st.yOut = resizeF(st.yOut, st.m)
+	y := st.yOut
 	copy(y, st.y)
 	for i := range y {
 		if y[i] < 0 && y[i] > -1e-9 {

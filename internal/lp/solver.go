@@ -1,0 +1,471 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Solver is a persistent, warm-starting LP solver. Unlike the one-shot
+// Backends (Dense, Revised), a Solver owns its simplex state — basis, LU
+// factors, eta arena, Devex reference weights and every scratch vector —
+// across solves:
+//
+//	s := lp.NewSolver(lp.Revised{Workers: w})
+//	sol, err := s.Solve(p)          // cold solve, installs the basis
+//	sol, err = s.Resolve(delta)     // warm re-solve from the previous basis
+//	s.Release()                     // return the state arena to the pool
+//
+// Resolve applies a ProblemDelta (columns added/removed, bounds or objective
+// coefficients changed) to the Solver's owned copy of the problem and
+// re-optimizes from the previous optimal basis instead of the all-slack
+// start. Removed basic columns are replaced by free row slacks; if the
+// patched basis turns out numerically singular or primal infeasible, Resolve
+// falls back to a cold solve automatically, so it is never less correct than
+// solving from scratch — only (usually much) faster. Stats reports how often
+// each path ran.
+//
+// The underlying state lives in a sync.Pool arena keyed by the row
+// dimension, so short-lived Solvers in a high-QPS serving loop recycle the
+// factorization workspace instead of reallocating it per request. To keep
+// the steady-state Resolve allocation-free, returned Solutions alias
+// solver-owned buffers: X and Y are valid until the next Solve or Resolve
+// call on the same Solver (Release detaches them, so the final solution
+// survives the solver). Callers that need older solutions must copy.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	// Config carries the revised-simplex options (pricing rule, worker
+	// bound, iteration limits). The zero value uses the package defaults.
+	Config Revised
+
+	prob   *Problem // owned working copy of the current problem
+	st     *revisedState
+	warmOK bool // previous solve ended Optimal with st.basis valid for prob
+	stats  SolverStats
+
+	// scratch reused across Resolve calls
+	removed   []bool
+	colMap    []int
+	slackUsed []bool
+	wScratch  []float64
+}
+
+// SolverStats counts how a Solver's solves were served.
+type SolverStats struct {
+	// ColdSolves counts solves from the all-slack basis (Solve calls plus
+	// Resolve fallbacks).
+	ColdSolves int
+	// WarmSolves counts Resolve calls served from the previous basis.
+	WarmSolves int
+	// FallbackSingular counts Resolve calls whose patched basis failed to
+	// factorize and fell back to a cold solve.
+	FallbackSingular int
+	// FallbackInfeasible counts Resolve calls whose patched basis was
+	// primal infeasible under the new bounds and fell back to a cold solve.
+	FallbackInfeasible int
+	// WarmPivots is the total number of simplex iterations spent in warm
+	// re-solves (dual-repair pivots plus the primal finish) — the work
+	// metric the ≥5× speedup claim is about.
+	WarmPivots int
+}
+
+// NewSolver returns a persistent solver with the given revised-simplex
+// configuration.
+func NewSolver(cfg Revised) *Solver {
+	return &Solver{Config: cfg}
+}
+
+// BoundChange sets row Row's right-hand side to B (the packing form still
+// requires B ≥ 0).
+type BoundChange struct {
+	Row int
+	B   float64
+}
+
+// ObjChange sets column Col's objective coefficient to C. Col refers to the
+// pre-delta column indexing.
+type ObjChange struct {
+	Col int
+	C   float64
+}
+
+// ProblemDelta is a small change to the Solver's current problem. It is
+// applied in one step: bounds and objective coefficients first (pre-delta
+// indices), then column removals, then additions. The row dimension never
+// changes. After application, surviving columns keep their relative order
+// and added columns are appended in order — the contract incremental callers
+// (core.Planner) rely on to track their own column maps without a return
+// channel.
+type ProblemDelta struct {
+	// SetB changes right-hand-side bounds (capacities).
+	SetB []BoundChange
+	// SetC changes objective coefficients of surviving columns; changes to
+	// columns also listed in RemoveCols are ignored.
+	SetC []ObjChange
+	// RemoveCols lists pre-delta column indices to delete. Duplicates are
+	// tolerated.
+	RemoveCols []int
+	// AddCols are appended after removal; AddC holds their objective
+	// coefficients, aligned with AddCols.
+	AddCols []Column
+	AddC    []float64
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *ProblemDelta) Empty() bool {
+	return len(d.SetB) == 0 && len(d.SetC) == 0 && len(d.RemoveCols) == 0 && len(d.AddCols) == 0
+}
+
+// ErrNoProblem is returned by Resolve before any successful Solve.
+var ErrNoProblem = errors.New("lp: Resolve called before Solve installed a problem")
+
+// Stats returns the solve-path counters accumulated so far.
+func (s *Solver) Stats() SolverStats { return s.stats }
+
+// Problem returns the Solver's owned copy of the current (post-delta)
+// problem. Callers must treat it as read-only; mutate it only through
+// Resolve.
+func (s *Solver) Problem() *Problem { return s.prob }
+
+// Solve installs a copy of p as the Solver's current problem and solves it
+// cold (all-slack basis). The state arena is acquired from the dimension
+// pool on first use and reused afterwards.
+func (s *Solver) Solve(p *Problem) (*Solution, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	s.copyProblem(p)
+	return s.cold()
+}
+
+// Release returns the simplex state to the dimension-keyed arena pool and
+// detaches the problem. The Solver may be reused with a fresh Solve.
+func (s *Solver) Release() {
+	if s.st != nil {
+		releaseState(s.st)
+		s.st = nil
+	}
+	s.prob = nil
+	s.warmOK = false
+}
+
+// Resolve applies the delta to the current problem and re-optimizes. It
+// warm-starts from the previous basis whenever that basis is still
+// factorizable and primal feasible under the new data, and falls back to a
+// cold solve otherwise. Either way the returned solution is optimal for the
+// post-delta problem (and certifiable by Verify against Problem()).
+func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
+	if s.prob == nil {
+		return nil, ErrNoProblem
+	}
+	oldN := s.prob.NumCols()
+	if err := s.checkDelta(&d, oldN); err != nil {
+		return nil, err
+	}
+
+	warm := s.warmOK && s.st != nil && s.prob.NumRows > 0
+	if warm {
+		warm = s.substituteRemovedBasics(&d, oldN)
+	}
+	s.applyDelta(&d, oldN)
+	if err := s.prob.Check(); err != nil {
+		s.warmOK = false
+		return nil, fmt.Errorf("lp: delta produced invalid problem: %w", err)
+	}
+	if !warm {
+		return s.cold()
+	}
+
+	st := s.st
+	newN := s.prob.NumCols()
+	s.remapState(oldN, newN)
+	st.loadRHS(!s.Config.NoPerturb)
+
+	if err := st.refactorize(); err != nil {
+		s.stats.FallbackSingular++
+		return s.cold()
+	}
+	// The patched basis is typically primal infeasible after bound shrinks
+	// or basic-column removals; a short dual-simplex phase repairs it in a
+	// few pivots. If the repair stalls, solve cold — correctness never
+	// depends on the warm path.
+	refactorEvery := s.Config.RefactorEvery
+	if refactorEvery <= 0 {
+		refactorEvery = 128
+	}
+	repairPivots, repair := st.dualRepair(4*st.m+16, refactorEvery)
+	switch repair {
+	case repairSingular:
+		s.stats.FallbackSingular++
+		return s.cold()
+	case repairStalled:
+		s.stats.FallbackInfeasible++
+		return s.cold()
+	}
+	s.stats.WarmSolves++
+	s.stats.WarmPivots += repairPivots
+	sol, err := s.Config.pivot(st, true)
+	if sol != nil {
+		s.stats.WarmPivots += sol.Iterations
+	}
+	return s.finish(sol, err)
+}
+
+// pivotSubstTol is the minimum pivot magnitude accepted when swapping a
+// removed basic column for a slack. It is far stricter than pivotTol: a
+// marginal pivot here seeds the whole warm solve with a badly conditioned
+// factorization, and falling back cold is cheap.
+const pivotSubstTol = 1e-7
+
+// warmFeasTol is the primal-feasibility tolerance on the warm basis: x_B
+// entries below it mean the previous basis is infeasible under the new
+// bounds and the warm start is abandoned. It matches the round-off clamping
+// threshold of refactorize.
+const warmFeasTol = 1e-9
+
+// cold solves the current problem from the all-slack basis on the (pooled)
+// state arena.
+func (s *Solver) cold() (*Solution, error) {
+	s.stats.ColdSolves++
+	if sol, done := trivialSolution(s.prob); done {
+		s.warmOK = false
+		return sol, solutionErr(sol)
+	}
+	if s.st == nil {
+		s.st = acquireState(s.prob.NumRows)
+	}
+	s.st.rebind(s.prob, !s.Config.NoPerturb)
+	if err := s.st.refactorize(); err != nil {
+		s.warmOK = false
+		return nil, err
+	}
+	return s.finish(s.Config.pivot(s.st, false))
+}
+
+// finish records whether the state is a valid warm-start source.
+func (s *Solver) finish(sol *Solution, err error) (*Solution, error) {
+	s.warmOK = err == nil && sol != nil && sol.Status == Optimal
+	return sol, err
+}
+
+// copyProblem deep-copies p into the Solver's owned problem, reusing backing
+// arrays.
+func (s *Solver) copyProblem(p *Problem) {
+	if s.prob == nil {
+		s.prob = &Problem{}
+	}
+	dst := s.prob
+	dst.NumRows = p.NumRows
+	dst.B = append(dst.B[:0], p.B...)
+	dst.C = append(dst.C[:0], p.C...)
+	dst.ColPtr = append(dst.ColPtr[:0], p.ColPtr...)
+	dst.Rows = append(dst.Rows[:0], p.Rows...)
+	dst.Vals = append(dst.Vals[:0], p.Vals...)
+}
+
+// checkDelta validates the delta against the current problem shape.
+func (s *Solver) checkDelta(d *ProblemDelta, oldN int) error {
+	m := s.prob.NumRows
+	for _, bc := range d.SetB {
+		if bc.Row < 0 || bc.Row >= m {
+			return fmt.Errorf("lp: delta bound on row %d of %d", bc.Row, m)
+		}
+		if bc.B < 0 || math.IsNaN(bc.B) || math.IsInf(bc.B, 0) {
+			return fmt.Errorf("lp: delta bound b[%d] = %v (packing form requires finite b ≥ 0)", bc.Row, bc.B)
+		}
+	}
+	for _, oc := range d.SetC {
+		if oc.Col < 0 || oc.Col >= oldN {
+			return fmt.Errorf("lp: delta objective on column %d of %d", oc.Col, oldN)
+		}
+		if math.IsNaN(oc.C) || math.IsInf(oc.C, 0) {
+			return fmt.Errorf("lp: non-finite delta objective c[%d]", oc.Col)
+		}
+	}
+	for _, j := range d.RemoveCols {
+		if j < 0 || j >= oldN {
+			return fmt.Errorf("lp: delta removes column %d of %d", j, oldN)
+		}
+	}
+	if len(d.AddCols) != len(d.AddC) {
+		return fmt.Errorf("lp: %d added columns with %d objective coefficients", len(d.AddCols), len(d.AddC))
+	}
+	for k := range d.AddCols {
+		col := &d.AddCols[k]
+		if len(col.Rows) != len(col.Vals) {
+			return fmt.Errorf("lp: added column %d has mismatched rows/vals", k)
+		}
+		for i, r := range col.Rows {
+			if r < 0 || r >= m {
+				return fmt.Errorf("lp: added column %d references row %d of %d", k, r, m)
+			}
+			if math.IsNaN(col.Vals[i]) || math.IsInf(col.Vals[i], 0) {
+				return fmt.Errorf("lp: non-finite value in added column %d", k)
+			}
+		}
+		if math.IsNaN(d.AddC[k]) || math.IsInf(d.AddC[k], 0) {
+			return fmt.Errorf("lp: non-finite objective for added column %d", k)
+		}
+	}
+	return nil
+}
+
+// substituteRemovedBasics pivots every basic variable about to be removed
+// out of the basis, replacing it with a nonbasic row slack via a legal
+// product-form update: the entering slack is the first of the column's own
+// rows whose FTRAN'd pivot element is comfortably nonzero, so the patched
+// basis is nonsingular by construction (the failure of naive substitution,
+// which picks a slack blind and routinely lands on a zero pivot). Basic
+// values are left stale — the post-delta refactorization recomputes x_B and
+// dualRepair absorbs any infeasibility the swap introduced. Runs before the
+// delta mutates the column storage, while the removed columns' row lists
+// are still readable; variable indices stay in the pre-delta space and
+// remapState translates them after compaction. Returns false when some
+// removed basic column has no usable entering slack — then the warm start
+// is abandoned.
+func (s *Solver) substituteRemovedBasics(d *ProblemDelta, oldN int) bool {
+	st := s.st
+	if len(d.RemoveCols) == 0 {
+		return true
+	}
+	if cap(s.removed) < oldN {
+		s.removed = make([]bool, oldN)
+	} else {
+		s.removed = s.removed[:oldN]
+		for i := range s.removed {
+			s.removed[i] = false
+		}
+	}
+	for _, j := range d.RemoveCols {
+		s.removed[j] = true
+	}
+	for i, v := range st.basis {
+		if v >= oldN || !s.removed[v] {
+			continue
+		}
+		entered := false
+		rows, _ := s.prob.Col(v)
+		for _, r32 := range rows {
+			q := oldN + int(r32)
+			if st.posOf[q] >= 0 {
+				continue // that row's slack is already basic
+			}
+			st.ftran(q) // d = B⁻¹ e_r
+			dr := st.d[i]
+			if dr < pivotSubstTol && dr > -pivotSubstTol {
+				continue // pivot too small: basis would go singular
+			}
+			st.posOf[v] = -1
+			st.basis[i] = q
+			st.posOf[q] = i
+			st.cB[i] = 0
+			st.pushEta(i)
+			entered = true
+			break
+		}
+		if !entered {
+			return false
+		}
+	}
+	return true
+}
+
+// applyDelta mutates the owned problem: bounds, objective coefficients,
+// column compaction (filling s.colMap with the old→new index map, -1 for
+// removed), then appended columns.
+func (s *Solver) applyDelta(d *ProblemDelta, oldN int) {
+	p := s.prob
+	for _, bc := range d.SetB {
+		p.B[bc.Row] = bc.B
+	}
+	for _, oc := range d.SetC {
+		p.C[oc.Col] = oc.C
+	}
+	s.colMap = resizeI(s.colMap, oldN)
+	if len(d.RemoveCols) == 0 {
+		for j := range s.colMap {
+			s.colMap[j] = j
+		}
+	} else {
+		if cap(s.removed) < oldN {
+			s.removed = make([]bool, oldN)
+		} else {
+			s.removed = s.removed[:oldN]
+			for i := range s.removed {
+				s.removed[i] = false
+			}
+		}
+		for _, j := range d.RemoveCols {
+			s.removed[j] = true
+		}
+		w, nz := 0, 0
+		for j := 0; j < oldN; j++ {
+			if s.removed[j] {
+				s.colMap[j] = -1
+				continue
+			}
+			lo, hi := p.ColPtr[j], p.ColPtr[j+1]
+			if nz != lo {
+				copy(p.Rows[nz:nz+hi-lo], p.Rows[lo:hi])
+				copy(p.Vals[nz:nz+hi-lo], p.Vals[lo:hi])
+			}
+			nz += hi - lo
+			p.C[w] = p.C[j]
+			s.colMap[j] = w
+			w++
+			p.ColPtr[w] = nz
+		}
+		p.ColPtr = p.ColPtr[:w+1]
+		p.C = p.C[:w]
+		p.Rows = p.Rows[:nz]
+		p.Vals = p.Vals[:nz]
+	}
+	for k := range d.AddCols {
+		p.AddColumn(d.AddC[k], d.AddCols[k].Rows, d.AddCols[k].Vals)
+	}
+}
+
+// remapState translates the persistent state from the pre-delta variable
+// space (oldN structurals) to the post-delta one (newN): basis entries,
+// posOf, and the Devex reference weights (surviving columns keep their
+// weight, added columns start at the unit reference, slacks shift).
+func (s *Solver) remapState(oldN, newN int) {
+	st := s.st
+	m := st.m
+	for i, v := range st.basis {
+		if v < oldN {
+			st.basis[i] = s.colMap[v] // ≥ 0: removed basics were substituted
+		} else {
+			st.basis[i] = newN + (v - oldN)
+		}
+	}
+	st.n = newN
+	st.posOf = resizeI(st.posOf, newN+m)
+	for i := range st.posOf {
+		st.posOf[i] = -1
+	}
+	for i, v := range st.basis {
+		st.posOf[v] = i
+	}
+	if len(st.weights) == oldN+m {
+		s.wScratch = resizeF(s.wScratch, newN+m)
+		w := s.wScratch
+		for j := 0; j < newN+m; j++ {
+			w[j] = 1
+		}
+		for j := 0; j < oldN; j++ {
+			if nj := s.colMap[j]; nj >= 0 {
+				w[nj] = st.weights[j]
+			}
+		}
+		for i := 0; i < m; i++ {
+			w[newN+i] = st.weights[oldN+i]
+		}
+		st.weights, s.wScratch = w, st.weights
+	}
+}
+
+// A *Solver satisfies Backend, so it can be plugged anywhere a one-shot
+// solver is expected (e.g. core.Options.Solver) while still pooling its
+// state arena across calls.
+var _ Backend = (*Solver)(nil)

@@ -24,11 +24,28 @@
 // no shard systematically collects the extra seats. Arrivals are processed
 // in batches of B; between batches the coordinator renews the leases:
 // every shard's unused seats return to the pool and the pool is re-split
-// evenly (remainder rotated by event and epoch). Consumed seats stay with
-// the shard that granted them, so renewal never invalidates a past grant.
-// Renewal is what keeps utility loss from capacity fragmentation bounded:
-// a shard that received seats its users never wanted holds them for at most
-// one batch.
+// according to the lease policy. Consumed seats stay with the shard that
+// granted them, so renewal never invalidates a past grant. Renewal is what
+// keeps utility loss from capacity fragmentation bounded: a shard that
+// received seats its users never wanted holds them for at most one batch.
+//
+// # Lease policies
+//
+// The re-split rule is Options.Lease:
+//
+//   - LeaseDemand (default): each event's free pool is split in proportion
+//     to the shards' pending-bidder counts for the next batch — the
+//     coordinator knows the batch composition before dispatch, so seats go
+//     where bidders are about to arrive. Events nobody in the next batch
+//     bids on fall back to the even split.
+//   - LeaseEven: the pool is re-split evenly, remainder rotated by (event,
+//     epoch) — the PR-2 protocol, kept as the ablation baseline.
+//   - LeaseLP: the coordinator solves a small transportation LP over
+//     (shard, event) seat grants — maximizing predicted next-batch value
+//     subject to the free pool, per-shard attendance caps and per-pair
+//     demand caps — on a persistent warm-started solver (lp.Solver): the
+//     LP's shape is fixed across renewals, so each round is a bounds+
+//     objective delta re-solved from the previous basis.
 //
 // # Determinism and merge
 //
@@ -43,8 +60,10 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/lp"
 	"github.com/ebsn/igepa/internal/model"
 	"github.com/ebsn/igepa/internal/online"
 	"github.com/ebsn/igepa/internal/par"
@@ -82,6 +101,37 @@ func (k PlannerKind) String() string {
 	}
 }
 
+// LeasePolicy selects how the coordinator re-splits each event's free seat
+// pool at renewal time.
+type LeasePolicy int
+
+const (
+	// LeaseDemand splits each pool in proportion to the shards' pending
+	// bidder counts for the next batch (largest-remainder rounding; even
+	// split for events with no pending demand). The default.
+	LeaseDemand LeasePolicy = iota
+	// LeaseEven splits each pool evenly, remainder rotated by (event,
+	// epoch) — the original protocol, kept for ablation.
+	LeaseEven
+	// LeaseLP solves a transportation LP over (shard, event) grants on a
+	// persistent warm-started solver and leases seats along its optimum.
+	LeaseLP
+)
+
+// String implements fmt.Stringer.
+func (l LeasePolicy) String() string {
+	switch l {
+	case LeaseDemand:
+		return "demand"
+	case LeaseEven:
+		return "even"
+	case LeaseLP:
+		return "lp"
+	default:
+		return fmt.Sprintf("LeasePolicy(%d)", int(l))
+	}
+}
+
 // Options configures Serve.
 type Options struct {
 	// Shards is S, the number of independent serving shards. 0 means 1.
@@ -101,6 +151,12 @@ type Options struct {
 	// MaxSetsPerUser caps per-user admissible-set enumeration
 	// (0 = package default).
 	MaxSetsPerUser int
+	// Lease selects the renewal policy (default LeaseDemand).
+	Lease LeasePolicy
+	// RecordLatency, when set, measures each arrival's decision latency and
+	// returns the samples in Result.Latencies. Timing adds a clock read per
+	// arrival and has no effect on decisions.
+	RecordLatency bool
 }
 
 // Result carries the merged arrangement plus the serving diagnostics.
@@ -121,6 +177,12 @@ type Result struct {
 	MovedSeats int
 	// Arrivals[s] is the number of arrivals served by shard s.
 	Arrivals []int
+	// Latencies[u] is user u's decision latency (only when
+	// Options.RecordLatency; zero for users absent from the order).
+	Latencies []time.Duration
+	// LeaseSolves counts warm/cold LP solves of the lease-split LP
+	// (LeaseLP only).
+	LeaseSolves lp.SolverStats
 }
 
 // ShardOf returns the shard in [0, shards) owning user u. The partition is
@@ -206,8 +268,12 @@ func Serve(in *model.Instance, order []int, opt Options) (*Result, error) {
 	}
 
 	res := &Result{Shards: s, Batch: b, Arrivals: make([]int, s)}
+	if opt.RecordLatency {
+		res.Latencies = make([]time.Duration, nu)
+	}
+	renewer := newLeaseRenewer(in, budgets, planners, opt)
+	defer renewer.close()
 	batches := make([][]int, s)
-	newRem := make([]int, s)
 	for start := 0; start < len(order); start += b {
 		end := start + b
 		if end > len(order) {
@@ -223,15 +289,22 @@ func Serve(in *model.Instance, order []int, opt Options) (*Result, error) {
 		}
 		par.Do(opt.Workers, s, func(si int) {
 			for _, u := range batches[si] {
-				parts[si].Sets[u] = planners[si].arrive(u)
+				if res.Latencies != nil {
+					t0 := time.Now()
+					parts[si].Sets[u] = planners[si].arrive(u)
+					res.Latencies[u] = time.Since(t0)
+				} else {
+					parts[si].Sets[u] = planners[si].arrive(u)
+				}
 			}
 		})
 		res.Epochs++
 		if end < len(order) && s > 1 {
-			res.MovedSeats += renewLeases(in, budgets, planners, res.Epochs, newRem)
+			res.MovedSeats += renewer.renew(res.Epochs, order[end:min(end+b, len(order))])
 			res.LeaseRenewals++
 		}
 	}
+	res.LeaseSolves = renewer.solveStats()
 
 	merged, err := model.MergeDisjoint(nu, parts...)
 	if err != nil {
@@ -241,6 +314,324 @@ func Serve(in *model.Instance, order []int, opt Options) (*Result, error) {
 	res.Arrangement = merged
 	res.Utility = model.Utility(in, merged)
 	return res, nil
+}
+
+// leaseRenewer drives the between-batch renewal rounds for one Serve call.
+// It carries the policy-specific state: the pending-demand tallies for
+// LeaseDemand, plus the persistent warm-started split LP for LeaseLP.
+type leaseRenewer struct {
+	in       *model.Instance
+	budgets  [][]int
+	planners []shardPlanner
+	opt      Options
+	s, nv    int
+
+	newRem []int // per-shard scratch, reused every event
+
+	// demand tallies for the next batch (LeaseDemand, LeaseLP)
+	demand    []int     // [s*nv+v]: pending bidders of shard s for event v
+	value     []float64 // [s*nv+v]: summed pair weight of those bidders
+	attCap    []int     // [s]: summed user capacity of the shard's next batch
+	fracOrder []int     // largest-remainder scratch
+	frac      []float64
+
+	// LeaseLP state
+	solver  *lp.Solver
+	lpReady bool
+	delta   lp.ProblemDelta
+	pool    []int // per-event free seats, reused every renewal
+}
+
+func newLeaseRenewer(in *model.Instance, budgets [][]int, planners []shardPlanner, opt Options) *leaseRenewer {
+	s := len(budgets)
+	r := &leaseRenewer{
+		in: in, budgets: budgets, planners: planners, opt: opt,
+		s: s, nv: in.NumEvents(),
+		newRem: make([]int, s),
+	}
+	if opt.Lease != LeaseEven && s > 1 {
+		r.demand = make([]int, s*r.nv)
+		r.value = make([]float64, s*r.nv)
+		r.attCap = make([]int, s)
+		r.fracOrder = make([]int, s)
+		r.frac = make([]float64, s)
+	}
+	return r
+}
+
+// close releases the split LP's solver state to the arena pool.
+func (r *leaseRenewer) close() {
+	if r.solver != nil {
+		r.solver.Release()
+	}
+}
+
+// solveStats reports the split LP's warm/cold counters (zero unless LeaseLP
+// ran).
+func (r *leaseRenewer) solveStats() lp.SolverStats {
+	if r.solver == nil {
+		return lp.SolverStats{}
+	}
+	return r.solver.Stats()
+}
+
+// renew performs one renewal round before the next batch (whose arrivals are
+// given) and returns the number of seats that changed owner.
+func (r *leaseRenewer) renew(epoch int, next []int) int {
+	switch r.opt.Lease {
+	case LeaseEven:
+		return renewLeases(r.in, r.budgets, r.planners, epoch, r.newRem)
+	case LeaseLP:
+		r.tallyDemand(next)
+		if moved, ok := r.renewLP(epoch); ok {
+			return moved
+		}
+		// LP unavailable (numerical failure): demand split is the safety net.
+		return r.renewDemand(epoch)
+	default: // LeaseDemand
+		r.tallyDemand(next)
+		return r.renewDemand(epoch)
+	}
+}
+
+// tallyDemand recomputes the per-(shard, event) pending-bidder counts,
+// pending pair values and per-shard attendance caps from the next batch.
+func (r *leaseRenewer) tallyDemand(next []int) {
+	for i := range r.demand {
+		r.demand[i] = 0
+		r.value[i] = 0
+	}
+	for i := range r.attCap {
+		r.attCap[i] = 0
+	}
+	wc := r.in.Weights()
+	for _, u := range next {
+		si := ShardOf(r.opt.Seed, u, r.s)
+		usr := &r.in.Users[u]
+		r.attCap[si] += min(usr.Capacity, len(usr.Bids))
+		row := wc.Row(u)
+		for i, v := range usr.Bids {
+			r.demand[si*r.nv+v]++
+			r.value[si*r.nv+v] += row[i]
+		}
+	}
+}
+
+// renewDemand splits each event's free pool in proportion to the shards'
+// pending-bidder counts (largest-remainder rounding, deterministic
+// tie-break on shard index); events with no pending demand fall back to the
+// even split with the rotating remainder. Σ_s budget[s][v] = cv is restored
+// exactly, and consumed seats never move.
+func (r *leaseRenewer) renewDemand(epoch int) int {
+	moved := 0
+	for v := 0; v < r.nv; v++ {
+		used := 0
+		for si := 0; si < r.s; si++ {
+			used += r.planners[si].loads[v]
+		}
+		pool := r.in.Events[v].Capacity - used
+		total := 0
+		for si := 0; si < r.s; si++ {
+			total += r.demand[si*r.nv+v]
+		}
+		if total == 0 {
+			evenSplit(r.newRem, pool, v+epoch)
+		} else {
+			given := 0
+			for si := 0; si < r.s; si++ {
+				share := pool * r.demand[si*r.nv+v] / total
+				r.newRem[si] = share
+				r.frac[si] = float64(pool*r.demand[si*r.nv+v])/float64(total) - float64(share)
+				r.fracOrder[si] = si
+				given += share
+			}
+			// hand the leftover seats to the largest fractional remainders
+			sortByFracDesc(r.fracOrder, r.frac)
+			for k := 0; k < pool-given; k++ {
+				r.newRem[r.fracOrder[k%r.s]]++
+			}
+		}
+		moved += r.applyEvent(v)
+	}
+	return moved
+}
+
+// applyEvent installs r.newRem as event v's new free-seat split and counts
+// moved seats.
+func (r *leaseRenewer) applyEvent(v int) int {
+	moved := 0
+	for si := 0; si < r.s; si++ {
+		load := r.planners[si].loads[v]
+		if oldRem := r.budgets[si][v] - load; r.newRem[si] > oldRem {
+			moved += r.newRem[si] - oldRem
+		}
+		r.budgets[si][v] = load + r.newRem[si]
+	}
+	return moved
+}
+
+// evenSplit fills newRem with pool seats split evenly across the shards,
+// the remainder rotated by offset so extra seats circulate — the one copy
+// of the base/remainder rule shared by LeaseEven and the zero-demand
+// fallback of LeaseDemand.
+func evenSplit(newRem []int, pool, offset int) {
+	s := len(newRem)
+	base, rem := pool/s, pool%s
+	for si := range newRem {
+		newRem[si] = base
+	}
+	for k := 0; k < rem; k++ {
+		newRem[(offset+k)%s]++
+	}
+}
+
+// sortByFracDesc sorts the shard indices by fractional part descending,
+// ties by shard index ascending — an insertion sort over at most a few
+// dozen shards.
+func sortByFracDesc(idx []int, frac []float64) {
+	for i := 1; i < len(idx); i++ {
+		x := idx[i]
+		j := i - 1
+		for j >= 0 && (frac[idx[j]] < frac[x] || (frac[idx[j]] == frac[x] && idx[j] > x)) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = x
+	}
+}
+
+// --- LP lease policy ------------------------------------------------------
+//
+// The split LP has one variable y_{s,v} per (shard, event) — the seats
+// leased to shard s for event v in the next epoch — and maximizes the
+// predicted value of the next batch:
+//
+//	max  Σ c_{s,v}·y_{s,v}
+//	s.t. Σ_s y_{s,v}         ≤ pool_v        (event rows: the free pool)
+//	     Σ_v y_{s,v}         ≤ attCap_s      (shard rows: attendance caps)
+//	     y_{s,v}             ≤ demand_{s,v}  (pair rows: pending bidders)
+//
+// with c_{s,v} the mean pending pair weight. The shape (rows, columns,
+// nonzeros) is identical at every renewal — only bounds and objective move —
+// so after the first cold solve every round is a ProblemDelta re-solved warm
+// from the previous basis: exactly the regime lp.Solver.Resolve exists for.
+// Leftover pool seats (demand below supply) are parked by the even rotation
+// so Σ_s budget = cv stays exact.
+
+// lpRow layout: event rows [0,nv), shard rows [nv,nv+s), pair rows
+// [nv+s, nv+s+s*nv) in (shard-major, event-minor) order — matching the
+// column order y_{0,0..nv-1}, y_{1,·}, ...
+
+// buildSplitLP assembles the first epoch's problem.
+func (r *leaseRenewer) buildSplitLP(pool []int) *lp.Problem {
+	s, nv := r.s, r.nv
+	m := nv + s + s*nv
+	p := &lp.Problem{NumRows: m, B: make([]float64, m)}
+	for v := 0; v < nv; v++ {
+		p.B[v] = float64(pool[v])
+	}
+	for si := 0; si < s; si++ {
+		p.B[nv+si] = float64(r.attCap[si])
+	}
+	for i, d := range r.demand {
+		p.B[nv+s+i] = float64(d)
+	}
+	p.Reserve(s*nv, 3*s*nv)
+	for si := 0; si < s; si++ {
+		for v := 0; v < nv; v++ {
+			i := si*nv + v
+			c := 0.0
+			if r.demand[i] > 0 {
+				c = r.value[i] / float64(r.demand[i])
+			}
+			p.AddColumn(c, []int{v, nv + si, nv + s + i}, []float64{1, 1, 1})
+		}
+	}
+	return p
+}
+
+// renewLP computes the demand-optimal split by (re-)solving the split LP
+// warm and rounding its optimum per event with the largest-remainder rule.
+// Returns ok=false when the solve fails; the caller falls back to the
+// proportional split.
+func (r *leaseRenewer) renewLP(epoch int) (int, bool) {
+	s, nv := r.s, r.nv
+	if r.pool == nil {
+		r.pool = make([]int, nv)
+	}
+	pool := r.pool
+	for v := 0; v < nv; v++ {
+		used := 0
+		for si := 0; si < s; si++ {
+			used += r.planners[si].loads[v]
+		}
+		pool[v] = r.in.Events[v].Capacity - used
+	}
+
+	var sol *lp.Solution
+	var err error
+	if !r.lpReady {
+		if r.solver == nil {
+			r.solver = lp.NewSolver(lp.Revised{Workers: r.opt.Workers})
+		}
+		sol, err = r.solver.Solve(r.buildSplitLP(pool))
+		if err == nil {
+			r.lpReady = true
+		}
+	} else {
+		d := &r.delta
+		d.SetB = d.SetB[:0]
+		d.SetC = d.SetC[:0]
+		for v := 0; v < nv; v++ {
+			d.SetB = append(d.SetB, lp.BoundChange{Row: v, B: float64(pool[v])})
+		}
+		for si := 0; si < s; si++ {
+			d.SetB = append(d.SetB, lp.BoundChange{Row: nv + si, B: float64(r.attCap[si])})
+		}
+		for i, dem := range r.demand {
+			d.SetB = append(d.SetB, lp.BoundChange{Row: nv + s + i, B: float64(dem)})
+			c := 0.0
+			if dem > 0 {
+				c = r.value[i] / float64(dem)
+			}
+			d.SetC = append(d.SetC, lp.ObjChange{Col: i, C: c})
+		}
+		sol, err = r.solver.Resolve(*d)
+	}
+	if err != nil {
+		r.lpReady = false
+		return 0, false
+	}
+
+	moved := 0
+	for v := 0; v < nv; v++ {
+		given := 0
+		for si := 0; si < s; si++ {
+			y := sol.X[si*nv+v]
+			share := int(y + 1e-6) // y is ≥ 0 up to solver round-off
+			if share > pool[v]-given {
+				share = pool[v] - given
+			}
+			r.newRem[si] = share
+			r.frac[si] = y - float64(share)
+			r.fracOrder[si] = si
+			given += share
+		}
+		if given < pool[v] {
+			// leftover (demand below supply, or fractional optimum): top up
+			// by fractional part, then rotate the rest evenly
+			sortByFracDesc(r.fracOrder, r.frac)
+			left := pool[v] - given
+			for k := 0; k < min(left, s); k++ {
+				r.newRem[r.fracOrder[k]]++
+			}
+			for k := s; k < left; k++ {
+				r.newRem[(v+epoch+k)%s]++
+			}
+		}
+		moved += r.applyEvent(v)
+	}
+	return moved, true
 }
 
 // renewLeases implements the renewal round: per event, reclaim every
@@ -257,13 +648,7 @@ func renewLeases(in *model.Instance, budgets [][]int, planners []shardPlanner, e
 			used += planners[si].loads[v]
 		}
 		pool := in.Events[v].Capacity - used
-		base, rem := pool/s, pool%s
-		for si := 0; si < s; si++ {
-			newRem[si] = base
-		}
-		for k := 0; k < rem; k++ {
-			newRem[(v+epoch+k)%s]++
-		}
+		evenSplit(newRem, pool, v+epoch)
 		for si := 0; si < s; si++ {
 			load := planners[si].loads[v]
 			if oldRem := budgets[si][v] - load; newRem[si] > oldRem {

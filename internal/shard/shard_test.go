@@ -155,6 +155,103 @@ func TestUtilityDegradesGracefully(t *testing.T) {
 	}
 }
 
+// TestLeasePoliciesFeasibleAndDeterministic extends the acceptance suite to
+// every lease policy: feasibility through the shared oracle, bit-identical
+// results across worker counts and reruns.
+func TestLeasePoliciesFeasibleAndDeterministic(t *testing.T) {
+	in := testInstance(t, 29, 200, 30)
+	order := arrivalOrder(5, in.NumUsers())
+	for _, pol := range []LeasePolicy{LeaseDemand, LeaseEven, LeaseLP} {
+		for _, s := range []int{2, 8} {
+			label := fmt.Sprintf("%v/S=%d", pol, s)
+			opt := Options{Shards: s, Batch: 32, Seed: 42, Lease: pol, Workers: 1}
+			base, err := Serve(in, order, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			modeltest.RequireFeasible(t, label, in, base.Arrangement)
+			if pol == LeaseLP && base.LeaseSolves.WarmSolves == 0 {
+				t.Errorf("%s: lease LP never warm-solved: %+v", label, base.LeaseSolves)
+			}
+			for _, workers := range []int{3, 0} {
+				opt.Workers = workers
+				got, err := Serve(in, order, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				modeltest.RequireEqual(t, fmt.Sprintf("%s workers=%d", label, workers), base.Arrangement, got.Arrangement)
+			}
+		}
+	}
+}
+
+// TestDemandLeaseClosesUtilityGap pins the headline of the demand-aware
+// renewal: on the mid-size synthetic workload where the even split lost
+// ≈10% of single-shard utility at S=8, the demand and LP policies must stay
+// within 3% (measured: demand ≈0.9995, LP ≈1.047 — the LP split can beat
+// the single planner by steering seats toward upcoming high-value bidders).
+func TestDemandLeaseClosesUtilityGap(t *testing.T) {
+	in := testInstance(t, 13, 300, 40)
+	order := arrivalOrder(9, in.NumUsers())
+	single, err := Serve(in, order, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []LeasePolicy{LeaseDemand, LeaseLP} {
+		res, err := Serve(in, order, Options{Shards: 8, Batch: 32, Lease: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.Utility / single.Utility
+		t.Logf("S=8 %v: %.4f of single shard (moved %d seats, lease solves %+v)",
+			pol, ratio, res.MovedSeats, res.LeaseSolves)
+		if ratio < 0.97 {
+			t.Errorf("S=8 %v: utility %.4f of single shard, want ≥ 0.97", pol, ratio)
+		}
+	}
+}
+
+// TestRecordLatency pins the latency plumbing: samples only for served
+// users, all non-negative, absent unless requested.
+func TestRecordLatency(t *testing.T) {
+	in := testInstance(t, 31, 80, 12)
+	order := arrivalOrder(4, in.NumUsers())
+	half := order[:40]
+	res, err := Serve(in, half, Options{Shards: 4, RecordLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latencies) != in.NumUsers() {
+		t.Fatalf("latencies length %d, want %d", len(res.Latencies), in.NumUsers())
+	}
+	served := make(map[int]bool, len(half))
+	for _, u := range half {
+		served[u] = true
+		if res.Latencies[u] <= 0 {
+			t.Errorf("served user %d has latency %v", u, res.Latencies[u])
+		}
+	}
+	for u, l := range res.Latencies {
+		if !served[u] && l != 0 {
+			t.Errorf("unserved user %d has latency %v", u, l)
+		}
+	}
+	res, err = Serve(in, half, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latencies != nil {
+		t.Error("latencies recorded without RecordLatency")
+	}
+}
+
+func TestLeasePolicyString(t *testing.T) {
+	if LeaseDemand.String() != "demand" || LeaseEven.String() != "even" ||
+		LeaseLP.String() != "lp" || LeasePolicy(9).String() == "" {
+		t.Error("LeasePolicy.String broken")
+	}
+}
+
 // TestRenewLeasesInvariant white-boxes the renewal round: it must restore
 // Σ_s budget[s][v] = cv exactly, never revoke a consumed seat, and conserve
 // the free pool.
@@ -196,6 +293,62 @@ func TestRenewLeasesInvariant(t *testing.T) {
 			}
 			if sum != in.Events[v].Capacity {
 				t.Fatalf("trial %d: event %d leases sum to %d, capacity %d", trial, v, sum, in.Events[v].Capacity)
+			}
+		}
+	}
+}
+
+// TestRenewPoliciesInvariant extends the renewal white-box to the demand and
+// LP policies: whatever the split rule, renewal must restore
+// Σ_s budget[s][v] = cv exactly and never revoke a consumed seat.
+func TestRenewPoliciesInvariant(t *testing.T) {
+	in := testInstance(t, 37, 120, 15)
+	rng := xrand.New(2)
+	const s = 4
+	for _, pol := range []LeasePolicy{LeaseDemand, LeaseLP} {
+		for trial := 0; trial < 20; trial++ {
+			budgets := make([][]int, s)
+			planners := make([]shardPlanner, s)
+			for si := 0; si < s; si++ {
+				budgets[si] = make([]int, in.NumEvents())
+				planners[si] = shardPlanner{loads: make([]int, in.NumEvents())}
+			}
+			for v := 0; v < in.NumEvents(); v++ {
+				cv := in.Events[v].Capacity
+				for k := 0; k < cv; k++ {
+					budgets[rng.Intn(s)][v]++
+				}
+				for si := 0; si < s; si++ {
+					if budgets[si][v] > 0 {
+						planners[si].loads[v] = rng.Intn(budgets[si][v] + 1)
+					}
+				}
+			}
+			var next []int
+			for u := 0; u < in.NumUsers(); u++ {
+				if rng.Bool(0.3) {
+					next = append(next, u)
+				}
+			}
+			r := newLeaseRenewer(in, budgets, planners, Options{Shards: s, Lease: pol, Seed: 7})
+			moved := r.renew(trial+1, next)
+			r.close()
+			if moved < 0 {
+				t.Fatalf("%v trial %d: negative moved-seat count %d", pol, trial, moved)
+			}
+			for v := 0; v < in.NumEvents(); v++ {
+				sum := 0
+				for si := 0; si < s; si++ {
+					if budgets[si][v] < planners[si].loads[v] {
+						t.Fatalf("%v trial %d: shard %d event %d: budget %d below load %d",
+							pol, trial, si, v, budgets[si][v], planners[si].loads[v])
+					}
+					sum += budgets[si][v]
+				}
+				if sum != in.Events[v].Capacity {
+					t.Fatalf("%v trial %d: event %d leases sum to %d, capacity %d",
+						pol, trial, v, sum, in.Events[v].Capacity)
+				}
 			}
 		}
 	}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// Arrival is one timestamped user arrival in a serving stream: the JSONL
+// currency between cmd/igepa-datagen (which writes arrival logs next to
+// generated instances) and cmd/igepa-serve (which replays them and reports
+// decision latency). Timestamps are milliseconds from stream start.
+type Arrival struct {
+	TMillis int64 `json:"t_ms"`
+	User    int   `json:"user"`
+}
+
+// SyntheticArrivals generates a deterministic timestamped arrival stream:
+// every user arrives exactly once, in seeded random order, with exponential
+// inter-arrival gaps at the given mean rate (arrivals per second). rate ≤ 0
+// means 1000/s.
+func SyntheticArrivals(seed int64, numUsers int, rate float64) []Arrival {
+	if rate <= 0 {
+		rate = 1000
+	}
+	rng := xrand.New(seed)
+	order := rng.Perm(numUsers)
+	out := make([]Arrival, numUsers)
+	t := 0.0
+	for i, u := range order {
+		// inverse-CDF exponential gap; 1−U ∈ (0,1] keeps the log finite
+		t += -math.Log(1-rng.Float64()) / rate * 1000
+		out[i] = Arrival{TMillis: int64(t), User: u}
+	}
+	return out
+}
+
+// WriteArrivals writes the stream as JSON Lines, one arrival per line.
+func WriteArrivals(w io.Writer, arrivals []Arrival) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range arrivals {
+		if err := enc.Encode(&arrivals[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadArrivals parses a JSONL arrival log, validating that timestamps are
+// non-decreasing and users are non-negative. Blank lines are skipped.
+func ReadArrivals(r io.Reader) ([]Arrival, error) {
+	var out []Arrival
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	prev := int64(math.MinInt64)
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var a Arrival
+		if err := json.Unmarshal(raw, &a); err != nil {
+			return nil, fmt.Errorf("workload: arrival log line %d: %w", line, err)
+		}
+		if a.User < 0 {
+			return nil, fmt.Errorf("workload: arrival log line %d: negative user %d", line, a.User)
+		}
+		if a.TMillis < prev {
+			return nil, fmt.Errorf("workload: arrival log line %d: timestamp %d before %d", line, a.TMillis, prev)
+		}
+		prev = a.TMillis
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading arrival log: %w", err)
+	}
+	return out, nil
+}
+
+// ArrivalOrder projects the stream onto the replay order cmd/igepa-serve and
+// shard.Serve consume.
+func ArrivalOrder(arrivals []Arrival) []int {
+	order := make([]int, len(arrivals))
+	for i := range arrivals {
+		order[i] = arrivals[i].User
+	}
+	return order
+}

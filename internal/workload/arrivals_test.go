@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticArrivalsShape(t *testing.T) {
+	arr := SyntheticArrivals(7, 500, 2000)
+	if len(arr) != 500 {
+		t.Fatalf("got %d arrivals, want 500", len(arr))
+	}
+	seen := make([]bool, 500)
+	prev := int64(-1)
+	for i, a := range arr {
+		if a.User < 0 || a.User >= 500 || seen[a.User] {
+			t.Fatalf("arrival %d: bad or duplicate user %d", i, a.User)
+		}
+		seen[a.User] = true
+		if a.TMillis < prev {
+			t.Fatalf("arrival %d: timestamp %d before %d", i, a.TMillis, prev)
+		}
+		prev = a.TMillis
+	}
+	if again := SyntheticArrivals(7, 500, 2000); !reflect.DeepEqual(arr, again) {
+		t.Error("SyntheticArrivals not deterministic")
+	}
+	if same := SyntheticArrivals(8, 500, 2000); reflect.DeepEqual(arr, same) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestArrivalsRoundTrip(t *testing.T) {
+	arr := SyntheticArrivals(3, 200, 0)
+	var buf bytes.Buffer
+	if err := WriteArrivals(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArrivals(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(arr, got) {
+		t.Error("arrival log round-trip mismatch")
+	}
+	if !reflect.DeepEqual(ArrivalOrder(arr), ArrivalOrder(got)) {
+		t.Error("arrival order mismatch after round-trip")
+	}
+}
+
+func TestReadArrivalsRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"t_ms": 1, "user": -2}`,
+		"{\"t_ms\": 5, \"user\": 1}\n{\"t_ms\": 3, \"user\": 2}",
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadArrivals(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed log accepted", i)
+		}
+	}
+	got, err := ReadArrivals(strings.NewReader("\n{\"t_ms\": 1, \"user\": 0}\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank-line handling: got %v err %v", got, err)
+	}
+}
