@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ebsn/igepa/internal/server"
+	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/workload"
+)
+
+func startTarget(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	in, err := workload.Synthetic(workload.SyntheticConfig{
+		Seed: 2, NumEvents: 12, NumUsers: 80,
+		MaxEventCap: 10, MaxUserCap: 3, MinBids: 2, MaxBids: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(in, server.Config{
+		Shard:         shard.Options{Shards: 2, Batch: 16, Seed: 2, CacheSize: 256},
+		FlushInterval: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func captureRun(t *testing.T, cfg config) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "loadgen-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestOpenLoop(t *testing.T) {
+	srv, ts := startTarget(t)
+	out := captureRun(t, config{
+		addr: ts.URL, mode: "open", rate: 50000, n: 60,
+		seed: 1, timeout: 10 * time.Second,
+	})
+	if !strings.Contains(out, "open workload") || !strings.Contains(out, "sustained throughput") {
+		t.Fatalf("report missing sections:\n%s", out)
+	}
+	st := srv.Stats()
+	if st.Decided < 50 {
+		t.Fatalf("only %d decided of 60 open-loop arrivals", st.Decided)
+	}
+}
+
+func TestClosedLoopHitsCache(t *testing.T) {
+	srv, ts := startTarget(t)
+	out := captureRun(t, config{
+		addr: ts.URL, mode: "closed", conc: 4, burst: 2, cycles: 3,
+		think: time.Millisecond, seed: 1, timeout: 10 * time.Second,
+	})
+	if !strings.Contains(out, "closed workload") || !strings.Contains(out, "cache") {
+		t.Fatalf("report missing sections:\n%s", out)
+	}
+	srv.Drain(5 * time.Second)
+	st := srv.Stats()
+	if st.Decided == 0 || st.Cancels == 0 {
+		t.Fatalf("closed loop did not cycle: %+v", st)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("repeat-bid closed loop produced no cache hits: %+v", st.Cache)
+	}
+}
+
+func TestRunRejectsBadTarget(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run(null, config{addr: "http://127.0.0.1:1", mode: "open", timeout: time.Second}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	_, ts := startTarget(t)
+	if err := run(null, config{addr: ts.URL, mode: "sideways", timeout: time.Second}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,7 +1,8 @@
 // Command igepa-serve replays an online arrival stream through the sharded
 // serving layer (internal/shard) and reports how utility, throughput and
 // decision latency behave as the shard count grows — the serving-side
-// counterpart of igepa-bench's offline sweeps.
+// counterpart of igepa-bench's offline sweeps. With -listen it instead
+// hosts the HTTP serving subsystem (internal/server) over the same engine.
 //
 // Usage:
 //
@@ -12,6 +13,10 @@
 //	igepa-serve -lease lp                # warm-started LP lease splits
 //	igepa-serve -arrivals stream.jsonl   # replay a recorded arrival log
 //	igepa-serve -live-bound              # incremental LP bound per batch
+//	igepa-serve -pace 100                # wall-clock replay at 100× speed
+//	igepa-serve -cache 4096              # admissible-set cache per shard
+//	igepa-serve -listen :8080            # host the HTTP front-end
+//	igepa-serve -listen :8080 -replay    # deterministic replay dispatcher
 //
 // The arrival stream is either a timestamped JSONL log written by
 // igepa-datagen -arrivals, or the built-in synthetic stream. Every row is
@@ -19,6 +24,12 @@
 // reproduce bit-identical arrangements on every run and every GOMAXPROCS
 // (decision latencies, being wall-clock measurements, vary — the decisions
 // do not).
+//
+// With -pace the replay honors the log's timestamps: batch k is dispatched
+// only once its last arrival's (scaled) timestamp has passed, and the
+// report adds the queueing delay — time from a user's arrival to their
+// batch's dispatch — on top of the decision latency. Pacing changes when
+// decisions happen, never what they are.
 //
 // With -live-bound the command also exercises the incremental planner
 // (igepa.NewPlanner / Planner.Update): after each batch it removes the served
@@ -28,16 +39,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"sort"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/ebsn/igepa"
+	"github.com/ebsn/igepa/internal/server"
 	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/stats"
 	"github.com/ebsn/igepa/internal/workload"
 )
 
@@ -57,6 +75,14 @@ type config struct {
 	arrivals  string
 	rate      float64
 	liveBound bool
+	pace      float64
+	cache     int
+
+	// -listen mode
+	listen     string
+	flush      time.Duration
+	queueDepth int
+	replay     bool
 }
 
 func main() {
@@ -77,17 +103,100 @@ func main() {
 	flag.StringVar(&cfg.arrivals, "arrivals", "", "replay arrivals from this JSONL log (igepa-datagen -arrivals)")
 	flag.Float64Var(&cfg.rate, "rate", 1000, "synthetic stream: mean arrivals per second")
 	flag.BoolVar(&cfg.liveBound, "live-bound", false, "track the incremental LP bound across batches (warm re-solves)")
+	flag.Float64Var(&cfg.pace, "pace", 0, "wall-clock replay speed-up factor (1 = real time, 0 = as fast as possible)")
+	flag.IntVar(&cfg.cache, "cache", 0, "admissible-set cache entries per shard (0 = disabled)")
+	flag.StringVar(&cfg.listen, "listen", "", "host the HTTP serving layer on this address instead of the replay sweep")
+	flag.DurationVar(&cfg.flush, "flush", 0, "listen: micro-batch flush deadline (0 = default)")
+	flag.IntVar(&cfg.queueDepth, "queue", 0, "listen: bounded queue depth (0 = default)")
+	flag.BoolVar(&cfg.replay, "replay", false, "listen: deterministic replay dispatcher (batch-by-count, no deadlines)")
 	flag.Parse()
 
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 	var err error
 	cfg.shards, err = parseShards(shardList)
 	if err == nil {
-		err = run(os.Stdout, cfg)
+		if cfg.listen != "" {
+			if !shardsSet {
+				// the sweep default "1,2,4,8" is a shard-count list; a
+				// server is one configuration, so default to a single shard
+				cfg.shards = []int{1}
+			}
+			err = listenAndServe(os.Stdout, cfg)
+		} else {
+			err = run(os.Stdout, cfg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "igepa-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// listenAndServe hosts the HTTP serving subsystem until SIGINT/SIGTERM.
+func listenAndServe(w *os.File, cfg config) error {
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	return serveListener(w, ln, cfg)
+}
+
+// serveListener runs the HTTP server on an existing listener; it returns
+// cleanly when the listener closes (tests drive it this way).
+func serveListener(w *os.File, ln net.Listener, cfg config) error {
+	in, err := makeInstance(cfg)
+	if err != nil {
+		return err
+	}
+	kind, err := plannerKind(cfg.planner)
+	if err != nil {
+		return err
+	}
+	lease, err := leasePolicy(cfg.lease)
+	if err != nil {
+		return err
+	}
+	if len(cfg.shards) != 1 {
+		return fmt.Errorf("-listen hosts one server: pass a single -shards value (default 1), got %v", cfg.shards)
+	}
+	s := cfg.shards[0]
+	srv, err := server.New(in, server.Config{
+		Shard: shard.Options{
+			Shards: s, Batch: cfg.batch, Workers: cfg.workers, Seed: cfg.seed,
+			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
+			Lease: lease, CacheSize: cfg.cache,
+		},
+		Replay:        cfg.replay,
+		FlushInterval: cfg.flush,
+		QueueDepth:    cfg.queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	mode := "live"
+	if cfg.replay {
+		mode = "replay"
+	}
+	fmt.Fprintf(w, "igepa-serve: %s mode on %s — |V|=%d |U|=%d S=%d (POST /v1/bid, /v1/cancel; GET /v1/assignment, /v1/load, /healthz, /statsz)\n",
+		mode, ln.Addr(), in.NumEvents(), in.NumUsers(), s)
+	hs := &http.Server{Handler: srv}
+	err = hs.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
 }
 
 func parseShards(list string) ([]int, error) {
@@ -142,7 +251,7 @@ func run(w *os.File, cfg config) error {
 		return shard.Options{
 			Shards: s, Batch: cfg.batch, Workers: cfg.workers, Seed: cfg.seed,
 			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
-			Lease: lease, RecordLatency: true,
+			Lease: lease, RecordLatency: true, CacheSize: cfg.cache,
 		}
 	}
 	// The vs-single baseline is always a real S=1 run, whatever -shards says.
@@ -175,14 +284,114 @@ func run(w *os.File, cfg config) error {
 			res.Arrangement.Size(), res.MovedSeats,
 			elapsed.Round(time.Millisecond), rate,
 			p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+		if cfg.cache > 0 {
+			fmt.Fprintf(w, "%8s admissible-set cache: %d hits / %d misses (rate %.3f), %d entries\n",
+				"", res.Cache.Hits, res.Cache.Misses, res.Cache.HitRate(), res.Cache.Entries)
+		}
 	}
 
+	if cfg.pace > 0 {
+		if err := pacedReplay(w, in, stream, cfg, kind, lease); err != nil {
+			return fmt.Errorf("paced replay: %w", err)
+		}
+	}
 	if cfg.liveBound {
 		if err := liveBound(w, in, order, base, cfg); err != nil {
 			return fmt.Errorf("live bound: %w", err)
 		}
 	}
 	return nil
+}
+
+// pacedReplay re-runs the sweep honoring the stream's timestamps (scaled by
+// the pace factor): batch k dispatches once its last arrival has "arrived".
+// Decisions are identical to the unpaced sweep; what pacing adds is the
+// queueing delay every arrival spends waiting for its batch to assemble and
+// flush — the serving-time cost the throughput table cannot show.
+func pacedReplay(w *os.File, in *igepa.Instance, stream []workload.Arrival, cfg config, kind shard.PlannerKind, lease shard.LeasePolicy) error {
+	if len(stream) == 0 {
+		fmt.Fprintf(w, "\npaced replay: empty arrival stream, nothing to pace\n")
+		return nil
+	}
+	fmt.Fprintf(w, "\npaced replay at %gx: queueing delay on top of decision latency (stream spans %.1fs)\n",
+		cfg.pace, float64(stream[len(stream)-1].TMillis)/1000)
+	fmt.Fprintf(w, "%8s %10s %10s %10s %10s %10s %12.12s\n",
+		"shards", "queue-p50", "queue-p99", "decide-p50", "decide-p99", "total-p99", "utility")
+	for _, s := range cfg.shards {
+		opt := shard.Options{
+			Shards: s, Batch: cfg.batch, Workers: cfg.workers, Seed: cfg.seed,
+			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
+			Lease: lease, RecordLatency: true, CacheSize: cfg.cache,
+		}
+		res, qdelay, err := servePaced(in, stream, opt, cfg.pace)
+		if err != nil {
+			return err
+		}
+		order := workload.ArrivalOrder(stream)
+		dp50, dp99 := latencyPercentiles(res.Latencies, order)
+		qp50, qp99 := durationPercentiles(qdelay)
+		// per-arrival totals: summing the two p99s would overstate the tail
+		// (queue wait and decision order are anti-correlated in a batch)
+		totals := make([]time.Duration, len(order))
+		for i, u := range order {
+			totals[i] = qdelay[i] + res.Latencies[u]
+		}
+		_, tp99 := durationPercentiles(totals)
+		fmt.Fprintf(w, "%8d %10s %10s %10s %10s %10s %12.4f\n",
+			s,
+			qp50.Round(time.Microsecond), qp99.Round(time.Microsecond),
+			dp50.Round(time.Microsecond), dp99.Round(time.Microsecond),
+			tp99.Round(time.Microsecond), res.Utility)
+	}
+	return nil
+}
+
+// servePaced drives the shard engine over the stream with Serve's exact
+// batch schedule, but dispatches each batch only once its last arrival's
+// scaled timestamp has elapsed. qdelay[i] is arrival i's queueing delay:
+// dispatch time minus (scaled) arrival time.
+func servePaced(in *igepa.Instance, stream []workload.Arrival, opt shard.Options, pace float64) (*shard.Result, []time.Duration, error) {
+	order := workload.ArrivalOrder(stream)
+	e, err := shard.NewEngine(in, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer e.Close()
+	if err := shard.CheckOrder(in, order); err != nil {
+		return nil, nil, err
+	}
+	scaled := func(tms int64) time.Duration {
+		return time.Duration(float64(tms) / pace * float64(time.Millisecond))
+	}
+	qdelay := make([]time.Duration, len(order))
+	b := e.Batch()
+	start := time.Now()
+	for s0 := 0; s0 < len(order); s0 += b {
+		end := min(s0+b, len(order))
+		if wait := scaled(stream[end-1].TMillis) - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		flushAt := time.Since(start)
+		for i := s0; i < end; i++ {
+			if d := flushAt - scaled(stream[i].TMillis); d > 0 {
+				qdelay[i] = d
+			}
+		}
+		e.DispatchBatch(order[s0:end])
+		if end < len(order) && e.Shards() > 1 {
+			if _, err := e.RenewLeases(order[end:min(end+b, len(order))]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	res, err := e.Result()
+	return res, qdelay, err
+}
+
+// durationPercentiles returns (p50, p99) of the samples.
+func durationPercentiles(samples []time.Duration) (p50, p99 time.Duration) {
+	ps := stats.DurationPercentiles(samples, 0.50, 0.99)
+	return ps[0], ps[1]
 }
 
 // latencyPercentiles extracts the served users' decision latencies and
@@ -195,12 +404,7 @@ func latencyPercentiles(lat []time.Duration, order []int) (p50, p99 time.Duratio
 	for _, u := range order {
 		samples = append(samples, lat[u])
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	idx := func(q float64) time.Duration {
-		i := int(q * float64(len(samples)-1))
-		return samples[i]
-	}
-	return idx(0.50), idx(0.99)
+	return durationPercentiles(samples)
 }
 
 // liveBound replays the batch schedule against the incremental planner: a

@@ -1,10 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"github.com/ebsn/igepa/internal/shard"
 	"github.com/ebsn/igepa/internal/workload"
 )
 
@@ -110,5 +117,122 @@ func TestBadConfigRejected(t *testing.T) {
 	}
 	if err := run(null, config{workload: "synthetic", users: 10, events: 5, planner: "greedy", lease: "nope", shards: []int{1}}); err == nil {
 		t.Error("unknown lease policy accepted")
+	}
+}
+
+// TestRunPacedAndCached runs the sweep with wall-clock pacing (at a very
+// high speed-up so the test stays fast) and the admissible-set cache on.
+func TestRunPacedAndCached(t *testing.T) {
+	null := devNull(t)
+	cfg := config{
+		workload: "synthetic", events: 15, users: 80, seed: 4,
+		shards: []int{1, 2}, planner: "greedy", batch: 16,
+		pace: 1e6, rate: 2000, cache: 256,
+	}
+	if err := run(null, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServePacedMatchesServe pins the pacing contract: pacing changes when
+// batches dispatch, never what they decide.
+func TestServePacedMatchesServe(t *testing.T) {
+	cfg := config{workload: "synthetic", events: 15, users: 90, seed: 2}
+	in, err := makeInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.SyntheticArrivals(7, in.NumUsers(), 5000)
+	order := workload.ArrivalOrder(stream)
+	opt := shard.Options{Shards: 4, Batch: 16, Seed: 2, CacheSize: 64}
+	want, err := shard.Serve(in, order, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, qdelay, err := servePaced(in, stream, opt, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Arrangement.Equal(got.Arrangement) {
+		t.Fatal("paced replay decided differently from Serve")
+	}
+	if len(qdelay) != len(order) {
+		t.Fatalf("%d queueing-delay samples, want %d", len(qdelay), len(order))
+	}
+	for i, d := range qdelay {
+		if d < 0 {
+			t.Fatalf("negative queueing delay %v at arrival %d", d, i)
+		}
+	}
+}
+
+// TestListenServesHTTP boots the -listen mode on a loopback listener and
+// exercises the serving endpoints end to end through the command path.
+func TestListenServesHTTP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	null := devNull(t)
+	cfg := config{
+		workload: "synthetic", events: 12, users: 50, seed: 6,
+		shards: []int{2}, planner: "greedy", cache: 64,
+		flush: 200 * time.Microsecond,
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveListener(null, ln, cfg) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		NumUsers int    `json:"num_users"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health.Status != "ok" || health.NumUsers != 50 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	resp, err = client.Post(base+"/v1/bid", "application/json", strings.NewReader(`{"user":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bid struct {
+		User   int   `json:"user"`
+		Events []int `json:"events"`
+	}
+	json.NewDecoder(resp.Body).Decode(&bid)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || bid.User != 3 {
+		t.Fatalf("bid: %d %+v", resp.StatusCode, bid)
+	}
+
+	resp, err = client.Get(fmt.Sprintf("%s/statsz", base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Decided int64 `json:"decided"`
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.Decided != 1 {
+		t.Fatalf("statsz decided = %d, want 1", stats.Decided)
+	}
+
+	ln.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveListener did not exit after listener close")
 	}
 }

@@ -28,6 +28,7 @@ package igepa
 import (
 	"fmt"
 
+	"github.com/ebsn/igepa/internal/admissible"
 	"github.com/ebsn/igepa/internal/baselines"
 	"github.com/ebsn/igepa/internal/core"
 	"github.com/ebsn/igepa/internal/model"
@@ -173,15 +174,31 @@ func OnlineThreshold(in *Instance, order []int, tau, guard float64) (*Arrangemen
 // by construction and bit-identical for every worker count.
 type (
 	// ShardOptions configures sharded serving (shard count, batch size,
-	// planner policy, seed).
+	// planner policy, lease policy, admissible-set cache size, seed).
 	ShardOptions = shard.Options
-	// ShardResult carries the merged arrangement plus lease-protocol
-	// diagnostics.
+	// ShardResult carries the merged arrangement plus lease-protocol and
+	// cache diagnostics.
 	ShardResult = shard.Result
 	// ShardPlannerKind selects the per-shard online policy.
 	ShardPlannerKind = shard.PlannerKind
 	// LeasePolicy selects the lease-renewal split rule.
 	LeasePolicy = shard.LeasePolicy
+	// ShardConfigError is the typed error ServeSharded returns on invalid
+	// configuration (S ≤ 0, nil instance, negative batch or cache size,
+	// unknown planner/lease kinds) instead of panicking.
+	ShardConfigError = shard.ConfigError
+	// ShardLeaseError reports a lease-invariant violation detected at a
+	// renewal boundary (a lease-policy bug, surfaced instead of risking a
+	// double-booked seat).
+	ShardLeaseError = shard.LeaseError
+	// OnlineBudgetError is the typed error of the budget-owning online
+	// planner constructors (wrong length, negative or over-committed
+	// leases).
+	OnlineBudgetError = online.BudgetError
+	// AdmissibleCacheStats reports the serving layer's admissible-set
+	// cache counters (ShardResult.Cache; enable with
+	// ShardOptions.CacheSize).
+	AdmissibleCacheStats = admissible.CacheStats
 )
 
 // Per-shard planner policies.

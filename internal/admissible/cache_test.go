@@ -1,0 +1,114 @@
+package admissible
+
+import (
+	"testing"
+
+	"github.com/ebsn/igepa/internal/conflict"
+)
+
+func TestCacheLookupInsert(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Lookup([]int{1, 2}, 2); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	fam := [][]int{{1}, {2}, {1, 2}}
+	c.Insert([]int{1, 2}, 2, fam)
+	got, ok := c.Lookup([]int{1, 2}, 2)
+	if !ok || len(got) != 3 {
+		t.Fatalf("Lookup after Insert: ok=%v fam=%v", ok, got)
+	}
+	// same open set, different user capacity: distinct key
+	if _, ok := c.Lookup([]int{1, 2}, 3); ok {
+		t.Fatal("capacity is not part of the key")
+	}
+	// different open set: distinct key
+	if _, ok := c.Lookup([]int{1, 3}, 2); ok {
+		t.Fatal("open set is not part of the key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 3 misses / 1 entry", st)
+	}
+	if r := st.HitRate(); r <= 0 || r >= 1 {
+		t.Fatalf("hit rate %v outside (0,1)", r)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Insert([]int{0}, 1, [][]int{{0}})
+	c.Insert([]int{1}, 1, [][]int{{1}})
+	c.Lookup([]int{0}, 1) // touch {0}: {1} becomes LRU
+	c.Insert([]int{2}, 1, [][]int{{2}})
+	if _, ok := c.Lookup([]int{1}, 1); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Lookup([]int{0}, 1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Lookup([]int{2}, 1); !ok {
+		t.Fatal("fresh entry evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestCacheReinsertUpdates(t *testing.T) {
+	c := NewCache(4)
+	c.Insert([]int{3, 5}, 2, [][]int{{3}})
+	c.Insert([]int{3, 5}, 2, [][]int{{3}, {5}})
+	got, ok := c.Lookup([]int{3, 5}, 2)
+	if !ok || len(got) != 2 {
+		t.Fatalf("reinsert did not update: ok=%v fam=%v", ok, got)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("reinsert duplicated the entry: %+v", st)
+	}
+}
+
+func TestCacheZeroCapacityDefaults(t *testing.T) {
+	c := NewCache(0)
+	if c.capacity != DefaultCacheSize {
+		t.Fatalf("NewCache(0) capacity = %d, want %d", c.capacity, DefaultCacheSize)
+	}
+}
+
+// TestCachedFamilyMatchesEnumeration pins the cache's core contract: the
+// family stored for (open, cap) contains exactly the sets Enumerate would
+// produce, so scoring the cached family under any user's weights selects
+// from the same candidates as a fresh enumeration.
+func TestCachedFamilyMatchesEnumeration(t *testing.T) {
+	conf := conflict.FromPairs(6, [][2]int{{0, 1}, {2, 3}})
+	open := []int{0, 1, 2, 3, 4}
+	w := func(v int) float64 { return float64(v + 1) }
+	r := Enumerate(open, 3, conf, w, Config{})
+	if r.Truncated {
+		t.Fatal("tiny enumeration truncated")
+	}
+	fam := make([][]int, len(r.Sets))
+	for i, s := range r.Sets {
+		fam[i] = s.Events
+	}
+	c := NewCache(8)
+	c.Insert(open, 3, fam)
+	got, ok := c.Lookup(open, 3)
+	if !ok {
+		t.Fatal("miss after insert")
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		key := ""
+		for _, v := range s {
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate set %v in cached family", s)
+		}
+		seen[key] = true
+	}
+	if len(got) != len(r.Sets) {
+		t.Fatalf("cached family has %d sets, enumeration %d", len(got), len(r.Sets))
+	}
+}

@@ -26,6 +26,52 @@ import (
 	"github.com/ebsn/igepa/internal/model"
 )
 
+// BudgetError is the typed error returned by the budget-owning constructors
+// when the caller-supplied capacity budget cannot be a valid lease: wrong
+// length, negative entries, or more seats than the event physically has
+// (an over-committed lease). It replaces the out-of-range panics a malformed
+// budget used to cause deep inside Arrive.
+type BudgetError struct {
+	// Event is the offending event index, or -1 for structural problems.
+	Event  int
+	Reason string
+}
+
+func (e *BudgetError) Error() string {
+	if e.Event >= 0 {
+		return fmt.Sprintf("online: invalid budget for event %d: %s", e.Event, e.Reason)
+	}
+	return "online: invalid budget: " + e.Reason
+}
+
+// checkBudget validates a caller-owned budget against the instance.
+func checkBudget(in *model.Instance, conf *conflict.Matrix, budget []int) error {
+	if in == nil {
+		return &BudgetError{Event: -1, Reason: "nil instance"}
+	}
+	if conf == nil {
+		return &BudgetError{Event: -1, Reason: "nil conflict matrix"}
+	}
+	if conf.Len() != in.NumEvents() {
+		return &BudgetError{Event: -1, Reason: fmt.Sprintf(
+			"conflict matrix covers %d events, instance has %d", conf.Len(), in.NumEvents())}
+	}
+	if len(budget) != in.NumEvents() {
+		return &BudgetError{Event: -1, Reason: fmt.Sprintf(
+			"budget covers %d events, instance has %d", len(budget), in.NumEvents())}
+	}
+	for v, b := range budget {
+		if b < 0 {
+			return &BudgetError{Event: v, Reason: fmt.Sprintf("negative lease %d", b)}
+		}
+		if b > in.Events[v].Capacity {
+			return &BudgetError{Event: v, Reason: fmt.Sprintf(
+				"lease %d exceeds capacity %d", b, in.Events[v].Capacity)}
+		}
+	}
+	return nil
+}
+
 // Planner assigns events to users as they arrive. Implementations are
 // stateful: each Arrive consumes capacity permanently.
 type Planner interface {
@@ -69,6 +115,7 @@ type GreedyPlanner struct {
 	budget  []int // seats this planner may grant per event (may be caller-owned)
 	load    []int // seats this planner has granted per event
 	maxSets int
+	cache   *admissible.Cache // optional enumeration cache (SetCache)
 }
 
 // NewGreedy returns a greedy online planner whose budget is the instance's
@@ -79,7 +126,12 @@ func NewGreedy(in *model.Instance, maxSets int) *GreedyPlanner {
 	for v := range budget {
 		budget[v] = in.Events[v].Capacity
 	}
-	return NewGreedyBudget(in, budget, maxSets)
+	p, err := NewGreedyBudget(in, budget, maxSets)
+	if err != nil {
+		// the budget is the capacity table itself; it cannot be invalid
+		panic(err)
+	}
+	return p
 }
 
 // NewGreedyBudget returns a greedy online planner that grants at most
@@ -88,7 +140,11 @@ func NewGreedy(in *model.Instance, maxSets int) *GreedyPlanner {
 // calls to renew a capacity lease, and the planner observes the new values
 // on the next arrival. Mutating the budget concurrently with Arrive is a
 // data race; the sharded serving layer only writes it at batch boundaries.
-func NewGreedyBudget(in *model.Instance, budget []int, maxSets int) *GreedyPlanner {
+// It returns a *BudgetError when the budget cannot be a valid lease.
+func NewGreedyBudget(in *model.Instance, budget []int, maxSets int) (*GreedyPlanner, error) {
+	if in == nil {
+		return nil, &BudgetError{Event: -1, Reason: "nil instance"}
+	}
 	return NewGreedyBudgetShared(in, conflict.FromFunc(in.NumEvents(), in.Conflicts), budget, maxSets)
 }
 
@@ -96,15 +152,26 @@ func NewGreedyBudget(in *model.Instance, budget []int, maxSets int) *GreedyPlann
 // matrix, shared read-only: a serving layer constructing one planner per
 // shard over the same instance materializes the O(|V|²) matrix once instead
 // of once per shard.
-func NewGreedyBudgetShared(in *model.Instance, conf *conflict.Matrix, budget []int, maxSets int) *GreedyPlanner {
+func NewGreedyBudgetShared(in *model.Instance, conf *conflict.Matrix, budget []int, maxSets int) (*GreedyPlanner, error) {
+	if err := checkBudget(in, conf, budget); err != nil {
+		return nil, err
+	}
 	return &GreedyPlanner{
 		in:      in,
 		conf:    conf,
 		budget:  budget,
 		load:    make([]int, in.NumEvents()),
 		maxSets: maxSets,
-	}
+	}, nil
 }
+
+// SetCache attaches an admissible-set enumeration cache to the planner's hot
+// path (nil detaches). The cache is consulted per arrival with the user's
+// currently open bids and capacity; complete enumerations are stored for
+// reuse by later arrivals with the same (open set, capacity) key. The caller
+// owns the cache's single-goroutine discipline: a cache must not be shared
+// by planners that run concurrently.
+func (p *GreedyPlanner) SetCache(c *admissible.Cache) { p.cache = c }
 
 // Loads returns the per-event seat counts this planner has granted so far.
 // The slice is the planner's internal state: callers must not modify it and
@@ -118,6 +185,17 @@ func (p *GreedyPlanner) Arrive(u int) []int {
 		p.load[v]++
 	}
 	return best
+}
+
+// Release returns previously granted seats to the planner: the serving
+// layer's cancellation path. The freed seats reappear in this planner's
+// budget headroom (budget − load) and are grantable on the next arrival.
+func (p *GreedyPlanner) Release(events []int) {
+	for _, v := range events {
+		if v >= 0 && v < len(p.load) && p.load[v] > 0 {
+			p.load[v]--
+		}
+	}
 }
 
 // bestFeasibleSet returns the maximum-weight admissible set of user u whose
@@ -134,6 +212,9 @@ func (p *GreedyPlanner) bestFeasibleSet(u int, accept func(v int) bool) []int {
 		return nil
 	}
 	wc := p.in.Weights()
+	if p.cache != nil {
+		return p.bestCached(u, usr.Capacity, open, wc)
+	}
 	w := func(v int) float64 { return wc.Of(u, v) }
 	r := admissible.Enumerate(open, usr.Capacity, p.conf, w, admissible.Config{MaxSetsPerUser: p.maxSets})
 	bestW := 0.0
@@ -142,6 +223,41 @@ func (p *GreedyPlanner) bestFeasibleSet(u int, accept func(v int) bool) []int {
 		if s.Weight > bestW {
 			bestW = s.Weight
 			best = s.Events
+		}
+	}
+	return append([]int(nil), best...)
+}
+
+// bestCached is the cache-backed variant of the selection: fetch or
+// enumerate the admissible family for (open, cap), then score it under this
+// user's weights. The family is structural — which subsets of open are
+// conflict-free and small enough — so one user's enumeration serves every
+// later arrival with the same open bids and capacity, whatever their
+// weights. Truncated enumerations are never cached (the retained subset
+// depends on the enumerating user's weight order).
+func (p *GreedyPlanner) bestCached(u, cap int, open []int, wc *model.WeightCache) []int {
+	fam, ok := p.cache.Lookup(open, cap)
+	if !ok {
+		w := func(v int) float64 { return wc.Of(u, v) }
+		r := admissible.Enumerate(open, cap, p.conf, w, admissible.Config{MaxSetsPerUser: p.maxSets})
+		fam = make([][]int, len(r.Sets))
+		for i := range r.Sets {
+			fam[i] = r.Sets[i].Events
+		}
+		if !r.Truncated {
+			p.cache.Insert(open, cap, fam)
+		}
+	}
+	bestW := 0.0
+	var best []int
+	for _, s := range fam {
+		w := 0.0
+		for _, v := range s {
+			w += wc.Of(u, v)
+		}
+		if w > bestW {
+			bestW = w
+			best = s
 		}
 	}
 	return append([]int(nil), best...)
@@ -169,29 +285,42 @@ func NewThreshold(in *model.Instance, tau, guard float64, maxSets int) *Threshol
 	for v := range budget {
 		budget[v] = in.Events[v].Capacity
 	}
-	return NewThresholdBudget(in, budget, tau, guard, maxSets)
+	p, err := NewThresholdBudget(in, budget, tau, guard, maxSets)
+	if err != nil {
+		// the budget is the capacity table itself; it cannot be invalid
+		panic(err)
+	}
+	return p
 }
 
 // NewThresholdBudget returns a threshold online planner over a caller-owned
-// capacity budget (see NewGreedyBudget for the aliasing contract).
-func NewThresholdBudget(in *model.Instance, budget []int, tau, guard float64, maxSets int) *ThresholdPlanner {
+// capacity budget (see NewGreedyBudget for the aliasing contract). It
+// returns a *BudgetError when the budget cannot be a valid lease.
+func NewThresholdBudget(in *model.Instance, budget []int, tau, guard float64, maxSets int) (*ThresholdPlanner, error) {
+	if in == nil {
+		return nil, &BudgetError{Event: -1, Reason: "nil instance"}
+	}
 	return NewThresholdBudgetShared(in, conflict.FromFunc(in.NumEvents(), in.Conflicts), budget, tau, guard, maxSets)
 }
 
 // NewThresholdBudgetShared is NewThresholdBudget with a caller-provided
 // conflict matrix (see NewGreedyBudgetShared).
-func NewThresholdBudgetShared(in *model.Instance, conf *conflict.Matrix, budget []int, tau, guard float64, maxSets int) *ThresholdPlanner {
+func NewThresholdBudgetShared(in *model.Instance, conf *conflict.Matrix, budget []int, tau, guard float64, maxSets int) (*ThresholdPlanner, error) {
 	if guard < 0 {
 		guard = 0
 	}
 	if guard > 1 {
 		guard = 1
 	}
+	g, err := NewGreedyBudgetShared(in, conf, budget, maxSets)
+	if err != nil {
+		return nil, err
+	}
 	return &ThresholdPlanner{
-		GreedyPlanner: *NewGreedyBudgetShared(in, conf, budget, maxSets),
+		GreedyPlanner: *g,
 		Tau:           tau,
 		Guard:         guard,
-	}
+	}, nil
 }
 
 // Arrive implements Planner.

@@ -363,7 +363,10 @@ func TestBudgetPlannersRespectExternalBudget(t *testing.T) {
 		Beta:      1,
 	}
 	budget := []int{1}
-	p := NewGreedyBudget(in, budget, 0)
+	p, err := NewGreedyBudget(in, budget, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := p.Arrive(0); len(got) != 1 {
 		t.Fatalf("first arrival refused within budget: %v", got)
 	}
@@ -389,7 +392,10 @@ func TestBudgetPlannersRespectExternalBudget(t *testing.T) {
 		Interest:  light,
 		Beta:      1,
 	}
-	tb := NewThresholdBudget(in2, []int{2}, 0.9, 0.5, 0)
+	tb, err := NewThresholdBudget(in2, []int{2}, 0.9, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := tb.Arrive(0); len(got) != 1 {
 		t.Fatalf("first light arrival refused: %v", got)
 	}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ebsn/igepa/internal/stats"
+)
+
+// reservoirSize bounds the latency sample memory: the percentiles reported
+// by /statsz are over a sliding window of the most recent samples.
+const reservoirSize = 4096
+
+// reservoir is a fixed-size ring of latency samples safe for concurrent
+// writers (shard loops) and readers (/statsz).
+type reservoir struct {
+	mu    sync.Mutex
+	buf   [reservoirSize]int64 // nanoseconds
+	next  int
+	count int64
+}
+
+func (r *reservoir) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = int64(d)
+	r.next = (r.next + 1) % reservoirSize
+	r.count++
+	r.mu.Unlock()
+}
+
+// percentiles returns (p50, p99) over the current window; zeros when empty.
+func (r *reservoir) percentiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	n := int(r.count)
+	if n > reservoirSize {
+		n = reservoirSize
+	}
+	samples := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		samples[i] = time.Duration(r.buf[i])
+	}
+	r.mu.Unlock()
+	ps := stats.DurationPercentiles(samples, 0.50, 0.99)
+	return ps[0], ps[1]
+}
+
+// metrics is the server's counter set. Everything is atomic so the admin
+// surface never takes the serving locks.
+type metrics struct {
+	arrivals    atomic.Int64 // accepted bid submissions (queued)
+	decided     atomic.Int64 // decisions delivered
+	granted     atomic.Int64 // decisions with ≥ 1 event
+	cancels     atomic.Int64
+	rejected    atomic.Int64 // 429: queue full
+	conflicts   atomic.Int64 // 409: duplicate submission / bad state
+	badRequests atomic.Int64 // 400
+	leaseErrors atomic.Int64
+
+	queueWait reservoir // enqueue → processing start
+	decide    reservoir // planner time per arrival
+	total     reservoir // enqueue → decision delivered
+}
+
+// Percentiles is a (p50, p99) pair in microseconds, the /statsz currency.
+type Percentiles struct {
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+}
+
+func (r *reservoir) snapshot() Percentiles {
+	p50, p99 := r.percentiles()
+	return Percentiles{P50Micros: p50.Microseconds(), P99Micros: p99.Microseconds()}
+}

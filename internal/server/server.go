@@ -1,0 +1,801 @@
+// Package server is the network serving subsystem: an HTTP front-end
+// (stdlib net/http) over the sharded planner in internal/shard. It turns
+// the offline replay stack into a live request path — bid submissions,
+// cancellations and queries hitting the arranger concurrently — which is
+// the setting the online/dynamic event-arrangement literature assumes and
+// the ROADMAP's production north star requires.
+//
+// # Request path
+//
+// POST /v1/bid routes the arriving user to their shard (the same
+// shard.ShardOf hash the offline layer uses) and enqueues the request on
+// that shard's bounded queue. A per-shard micro-batching loop coalesces
+// queued requests and flushes on batch size B or deadline T, whichever
+// comes first, feeding the engine's lease/planner machinery under a
+// per-shard lock. Queues are bounded: when one fills, the server answers
+// 429 with Retry-After instead of buffering without limit — backpressure
+// is explicit, never hidden in memory growth.
+//
+// Every ~Batch arrivals a coordinator renews the capacity leases across all
+// shards (stop-the-world over the per-shard locks), using the currently
+// queued users as the demand predictor — the live analogue of Serve's
+// next-batch composition.
+//
+// # Replay mode
+//
+// With Config.Replay the server runs one global queue and one dispatcher
+// that flushes strictly on batch size (no deadlines), renewing leases
+// between batches exactly as shard.Serve does. Because both drive the same
+// shard.Engine with the same schedule, replaying an arrival order through
+// the HTTP surface is bit-identical to ServeSharded on that order — the
+// determinism contract the pinned tests enforce (see DESIGN.md §6).
+//
+// # Admin surface
+//
+// /healthz reports liveness plus instance shape; /statsz reports arrival
+// counters, queue depths, p50/p99 latency (queue wait, decision, total),
+// admissible-set cache hit rates and per-shard utility; POST /admin/drain
+// flushes partial batches (the end-of-stream signal in replay mode).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/shard"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultFlushInterval = 2 * time.Millisecond
+	DefaultRetryAfter    = 1 * time.Second
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Shard configures the underlying engine (shard count S, lease-renewal
+	// batch B, planner policy, lease policy, admissible-set CacheSize, seed,
+	// workers). Shard.RecordLatency is managed by the server.
+	Shard shard.Options
+	// Replay switches to the deterministic dispatcher: one global queue,
+	// flush strictly every Shard.Batch arrivals (drain flushes the tail),
+	// bit-identical to shard.Serve on the same submission order.
+	Replay bool
+	// FlushInterval is T, the live micro-batching deadline: a partial batch
+	// waits at most this long for company. 0 means DefaultFlushInterval.
+	// Ignored in replay mode.
+	FlushInterval time.Duration
+	// MicroBatch is the live per-shard flush size. 0 means
+	// max(1, Shard.Batch/S): S shard loops flushing together roughly match
+	// one renewal period.
+	MicroBatch int
+	// QueueDepth bounds each queue; a full queue answers 429. 0 means
+	// max(4×Shard.Batch, 256).
+	QueueDepth int
+	// RetryAfter is the backpressure hint returned with 429 responses.
+	// 0 means DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// user lifecycle states
+const (
+	stateNone uint8 = iota
+	stateQueued
+	stateDecided
+	stateCancelled
+)
+
+// Server is the HTTP serving layer. Construct with New, install Handler in
+// an http.Server (or httptest), and Close when done.
+type Server struct {
+	cfg   Config
+	in    *model.Instance
+	eng   *shard.Engine
+	s, b  int
+	micro int
+	flush time.Duration
+
+	mux    *http.ServeMux
+	queues []*queue // live: one per shard; replay: queues[0] only
+
+	// shardMu[si] serializes all engine access touching shard si; whole-
+	// engine operations (renewal, replay dispatch, bid updates, snapshots)
+	// take every lock in ascending order.
+	shardMu []sync.Mutex
+	renewMu sync.Mutex
+	// sinceRenew counts arrivals since the last lease renewal (live mode).
+	sinceRenew atomic.Int64
+	// batches counts processed micro-batches (live mode's analogue of the
+	// engine's dispatched-batch epoch counter, which only replay advances).
+	batches atomic.Int64
+
+	stateMu sync.Mutex
+	state   []uint8
+
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	started time.Time
+	m       metrics
+}
+
+// New validates the configuration, builds the engine and starts the
+// micro-batching loops. Configuration problems surface as the engine's
+// typed errors (*shard.ConfigError, *online.BudgetError).
+func New(in *model.Instance, cfg Config) (*Server, error) {
+	opt := cfg.Shard
+	opt.RecordLatency = cfg.Replay // per-user decision latency inside DispatchBatch
+	eng, err := shard.NewEngine(in, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := eng.Shards()
+	b := eng.Batch()
+	srv := &Server{
+		cfg: cfg, in: in, eng: eng, s: s, b: b,
+		flush:   cfg.FlushInterval,
+		micro:   cfg.MicroBatch,
+		shardMu: make([]sync.Mutex, s),
+		state:   make([]uint8, in.NumUsers()),
+		started: time.Now(),
+	}
+	if srv.flush <= 0 {
+		srv.flush = DefaultFlushInterval
+	}
+	if srv.micro <= 0 {
+		srv.micro = b / s
+		if srv.micro < 1 {
+			srv.micro = 1
+		}
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * b
+		if depth < 256 {
+			depth = 256
+		}
+	}
+	if cfg.RetryAfter <= 0 {
+		srv.cfg.RetryAfter = DefaultRetryAfter
+	}
+
+	if cfg.Replay {
+		srv.queues = []*queue{newQueue(depth)}
+		srv.wg.Add(1)
+		go srv.replayLoop()
+	} else {
+		srv.queues = make([]*queue, s)
+		for si := 0; si < s; si++ {
+			srv.queues[si] = newQueue(depth)
+		}
+		for si := 0; si < s; si++ {
+			srv.wg.Add(1)
+			go srv.shardLoop(si)
+		}
+	}
+	srv.mux = http.NewServeMux()
+	srv.mux.HandleFunc("/v1/bid", srv.handleBid)
+	srv.mux.HandleFunc("/v1/cancel", srv.handleCancel)
+	srv.mux.HandleFunc("/v1/assignment", srv.handleAssignment)
+	srv.mux.HandleFunc("/v1/load", srv.handleLoad)
+	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("/statsz", srv.handleStatsz)
+	srv.mux.HandleFunc("/admin/drain", srv.handleDrain)
+	return srv, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (srv *Server) Handler() http.Handler { return srv.mux }
+
+// ServeHTTP implements http.Handler.
+func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
+
+// Close flushes and stops the batching loops and releases the engine. In
+// replay mode any partial final batch is dispatched first, so every
+// accepted submission still receives its decision.
+func (srv *Server) Close() {
+	if !srv.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, q := range srv.queues {
+		q.close()
+	}
+	srv.wg.Wait()
+	srv.eng.Close()
+}
+
+// Drain flushes all partial batches and blocks until every queued request
+// has been decided (or the timeout passes). It is the end-of-stream barrier
+// of replay mode and the test suite's quiescence point.
+func (srv *Server) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		for _, q := range srv.queues {
+			if !q.idle() {
+				idle = false
+				q.drain()
+			}
+		}
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Arrangement snapshots the merged arrangement across shards.
+func (srv *Server) Arrangement() (*model.Arrangement, error) {
+	srv.lockAll()
+	defer srv.unlockAll()
+	return srv.eng.Snapshot()
+}
+
+func (srv *Server) lockAll() {
+	for si := range srv.shardMu {
+		srv.shardMu[si].Lock()
+	}
+}
+
+func (srv *Server) unlockAll() {
+	for si := len(srv.shardMu) - 1; si >= 0; si-- {
+		srv.shardMu[si].Unlock()
+	}
+}
+
+// --- batching loops -------------------------------------------------------
+
+// shardLoop is the live-mode micro-batcher for shard si: pop up to micro
+// requests (flushing partial batches after the deadline), serve them under
+// the shard lock, reply, then give the coordinator a chance to renew leases.
+func (srv *Server) shardLoop(si int) {
+	defer srv.wg.Done()
+	buf := make([]request, 0, srv.micro)
+	for {
+		batch := srv.queues[si].popBatch(srv.micro, srv.flush, buf)
+		if batch == nil {
+			return
+		}
+		buf = batch
+		srv.shardMu[si].Lock()
+		// the lease epoch this batch is served under (renewMu holders also
+		// hold every shard lock, so the read is serialized)
+		epoch := srv.eng.Renewals() + 1
+		for i := range batch {
+			r := &batch[i]
+			t0 := time.Now()
+			events := srv.eng.ArriveOn(si, r.user)
+			srv.finishDecision(r, events, epoch, t0.Sub(r.enqueued), time.Since(t0))
+		}
+		srv.shardMu[si].Unlock()
+		srv.batches.Add(1)
+		srv.queues[si].finish()
+		if srv.s > 1 && srv.sinceRenew.Add(int64(len(batch))) >= int64(srv.b) {
+			srv.tryRenew()
+		}
+	}
+}
+
+// tryRenew runs one lease-renewal round if no other is in progress, using
+// the queued users as the demand predictor for the "next batch".
+func (srv *Server) tryRenew() {
+	if !srv.renewMu.TryLock() {
+		return
+	}
+	defer srv.renewMu.Unlock()
+	srv.sinceRenew.Store(0)
+	var pending []int
+	for _, q := range srv.queues {
+		pending = q.pendingUsers(pending)
+	}
+	srv.lockAll()
+	_, err := srv.eng.RenewLeases(pending)
+	srv.unlockAll()
+	if err != nil {
+		srv.m.leaseErrors.Add(1)
+	}
+}
+
+// replayLoop is the deterministic dispatcher: global batches of exactly B
+// submissions in arrival order (partial only on drain/close), lease renewal
+// fed with the batch about to run — the same schedule as shard.Serve, on
+// the same engine.
+func (srv *Server) replayLoop() {
+	defer srv.wg.Done()
+	buf := make([]request, 0, srv.b)
+	users := make([]int, 0, srv.b)
+	for {
+		batch := srv.queues[0].popBatch(srv.b, 0, buf)
+		if batch == nil {
+			return
+		}
+		buf = batch
+		users = users[:0]
+		for i := range batch {
+			users = append(users, batch[i].user)
+		}
+		srv.lockAll()
+		if srv.eng.Epochs() > 0 && srv.s > 1 {
+			if _, err := srv.eng.RenewLeases(users); err != nil {
+				srv.m.leaseErrors.Add(1)
+			}
+		}
+		t0 := time.Now()
+		srv.eng.DispatchBatch(users)
+		epoch := srv.eng.Epochs()
+		for i := range batch {
+			r := &batch[i]
+			si := srv.eng.ShardOf(r.user)
+			events := srv.eng.Assignment(si, r.user)
+			srv.finishDecision(r, events, epoch, t0.Sub(r.enqueued), srv.eng.LatencyOf(r.user))
+		}
+		srv.unlockAll()
+		srv.queues[0].finish()
+	}
+}
+
+// finishDecision records metrics, advances the user state and delivers the
+// reply (if the submitter is waiting).
+func (srv *Server) finishDecision(r *request, events []int, epoch int, wait, decide time.Duration) {
+	srv.stateMu.Lock()
+	srv.state[r.user] = stateDecided
+	srv.stateMu.Unlock()
+	srv.m.decided.Add(1)
+	if len(events) > 0 {
+		srv.m.granted.Add(1)
+	}
+	srv.m.queueWait.add(wait)
+	srv.m.decide.add(decide)
+	srv.m.total.add(wait + decide)
+	if r.reply != nil {
+		r.reply <- reply{events: events, epoch: epoch, wait: wait}
+	}
+}
+
+// --- handlers -------------------------------------------------------------
+
+type bidRequest struct {
+	User int   `json:"user"`
+	Bids []int `json:"bids,omitempty"` // optional replacement bid set
+	// Wait, when false, returns 202 immediately; the decision is available
+	// later via /v1/assignment. Default true.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+type bidResponse struct {
+	User   int   `json:"user"`
+	Events []int `json:"events"`
+	Epoch  int   `json:"epoch"`
+	Queued bool  `json:"queued,omitempty"`
+	WaitUS int64 `json:"queue_wait_us,omitempty"`
+}
+
+func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req bidRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		srv.m.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.User < 0 || req.User >= srv.in.NumUsers() {
+		srv.m.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("user %d outside [0,%d)", req.User, srv.in.NumUsers()))
+		return
+	}
+	if req.Bids != nil {
+		if err := srv.checkBids(req.Bids); err != nil {
+			srv.m.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	srv.stateMu.Lock()
+	st := srv.state[req.User]
+	if st == stateQueued || st == stateDecided {
+		srv.stateMu.Unlock()
+		srv.m.conflicts.Add(1)
+		httpError(w, http.StatusConflict, fmt.Sprintf("user %d already %s", req.User,
+			map[uint8]string{stateQueued: "queued", stateDecided: "decided"}[st]))
+		return
+	}
+	srv.state[req.User] = stateQueued
+	srv.stateMu.Unlock()
+
+	wait := req.Wait == nil || *req.Wait
+	rq := request{user: req.User, enqueued: time.Now()}
+	if wait {
+		rq.reply = make(chan reply, 1)
+	}
+	var err error
+	if req.Bids != nil {
+		// Enqueue and bid replacement must be atomic against the batching
+		// loops: holding every shard lock keeps the consumer from deciding
+		// the request before the new bids (and the rebuilt weight table)
+		// are in place, and a rejected enqueue leaves the instance
+		// untouched — a 429 must not mutate state the client was told was
+		// not accepted.
+		srv.lockAll()
+		if err = srv.enqueue(rq); err == nil {
+			srv.applyBidUpdateLocked(req.User, req.Bids)
+		}
+		srv.unlockAll()
+	} else {
+		err = srv.enqueue(rq)
+	}
+	if err != nil {
+		srv.stateMu.Lock()
+		srv.state[req.User] = st // roll back to the pre-submit state
+		srv.stateMu.Unlock()
+		if err == errQueueClosed {
+			httpError(w, http.StatusServiceUnavailable, "server closing")
+			return
+		}
+		srv.m.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(srv.cfg.RetryAfter)))
+		httpError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	srv.m.arrivals.Add(1)
+	if !wait {
+		writeJSON(w, http.StatusAccepted, bidResponse{User: req.User, Queued: true})
+		return
+	}
+	rep := <-rq.reply
+	writeJSON(w, http.StatusOK, bidResponse{
+		User: req.User, Events: rep.events, Epoch: rep.epoch, WaitUS: rep.wait.Microseconds(),
+	})
+}
+
+// enqueue routes the request to the owning queue.
+func (srv *Server) enqueue(rq request) error {
+	if srv.cfg.Replay {
+		return srv.queues[0].push(rq)
+	}
+	return srv.queues[srv.eng.ShardOf(rq.user)].push(rq)
+}
+
+// checkBids validates a replacement bid set: event indices in range, no
+// negatives. The set is normalized (sorted, deduplicated) by applyBidUpdate.
+func (srv *Server) checkBids(bids []int) error {
+	for _, v := range bids {
+		if v < 0 || v >= srv.in.NumEvents() {
+			return fmt.Errorf("bid for unknown event %d (|V| = %d)", v, srv.in.NumEvents())
+		}
+	}
+	return nil
+}
+
+// applyBidUpdateLocked replaces the user's bid set before their decision.
+// Bids shape the weight table and the per-event bidder lists, so the update
+// is a stop-the-world: the caller holds every shard lock while the instance
+// caches rebuild.
+func (srv *Server) applyBidUpdateLocked(u int, bids []int) {
+	norm := append([]int(nil), bids...)
+	sort.Ints(norm)
+	norm = dedupeSorted(norm)
+	srv.in.Users[u].Bids = norm
+	srv.in.RebuildBidders()
+	srv.in.Weights() // eager: the shard loops must never race the lazy build
+	srv.eng.RefreshWeights()
+}
+
+func dedupeSorted(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type cancelRequest struct {
+	User int `json:"user"`
+}
+
+type cancelResponse struct {
+	User  int   `json:"user"`
+	Freed []int `json:"freed"`
+}
+
+// handleCancel revokes a decided user's assignment: their seats return to
+// the owning shard's lease and the user may submit again. Cancellations act
+// immediately (they do not ride the micro-batch queue): a cancel is a
+// capacity release, and holding freed seats back only delays better use of
+// them.
+func (srv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req cancelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		srv.m.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.User < 0 || req.User >= srv.in.NumUsers() {
+		srv.m.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("user %d outside [0,%d)", req.User, srv.in.NumUsers()))
+		return
+	}
+	srv.stateMu.Lock()
+	if srv.state[req.User] != stateDecided {
+		srv.stateMu.Unlock()
+		srv.m.conflicts.Add(1)
+		httpError(w, http.StatusConflict, fmt.Sprintf("user %d has no active assignment", req.User))
+		return
+	}
+	srv.state[req.User] = stateCancelled
+	srv.stateMu.Unlock()
+
+	si := srv.eng.ShardOf(req.User)
+	srv.shardMu[si].Lock()
+	freed := srv.eng.CancelOn(si, req.User)
+	srv.shardMu[si].Unlock()
+	srv.m.cancels.Add(1)
+	if freed == nil {
+		freed = []int{}
+	}
+	writeJSON(w, http.StatusOK, cancelResponse{User: req.User, Freed: freed})
+}
+
+type assignmentResponse struct {
+	User    int    `json:"user"`
+	State   string `json:"state"`
+	Events  []int  `json:"events"`
+	Decided bool   `json:"decided"`
+}
+
+// handleAssignment returns one user's state and events (?user=N), or the
+// full arrangement dump (no parameter) — the replay tooling's exit path.
+func (srv *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("user")
+	if q == "" {
+		arr, err := srv.Arrangement()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Sets [][]int `json:"sets"`
+		}{Sets: arr.Sets})
+		return
+	}
+	u, err := strconv.Atoi(q)
+	if err != nil || u < 0 || u >= srv.in.NumUsers() {
+		srv.m.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad user")
+		return
+	}
+	srv.stateMu.Lock()
+	st := srv.state[u]
+	srv.stateMu.Unlock()
+	si := srv.eng.ShardOf(u)
+	srv.shardMu[si].Lock()
+	events := srv.eng.Assignment(si, u)
+	srv.shardMu[si].Unlock()
+	if events == nil {
+		events = []int{}
+	}
+	names := map[uint8]string{stateNone: "unknown", stateQueued: "queued", stateDecided: "decided", stateCancelled: "cancelled"}
+	writeJSON(w, http.StatusOK, assignmentResponse{
+		User: u, State: names[st], Events: events, Decided: st == stateDecided,
+	})
+}
+
+type loadResponse struct {
+	Event    int `json:"event"`
+	Load     int `json:"load"`
+	Capacity int `json:"capacity"`
+}
+
+// handleLoad returns one event's seat consumption (?event=N) or all events'.
+func (srv *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("event")
+	srv.lockAll()
+	defer srv.unlockAll()
+	if q == "" {
+		out := make([]loadResponse, srv.in.NumEvents())
+		for v := range out {
+			out[v] = loadResponse{Event: v, Load: srv.eng.EventLoad(v), Capacity: srv.in.Events[v].Capacity}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 || v >= srv.in.NumEvents() {
+		srv.m.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad event")
+		return
+	}
+	writeJSON(w, http.StatusOK, loadResponse{Event: v, Load: srv.eng.EventLoad(v), Capacity: srv.in.Events[v].Capacity})
+}
+
+type healthResponse struct {
+	Status    string `json:"status"`
+	Mode      string `json:"mode"`
+	UptimeMS  int64  `json:"uptime_ms"`
+	Shards    int    `json:"shards"`
+	Batch     int    `json:"batch"`
+	NumUsers  int    `json:"num_users"`
+	NumEvents int    `json:"num_events"`
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if srv.m.leaseErrors.Load() > 0 {
+		status, code = "degraded: lease invariant violated", http.StatusInternalServerError
+	}
+	if srv.closed.Load() {
+		status, code = "closing", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthResponse{
+		Status: status, Mode: srv.modeName(), UptimeMS: time.Since(srv.started).Milliseconds(),
+		Shards: srv.s, Batch: srv.b, NumUsers: srv.in.NumUsers(), NumEvents: srv.in.NumEvents(),
+	})
+}
+
+func (srv *Server) modeName() string {
+	if srv.cfg.Replay {
+		return "replay"
+	}
+	return "live"
+}
+
+// ShardStats is one shard's row in the /statsz report.
+type ShardStats struct {
+	Arrivals   int     `json:"arrivals"`
+	Utility    float64 `json:"utility"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// CacheStats is the /statsz view of the admissible-set cache counters.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Evictions int64   `json:"evictions"`
+	Entries   int64   `json:"entries"`
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	Mode          string `json:"mode"`
+	UptimeMS      int64  `json:"uptime_ms"`
+	Shards        int    `json:"shards"`
+	Batch         int    `json:"batch"`
+	MicroBatch    int    `json:"micro_batch"`
+	FlushMicros   int64  `json:"flush_us"`
+	QueueLimit    int    `json:"queue_limit"`
+	Arrivals      int64  `json:"arrivals"`
+	Decided       int64  `json:"decided"`
+	Granted       int64  `json:"granted"`
+	Cancels       int64  `json:"cancels"`
+	Rejected      int64  `json:"rejected_429"`
+	Conflicts     int64  `json:"conflict_409"`
+	BadRequests   int64  `json:"bad_request_400"`
+	LeaseErrors   int64  `json:"lease_errors"`
+	QueueDepth    []int  `json:"queue_depth"`
+	Epochs        int    `json:"epochs"`
+	LeaseRenewals int    `json:"lease_renewals"`
+	MovedSeats    int    `json:"moved_seats"`
+
+	QueueWait Percentiles `json:"queue_wait"`
+	Decision  Percentiles `json:"decision"`
+	Total     Percentiles `json:"total"`
+
+	Cache    CacheStats   `json:"cache"`
+	PerShard []ShardStats `json:"per_shard"`
+	Utility  float64      `json:"utility"`
+}
+
+// Stats assembles the admin snapshot (also served as /statsz).
+func (srv *Server) Stats() Stats {
+	st := Stats{
+		Mode: srv.modeName(), UptimeMS: time.Since(srv.started).Milliseconds(),
+		Shards: srv.s, Batch: srv.b, MicroBatch: srv.micro,
+		FlushMicros: srv.flush.Microseconds(),
+		Arrivals:    srv.m.arrivals.Load(),
+		Decided:     srv.m.decided.Load(),
+		Granted:     srv.m.granted.Load(),
+		Cancels:     srv.m.cancels.Load(),
+		Rejected:    srv.m.rejected.Load(),
+		Conflicts:   srv.m.conflicts.Load(),
+		BadRequests: srv.m.badRequests.Load(),
+		LeaseErrors: srv.m.leaseErrors.Load(),
+		QueueWait:   srv.m.queueWait.snapshot(),
+		Decision:    srv.m.decide.snapshot(),
+		Total:       srv.m.total.snapshot(),
+	}
+	for _, q := range srv.queues {
+		st.QueueDepth = append(st.QueueDepth, q.depth())
+	}
+	srv.lockAll()
+	// replay counts global dispatched batches in the engine; live counts
+	// micro-batches at the server (the engine's DispatchBatch never runs)
+	if srv.cfg.Replay {
+		st.Epochs = srv.eng.Epochs()
+	} else {
+		st.Epochs = int(srv.batches.Load())
+	}
+	st.LeaseRenewals = srv.eng.Renewals()
+	st.MovedSeats = srv.eng.MovedSeats()
+	cs := srv.eng.CacheStats()
+	for si := 0; si < srv.s; si++ {
+		row := ShardStats{Arrivals: srv.eng.ArrivalsOn(si), Utility: srv.eng.ShardUtility(si)}
+		if !srv.cfg.Replay {
+			row.QueueDepth = srv.queues[si].depth()
+		}
+		st.PerShard = append(st.PerShard, row)
+		st.Utility += row.Utility
+	}
+	srv.unlockAll()
+	st.Cache = CacheStats{
+		Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate(),
+		Evictions: cs.Evictions, Entries: cs.Entries,
+	}
+	return st
+}
+
+func (srv *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, srv.Stats())
+}
+
+type drainResponse struct {
+	Drained bool  `json:"drained"`
+	Decided int64 `json:"decided"`
+}
+
+func (srv *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ok := srv.Drain(10 * time.Second)
+	writeJSON(w, http.StatusOK, drainResponse{Drained: ok, Decided: srv.m.decided.Load()})
+}
+
+// --- helpers --------------------------------------------------------------
+
+func retryAfterSeconds(d time.Duration) int {
+	s := int(d / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}

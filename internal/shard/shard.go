@@ -62,11 +62,9 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/admissible"
 	"github.com/ebsn/igepa/internal/lp"
 	"github.com/ebsn/igepa/internal/model"
-	"github.com/ebsn/igepa/internal/online"
-	"github.com/ebsn/igepa/internal/par"
 	"github.com/ebsn/igepa/internal/xrand"
 )
 
@@ -134,10 +132,11 @@ func (l LeasePolicy) String() string {
 
 // Options configures Serve.
 type Options struct {
-	// Shards is S, the number of independent serving shards. 0 means 1.
+	// Shards is S, the number of independent serving shards. It must be
+	// positive; Serve and NewEngine return a *ConfigError otherwise.
 	Shards int
 	// Batch is B, the number of arrivals between lease renewals.
-	// 0 means DefaultBatch.
+	// 0 means DefaultBatch; negative is a *ConfigError.
 	Batch int
 	// Workers bounds the worker pool running the shard planners; 0 means
 	// GOMAXPROCS. Results are bit-identical for every value.
@@ -157,6 +156,15 @@ type Options struct {
 	// returns the samples in Result.Latencies. Timing adds a clock read per
 	// arrival and has no effect on decisions.
 	RecordLatency bool
+	// CacheSize, when positive, gives every shard an LRU cache of that many
+	// admissible-set enumerations keyed by (open bid set, user capacity):
+	// repeat bid patterns skip the enumeration DFS and only re-score the
+	// cached family under the arriving user's weights. 0 disables caching;
+	// negative is a *ConfigError. Results remain a pure function of
+	// (instance, order, Options) — bit-identical across worker counts — but
+	// enabling the cache may resolve exact weight ties differently than the
+	// uncached scorer.
+	CacheSize int
 }
 
 // Result carries the merged arrangement plus the serving diagnostics.
@@ -183,6 +191,9 @@ type Result struct {
 	// LeaseSolves counts warm/cold LP solves of the lease-split LP
 	// (LeaseLP only).
 	LeaseSolves lp.SolverStats
+	// Cache aggregates the per-shard admissible-set cache counters (zero
+	// unless Options.CacheSize enabled caching).
+	Cache admissible.CacheStats
 }
 
 // ShardOf returns the shard in [0, shards) owning user u. The partition is
@@ -194,126 +205,62 @@ func ShardOf(seed int64, u, shards int) int {
 	return int(xrand.Hash64(seed, u, shardSalt) % uint64(shards))
 }
 
-// shardPlanner pairs a planner's Arrive with its load vector so the
+// shardPlanner pairs a planner's Arrive/Release with its load vector so the
 // coordinator can read per-shard consumption at renewal time regardless of
 // the concrete policy.
 type shardPlanner struct {
-	arrive func(u int) []int
-	loads  []int
+	arrive  func(u int) []int
+	release func(events []int)
+	loads   []int
+}
+
+// CheckOrder validates an arrival order against the instance: every user in
+// range, no duplicates — the contract under which Serve and the replay
+// tooling dispatch batches unchecked.
+func CheckOrder(in *model.Instance, order []int) error {
+	nu := in.NumUsers()
+	seen := make([]bool, nu)
+	for _, u := range order {
+		if u < 0 || u >= nu {
+			return fmt.Errorf("shard: arrival of unknown user %d", u)
+		}
+		if seen[u] {
+			return fmt.Errorf("shard: user %d arrived twice", u)
+		}
+		seen[u] = true
+	}
+	return nil
 }
 
 // Serve replays the arrival order across Options.Shards shards and returns
 // the merged arrangement. Users absent from order receive no events; it
 // errors on out-of-range or duplicate arrivals, mirroring online.Run.
+// Invalid configurations yield a *ConfigError.
+//
+// Serve is a thin driver over Engine: one DispatchBatch per B arrivals, one
+// RenewLeases between batches fed with the next batch's composition. The
+// HTTP serving layer's replay mode drives the identical engine the same
+// way, so its decisions are bit-identical to Serve's by construction.
 func Serve(in *model.Instance, order []int, opt Options) (*Result, error) {
-	if err := in.Check(); err != nil {
+	e, err := NewEngine(in, opt)
+	if err != nil {
 		return nil, err
 	}
-	s := opt.Shards
-	if s <= 0 {
-		s = 1
+	defer e.Close()
+	if err := CheckOrder(in, order); err != nil {
+		return nil, err
 	}
-	b := opt.Batch
-	if b <= 0 {
-		b = DefaultBatch
-	}
-	nu, nv := in.NumUsers(), in.NumEvents()
-	seen := make([]bool, nu)
-	for _, u := range order {
-		if u < 0 || u >= nu {
-			return nil, fmt.Errorf("shard: arrival of unknown user %d", u)
-		}
-		if seen[u] {
-			return nil, fmt.Errorf("shard: user %d arrived twice", u)
-		}
-		seen[u] = true
-	}
-
-	// Materialize the shared weight cache before any parallel stage so the
-	// lazy initialization never races (same contract as core.LPPacking),
-	// and the conflict matrix once for all S planners.
-	in.Weights()
-	conf := conflict.FromFunc(in.NumEvents(), in.Conflicts)
-
-	// Initial leases: even split, remainder rotated by event index.
-	budgets := make([][]int, s)
-	for si := range budgets {
-		budgets[si] = make([]int, nv)
-	}
-	for v := 0; v < nv; v++ {
-		cv := in.Events[v].Capacity
-		base, rem := cv/s, cv%s
-		for si := 0; si < s; si++ {
-			budgets[si][v] = base
-		}
-		for k := 0; k < rem; k++ {
-			budgets[(v+k)%s][v]++
-		}
-	}
-
-	planners := make([]shardPlanner, s)
-	parts := make([]*model.Arrangement, s)
-	for si := 0; si < s; si++ {
-		switch opt.Planner {
-		case PlannerGreedy:
-			p := online.NewGreedyBudgetShared(in, conf, budgets[si], opt.MaxSetsPerUser)
-			planners[si] = shardPlanner{arrive: p.Arrive, loads: p.Loads()}
-		case PlannerThreshold:
-			p := online.NewThresholdBudgetShared(in, conf, budgets[si], opt.Tau, opt.Guard, opt.MaxSetsPerUser)
-			planners[si] = shardPlanner{arrive: p.Arrive, loads: p.Loads()}
-		default:
-			return nil, fmt.Errorf("shard: unknown planner kind %v", opt.Planner)
-		}
-		parts[si] = model.NewArrangement(nu)
-	}
-
-	res := &Result{Shards: s, Batch: b, Arrivals: make([]int, s)}
-	if opt.RecordLatency {
-		res.Latencies = make([]time.Duration, nu)
-	}
-	renewer := newLeaseRenewer(in, budgets, planners, opt)
-	defer renewer.close()
-	batches := make([][]int, s)
+	b := e.Batch()
 	for start := 0; start < len(order); start += b {
-		end := start + b
-		if end > len(order) {
-			end = len(order)
-		}
-		for si := range batches {
-			batches[si] = batches[si][:0]
-		}
-		for _, u := range order[start:end] {
-			si := ShardOf(opt.Seed, u, s)
-			batches[si] = append(batches[si], u)
-			res.Arrivals[si]++
-		}
-		par.Do(opt.Workers, s, func(si int) {
-			for _, u := range batches[si] {
-				if res.Latencies != nil {
-					t0 := time.Now()
-					parts[si].Sets[u] = planners[si].arrive(u)
-					res.Latencies[u] = time.Since(t0)
-				} else {
-					parts[si].Sets[u] = planners[si].arrive(u)
-				}
+		end := min(start+b, len(order))
+		e.DispatchBatch(order[start:end])
+		if end < len(order) && e.Shards() > 1 {
+			if _, err := e.RenewLeases(order[end:min(end+b, len(order))]); err != nil {
+				return nil, err
 			}
-		})
-		res.Epochs++
-		if end < len(order) && s > 1 {
-			res.MovedSeats += renewer.renew(res.Epochs, order[end:min(end+b, len(order))])
-			res.LeaseRenewals++
 		}
 	}
-	res.LeaseSolves = renewer.solveStats()
-
-	merged, err := model.MergeDisjoint(nu, parts...)
-	if err != nil {
-		return nil, fmt.Errorf("shard: merging shard arrangements: %w", err)
-	}
-	merged.Normalize()
-	res.Arrangement = merged
-	res.Utility = model.Utility(in, merged)
-	return res, nil
+	return e.Result()
 }
 
 // leaseRenewer drives the between-batch renewal rounds for one Serve call.

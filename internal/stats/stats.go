@@ -6,6 +6,8 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
+	"time"
 )
 
 // Summary describes a sample of repeated measurements.
@@ -62,3 +64,27 @@ func (s Summary) String() string {
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// DurationPercentiles returns the q-quantiles of the samples by the
+// nearest-rank rule index = floor(q·(n−1)) over a sorted copy — the one
+// quantile rule shared by every latency report in the tree (serving
+// metrics, replay sweeps, load generation). Empty input yields zeros; qs
+// outside [0,1] are clamped.
+func DurationPercentiles(samples []time.Duration, qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		out[i] = sorted[int(q*float64(len(sorted)-1))]
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSummarizeKnown(t *testing.T) {
@@ -62,5 +63,22 @@ func TestMean(t *testing.T) {
 	}
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestDurationPercentiles(t *testing.T) {
+	if ps := DurationPercentiles(nil, 0.5, 0.99); ps[0] != 0 || ps[1] != 0 {
+		t.Fatalf("empty input: %v", ps)
+	}
+	samples := []time.Duration{5, 1, 4, 2, 3} // sorted: 1..5
+	ps := DurationPercentiles(samples, 0, 0.5, 1, -0.2, 1.7)
+	want := []time.Duration{1, 3, 5, 1, 5}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("quantile %d: got %v want %v (all %v)", i, ps[i], want[i], ps)
+		}
+	}
+	if samples[0] != 5 {
+		t.Fatal("input mutated: must sort a copy")
 	}
 }

@@ -52,13 +52,18 @@ func WriteArrivals(w io.Writer, arrivals []Arrival) error {
 }
 
 // ReadArrivals parses a JSONL arrival log, validating that timestamps are
-// non-decreasing and users are non-negative. Blank lines are skipped.
+// non-decreasing, users are non-negative and no user arrives twice (the
+// replay layers decide each user irrevocably, so a duplicate is a corrupt
+// log, not a legal event). Blank lines are skipped. Malformed input —
+// truncated lines, oversized lines, non-monotonic timestamps, duplicates —
+// yields a line-numbered error, never a panic.
 func ReadArrivals(r io.Reader) ([]Arrival, error) {
 	var out []Arrival
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	prev := int64(math.MinInt64)
+	seen := make(map[int]int) // user → first line
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -72,6 +77,10 @@ func ReadArrivals(r io.Reader) ([]Arrival, error) {
 		if a.User < 0 {
 			return nil, fmt.Errorf("workload: arrival log line %d: negative user %d", line, a.User)
 		}
+		if first, dup := seen[a.User]; dup {
+			return nil, fmt.Errorf("workload: arrival log line %d: user %d already arrived on line %d", line, a.User, first)
+		}
+		seen[a.User] = line
 		if a.TMillis < prev {
 			return nil, fmt.Errorf("workload: arrival log line %d: timestamp %d before %d", line, a.TMillis, prev)
 		}

@@ -51,18 +51,50 @@ func TestArrivalsRoundTrip(t *testing.T) {
 }
 
 func TestReadArrivalsRejectsMalformed(t *testing.T) {
-	cases := []string{
-		`{"t_ms": 1, "user": -2}`,
-		"{\"t_ms\": 5, \"user\": 1}\n{\"t_ms\": 3, \"user\": 2}",
-		`not json`,
+	cases := []struct{ name, log string }{
+		{"negative user", `{"t_ms": 1, "user": -2}`},
+		{"non-monotonic timestamps", "{\"t_ms\": 5, \"user\": 1}\n{\"t_ms\": 3, \"user\": 2}"},
+		{"not json", `not json`},
+		{"truncated line", `{"t_ms": 5, "user"`},
+		{"truncated mid-stream", "{\"t_ms\": 1, \"user\": 0}\n{\"t_ms\": 2, \"us"},
+		{"duplicate user", "{\"t_ms\": 1, \"user\": 3}\n{\"t_ms\": 2, \"user\": 3}"},
+		{"duplicate user far apart", "{\"t_ms\": 1, \"user\": 0}\n{\"t_ms\": 2, \"user\": 1}\n{\"t_ms\": 9, \"user\": 0}"},
 	}
-	for i, c := range cases {
-		if _, err := ReadArrivals(strings.NewReader(c)); err == nil {
-			t.Errorf("case %d: malformed log accepted", i)
+	for _, c := range cases {
+		if _, err := ReadArrivals(strings.NewReader(c.log)); err == nil {
+			t.Errorf("%s: malformed log accepted", c.name)
 		}
 	}
 	got, err := ReadArrivals(strings.NewReader("\n{\"t_ms\": 1, \"user\": 0}\n\n"))
 	if err != nil || len(got) != 1 {
 		t.Errorf("blank-line handling: got %v err %v", got, err)
+	}
+}
+
+// TestReadArrivalsOversizedLine pins the scanner-limit path: a line beyond
+// the 1 MiB buffer must surface bufio.ErrTooLong as a clean error.
+func TestReadArrivalsOversizedLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"t_ms": 1, "user": 0, "junk": "`)
+	for i := 0; i < 1<<21; i++ {
+		b.WriteByte('x')
+	}
+	b.WriteString(`"}`)
+	if _, err := ReadArrivals(strings.NewReader(b.String())); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
+
+// TestReadArrivalsErrorsNameLines pins the diagnostics: errors carry the
+// offending line number (and for duplicates, the first occurrence).
+func TestReadArrivalsErrorsNameLines(t *testing.T) {
+	_, err := ReadArrivals(strings.NewReader(
+		"{\"t_ms\": 1, \"user\": 4}\n{\"t_ms\": 2, \"user\": 5}\n{\"t_ms\": 3, \"user\": 4}"))
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") || !strings.Contains(msg, "line 1") {
+		t.Errorf("duplicate error does not name both lines: %q", msg)
 	}
 }
