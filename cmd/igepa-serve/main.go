@@ -34,8 +34,13 @@
 // With -live-bound the command also exercises the incremental planner
 // (igepa.NewPlanner / Planner.Update): after each batch it removes the served
 // users and the consumed seats from a shadow instance and warm re-solves the
-// benchmark LP, reporting how the remaining-opportunity bound decays and how
-// many re-solves the persistent solver served warm.
+// benchmark LP, reporting how the remaining-opportunity bound decays, how
+// many re-solves the persistent solver served warm (and how many finished
+// fast — delta-priced, zero pivots), and the planner-update p50/p99 latency
+// separately from the decision tails, so the bound's upkeep cost is visible
+// next to the serving numbers. With -listen, -live-bound switches the
+// engine-owned tracker on instead (shard.Options.LiveBound) and /statsz
+// reports the remaining bound plus update latency percentiles.
 package main
 
 import (
@@ -175,7 +180,7 @@ func serveListener(w *os.File, ln net.Listener, cfg config) error {
 		Shard: shard.Options{
 			Shards: s, Batch: cfg.batch, Workers: cfg.workers, Seed: cfg.seed,
 			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
-			Lease: lease, CacheSize: cfg.cache,
+			Lease: lease, CacheSize: cfg.cache, LiveBound: cfg.liveBound,
 		},
 		Replay:        cfg.replay,
 		FlushInterval: cfg.flush,
@@ -427,8 +432,9 @@ func liveBound(w *os.File, in *igepa.Instance, order []int, served *shard.Result
 	}
 	committedArr := igepa.Arrangement{Sets: make([][]int, in.NumUsers())}
 	fmt.Fprintf(w, "\nlive bound (batch=%d): committed + remaining LP after each batch\n", batch)
-	fmt.Fprintf(w, "%8s %8s %12s %14s %12s\n", "epoch", "served", "committed", "remaining-LP", "total-bound")
+	fmt.Fprintf(w, "%8s %8s %12s %14s %12s %10s\n", "epoch", "served", "committed", "remaining-LP", "total-bound", "update")
 
+	var updateLat []time.Duration
 	totalServed := 0
 	for start, epoch := 0, 1; start < len(order); start, epoch = start+batch, epoch+1 {
 		end := min(start+batch, len(order))
@@ -446,36 +452,31 @@ func liveBound(w *os.File, in *igepa.Instance, order []int, served *shard.Result
 			shadow.Events[v].Capacity -= n
 			delta.Events = append(delta.Events, v)
 		}
+		t0 := time.Now()
 		res, err := p.Update(delta)
+		took := time.Since(t0)
 		if err != nil {
 			return err
 		}
+		updateLat = append(updateLat, took)
 		totalServed += end - start
 		committed := igepa.Utility(in, &committedArr)
-		fmt.Fprintf(w, "%8d %8d %12.4f %14.4f %12.4f\n",
-			epoch, totalServed, committed, res.LPObjective, committed+res.LPObjective)
+		fmt.Fprintf(w, "%8d %8d %12.4f %14.4f %12.4f %10s\n",
+			epoch, totalServed, committed, res.LPObjective, committed+res.LPObjective,
+			took.Round(time.Microsecond))
 	}
 	st := p.Stats()
-	fmt.Fprintf(w, "incremental solver: %d warm re-solves, %d cold (fallbacks: %d singular, %d infeasible), %d warm pivots\n",
-		st.WarmSolves, st.ColdSolves, st.FallbackSingular, st.FallbackInfeasible, st.WarmPivots)
+	fmt.Fprintf(w, "incremental solver: %d warm re-solves (%d fast-finished), %d cold (fallbacks: %d singular, %d infeasible), %d warm pivots\n",
+		st.WarmSolves, st.FastFinishes, st.ColdSolves, st.FallbackSingular, st.FallbackInfeasible, st.WarmPivots)
+	up50, up99 := durationPercentiles(updateLat)
+	fmt.Fprintf(w, "planner update latency: p50 %s p99 %s (decision latency tails are in the sweep table above)\n",
+		up50.Round(time.Microsecond), up99.Round(time.Microsecond))
 	return nil
 }
 
 // cloneInstance deep-copies the mutable parts of the instance so the live
 // bound can consume it without touching the serving input.
-func cloneInstance(in *igepa.Instance) *igepa.Instance {
-	out := &igepa.Instance{
-		Events:    append([]igepa.Event(nil), in.Events...),
-		Users:     append([]igepa.User(nil), in.Users...),
-		Conflicts: in.Conflicts,
-		Interest:  in.Interest,
-		Beta:      in.Beta,
-	}
-	for u := range out.Users {
-		out.Users[u].Bids = append([]int(nil), in.Users[u].Bids...)
-	}
-	return out
-}
+func cloneInstance(in *igepa.Instance) *igepa.Instance { return in.Clone() }
 
 // makeStream loads the JSONL arrival log, or generates the deterministic
 // synthetic stream (every user once, seeded order, exponential gaps).

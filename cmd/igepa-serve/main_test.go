@@ -236,3 +236,35 @@ func TestListenServesHTTP(t *testing.T) {
 		t.Fatal("serveListener did not exit after listener close")
 	}
 }
+
+// TestLiveBoundReportsUpdateLatency pins the -live-bound report format: the
+// planner-update p50/p99 line and the fast-finish counter are printed
+// separately from the decision-latency table.
+func TestLiveBoundReportsUpdateLatency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		workload: "synthetic", events: 12, users: 60, seed: 4,
+		shards: []int{2}, planner: "greedy", batch: 16, liveBound: true,
+	}
+	if err := run(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"planner update latency: p50 ",
+		"fast-finished",
+		"remaining-LP",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("live-bound output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -94,14 +94,20 @@ func LPPacking(in *Instance, opt LPPackingOptions) (*LPPackingResult, error) {
 }
 
 // Incremental planning (serving extension): a Planner keeps the LP-packing
-// pipeline's state alive between solves — admissible sets, the benchmark LP
-// and a persistent warm-starting simplex basis — so a stream of small
-// instance changes (bids arriving/expiring, capacities shrinking as seats
-// are granted) costs a warm re-solve each instead of a from-scratch run.
+// pipeline's state alive between solves — admissible sets, the benchmark LP,
+// a persistent warm-starting simplex basis, and (under the default repair
+// order) the sampled-and-repaired arrangement itself with its utility
+// accumulator — so a stream of small instance changes (bids arriving or
+// expiring, capacities shrinking as seats are granted) costs work
+// proportional to the delta instead of a from-scratch run. Given the same
+// seed, Update's incremental rounding is bit-identical to a full re-round
+// (Planner.Round, retained as the oracle); an empty delta short-circuits to
+// the cached result.
 type (
 	// Planner is the incremental mode of LPPacking. Construct with
 	// NewPlanner, mutate the instance in place, then call Update naming
-	// what changed; Close releases the solver arena.
+	// what changed; Close releases the solver arena. Update's Result
+	// aliases planner-owned state and is valid until the next Update.
 	Planner = core.Planner
 	// PlannerDelta names the users and events the caller mutated.
 	PlannerDelta = core.Delta
@@ -199,6 +205,11 @@ type (
 	// cache counters (ShardResult.Cache; enable with
 	// ShardOptions.CacheSize).
 	AdmissibleCacheStats = admissible.CacheStats
+	// ShardBoundStats is the live LP-bound tracker's outcome
+	// (ShardResult.Bound; enable with ShardOptions.LiveBound): the
+	// remaining-opportunity bound after each batch, per-update planner
+	// latencies, and the bound planner's warm/cold solve counters.
+	ShardBoundStats = shard.BoundStats
 )
 
 // Per-shard planner policies.

@@ -259,19 +259,7 @@ func TestPlannerRejectsBadOptions(t *testing.T) {
 
 // cloneInstance deep-copies the mutable parts of an instance so mutation
 // chains can be replayed from the same start state.
-func cloneInstance(in *model.Instance) *model.Instance {
-	out := &model.Instance{
-		Events:    append([]model.Event(nil), in.Events...),
-		Users:     append([]model.User(nil), in.Users...),
-		Conflicts: in.Conflicts,
-		Interest:  in.Interest,
-		Beta:      in.Beta,
-	}
-	for u := range out.Users {
-		out.Users[u].Bids = append([]int(nil), in.Users[u].Bids...)
-	}
-	return out
-}
+func cloneInstance(in *model.Instance) *model.Instance { return in.Clone() }
 
 // FuzzPlannerUpdate mutates an instance through a Planner — bids arriving
 // and expiring, capacities shrinking and growing — asserting after every

@@ -405,3 +405,75 @@ func FuzzResolve(f *testing.F) {
 		}
 	})
 }
+
+// TestResolveChangedColumns verifies the changed-column tracker against
+// brute force: after each warm Resolve, a column is reported changed if and
+// only if its primal value differs from the previous solution's (mapped
+// across the delta's removals), and every appended column is reported.
+func TestResolveChangedColumns(t *testing.T) {
+	rng := xrand.New(321)
+	for trial := 0; trial < 20; trial++ {
+		p := randomPacking(rng, 8+rng.Intn(20), 4+rng.Intn(8), 4)
+		s := NewSolver(Revised{})
+		s.TrackChangedColumns(true)
+		sol, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, all := s.ChangedColumns(); !all {
+			t.Fatalf("trial %d: cold solve must report all-changed", trial)
+		}
+		for step := 0; step < 4; step++ {
+			n := s.Problem().NumCols()
+			prev := append([]float64(nil), sol.X...)
+			var d ProblemDelta
+			removed := make(map[int]bool)
+			if rng.Bool(0.5) {
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					j := rng.Intn(n)
+					d.RemoveCols = append(d.RemoveCols, j)
+					removed[j] = true
+				}
+			}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				d.SetB = append(d.SetB, BoundChange{Row: rng.Intn(s.Problem().NumRows), B: float64(rng.Intn(5))})
+			}
+			if rng.Bool(0.4) {
+				d.AddCols = append(d.AddCols, Column{Rows: []int{rng.Intn(s.Problem().NumRows)}, Vals: []float64{1}})
+				d.AddC = append(d.AddC, rng.Float64())
+			}
+			sol, err = s.Resolve(d)
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			cols, all := s.ChangedColumns()
+			if all {
+				continue // cold fallback: every column treated as changed
+			}
+			// Reconstruct the old→new map by the documented compaction rule:
+			// survivors keep their relative order.
+			changed := make(map[int]bool, len(cols))
+			for _, c := range cols {
+				changed[c] = true
+			}
+			surv := 0
+			for j := 0; j < n; j++ {
+				if removed[j] {
+					continue
+				}
+				nj := surv
+				surv++
+				if moved := prev[j] != sol.X[nj]; moved != changed[nj] {
+					t.Fatalf("trial %d step %d: column %d->%d moved=%v, reported=%v",
+						trial, step, j, nj, moved, changed[nj])
+				}
+			}
+			for nj := surv; nj < len(sol.X); nj++ {
+				if !changed[nj] {
+					t.Fatalf("trial %d step %d: appended column %d not reported changed", trial, step, nj)
+				}
+			}
+		}
+		s.Release()
+	}
+}

@@ -502,6 +502,35 @@ func (st *revisedState) refactorize() error {
 	return nil
 }
 
+// recomputeXB refreshes x_B = B⁻¹b and c_B through the existing
+// factorization and eta file, without rebuilding the LU. Valid whenever
+// every basis change since the last factorize went through pushEta — which
+// Solver.Resolve guarantees (substituted removals are product-form updates)
+// — so a small-delta re-solve skips the O(m·nnz) refactorization entirely.
+// The round-off hygiene matches refactorize: tiny negative basics clamp to
+// zero.
+func (st *revisedState) recomputeXB() {
+	st.lu.solveB(st.rowSeq, st.b, st.d, st.work)
+	for _, e := range st.etas {
+		xr := st.d[e.r] / e.dr
+		st.d[e.r] = xr
+		if xr != 0 {
+			idx := st.etaIdx[e.lo:e.hi]
+			val := st.etaVal[e.lo:e.hi]
+			for i, s := range idx {
+				st.d[s] -= val[i] * xr
+			}
+		}
+	}
+	copy(st.xB, st.d)
+	for i := range st.xB {
+		if st.xB[i] < 0 && st.xB[i] > -1e-9 {
+			st.xB[i] = 0
+		}
+		st.cB[i] = st.objCoef(st.basis[i])
+	}
+}
+
 // ftran computes d = B⁻¹ a_q into st.d.
 func (st *revisedState) ftran(q int) {
 	rows, vals := st.columnOf(q)

@@ -48,6 +48,12 @@ type Solver struct {
 	colMap    []int
 	slackUsed []bool
 	wScratch  []float64
+
+	// changed-column tracking (TrackChangedColumns)
+	trackChanged bool
+	prevX        []float64 // previous solution's primal values
+	changedCols  []int     // post-delta indices whose x moved in the last solve
+	changedAll   bool      // treat every column as changed (cold solve, error)
 }
 
 // SolverStats counts how a Solver's solves were served.
@@ -57,6 +63,12 @@ type SolverStats struct {
 	ColdSolves int
 	// WarmSolves counts Resolve calls served from the previous basis.
 	WarmSolves int
+	// FastFinishes counts warm re-solves that skipped the primal pricing
+	// loop entirely: the delta left the basis, c_B and therefore the duals
+	// untouched and dual repair made no pivots, so the previous optimality
+	// certificate covers every surviving column and only the delta's own
+	// columns were priced. The O(|Δ|) serving path for bid arrivals.
+	FastFinishes int
 	// FallbackSingular counts Resolve calls whose patched basis failed to
 	// factorize and fell back to a cold solve.
 	FallbackSingular int
@@ -122,6 +134,67 @@ var ErrNoProblem = errors.New("lp: Resolve called before Solve installed a probl
 // Stats returns the solve-path counters accumulated so far.
 func (s *Solver) Stats() SolverStats { return s.stats }
 
+// TrackChangedColumns enables changed-column tracking: after every solve
+// the Solver snapshots the primal values and, on the next warm Resolve,
+// records exactly which post-delta columns' values differ from the previous
+// solution (mapped across removals and additions). Incremental callers use
+// the set to re-derive only the state that depends on moved columns — the
+// rounding layer's delta-scoped resampling. Tracking costs one O(n) copy
+// and one O(n) compare per solve and nothing else.
+func (s *Solver) TrackChangedColumns(on bool) {
+	s.trackChanged = on
+	s.changedAll = true
+}
+
+// ChangedColumns reports the columns whose primal value changed in the last
+// solve. all=true means every column must be treated as changed — a cold
+// solve (including Resolve fallbacks), a solve error, or tracking having
+// just been enabled — and cols is nil in that case. The slice is
+// solver-owned and valid until the next Solve/Resolve.
+func (s *Solver) ChangedColumns() (cols []int, all bool) {
+	if s.changedAll {
+		return nil, true
+	}
+	return s.changedCols, false
+}
+
+// snapshotX records the solution's primal values as the baseline for the
+// next diff.
+func (s *Solver) snapshotX(sol *Solution) {
+	if !s.trackChanged || sol == nil {
+		return
+	}
+	s.prevX = append(s.prevX[:0], sol.X...)
+}
+
+// diffChanged computes the changed-column set of a warm re-solve: surviving
+// columns (via the old→new colMap filled by applyDelta) whose value moved,
+// plus every appended column. colMap is monotone on survivors, so the
+// result is ascending.
+func (s *Solver) diffChanged(oldN int, x []float64) {
+	if len(s.prevX) != oldN {
+		// No trustworthy baseline (tracking enabled mid-stream).
+		s.changedAll = true
+		return
+	}
+	s.changedCols = s.changedCols[:0]
+	surv := 0
+	for j := 0; j < oldN; j++ {
+		nj := s.colMap[j]
+		if nj < 0 {
+			continue
+		}
+		surv++
+		if s.prevX[j] != x[nj] {
+			s.changedCols = append(s.changedCols, nj)
+		}
+	}
+	for nj := surv; nj < len(x); nj++ {
+		s.changedCols = append(s.changedCols, nj)
+	}
+	s.changedAll = false
+}
+
 // Problem returns the Solver's owned copy of the current (post-delta)
 // problem. Callers must treat it as read-only; mutate it only through
 // Resolve.
@@ -158,20 +231,33 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	if s.prob == nil {
 		return nil, ErrNoProblem
 	}
+	s.changedAll = true // cleared only by a successful warm diff
 	oldN := s.prob.NumCols()
 	if err := s.checkDelta(&d, oldN); err != nil {
 		return nil, err
 	}
 
 	warm := s.warmOK && s.st != nil && s.prob.NumRows > 0
+	basisSwaps := 0
+	cBasic := false
 	if warm {
-		warm = s.substituteRemovedBasics(&d, oldN)
+		basisSwaps, warm = s.substituteRemovedBasics(&d, oldN)
 	}
+	if warm {
+		// A c change on a basic column moves the duals, which invalidates
+		// the previous optimality certificate the fast finish relies on.
+		for _, oc := range d.SetC {
+			if s.st.posOf[oc.Col] >= 0 {
+				cBasic = true
+				break
+			}
+		}
+	}
+	// checkDelta validated every entering bound, coefficient and column, and
+	// applyDelta preserves the CSC invariants by construction, so the
+	// patched problem needs no O(nnz) re-validation here — full Check on
+	// every small delta would dominate the serving hot path.
 	s.applyDelta(&d, oldN)
-	if err := s.prob.Check(); err != nil {
-		s.warmOK = false
-		return nil, fmt.Errorf("lp: delta produced invalid problem: %w", err)
-	}
 	if !warm {
 		return s.cold()
 	}
@@ -181,18 +267,27 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	s.remapState(oldN, newN)
 	st.loadRHS(!s.Config.NoPerturb)
 
-	if err := st.refactorize(); err != nil {
-		s.stats.FallbackSingular++
-		return s.cold()
+	refactorEvery := s.Config.RefactorEvery
+	if refactorEvery <= 0 {
+		refactorEvery = 128
+	}
+	// The previous factorization plus the eta file still represent the
+	// patched basis (every removal swap was a product-form update), so a
+	// small-delta re-solve reuses them and just refreshes x_B/c_B under the
+	// new bounds and objective. The LU is rebuilt only to shed a long eta
+	// chain — the same hygiene schedule the pivot loops use.
+	if len(st.etas) >= refactorEvery {
+		if err := st.refactorize(); err != nil {
+			s.stats.FallbackSingular++
+			return s.cold()
+		}
+	} else {
+		st.recomputeXB()
 	}
 	// The patched basis is typically primal infeasible after bound shrinks
 	// or basic-column removals; a short dual-simplex phase repairs it in a
 	// few pivots. If the repair stalls, solve cold — correctness never
 	// depends on the warm path.
-	refactorEvery := s.Config.RefactorEvery
-	if refactorEvery <= 0 {
-		refactorEvery = 128
-	}
 	repairPivots, repair := st.dualRepair(4*st.m+16, refactorEvery)
 	switch repair {
 	case repairSingular:
@@ -204,11 +299,55 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	}
 	s.stats.WarmSolves++
 	s.stats.WarmPivots += repairPivots
+	if repairPivots == 0 && basisSwaps == 0 && !cBasic {
+		// The basis and c_B — and therefore the duals — are exactly the
+		// previous solve's, which certified every then-existing column
+		// optimal. Only the delta's own columns (appended, or nonbasic with
+		// a changed c) can break the certificate: price exactly those, and
+		// if none improves, the solution is optimal without a single pivot
+		// or full pricing pass.
+		if sol, done := s.fastFinish(&d, oldN); done {
+			s.stats.FastFinishes++
+			return s.finishWarm(sol, nil, oldN)
+		}
+	}
 	sol, err := s.Config.pivot(st, true)
 	if sol != nil {
 		s.stats.WarmPivots += sol.Iterations
 	}
-	return s.finish(sol, err)
+	return s.finishWarm(sol, err, oldN)
+}
+
+// fastFinish prices just the delta's columns under the (unchanged) duals;
+// if none is improving, it extracts the optimal solution directly. done is
+// false when some delta column improves and the full pivot loop must run.
+func (s *Solver) fastFinish(d *ProblemDelta, oldN int) (*Solution, bool) {
+	st := s.st
+	st.btran()
+	newN := s.prob.NumCols()
+	for _, oc := range d.SetC {
+		nj := s.colMap[oc.Col]
+		if nj >= 0 && st.posOf[nj] < 0 && st.reducedCost(nj) > reducedTol {
+			return nil, false
+		}
+	}
+	for nj := newN - len(d.AddCols); nj < newN; nj++ {
+		if st.reducedCost(nj) > reducedTol {
+			return nil, false
+		}
+	}
+	return st.extract(0), true
+}
+
+// finishWarm is the warm path's epilogue: record warm-start validity, then
+// feed the changed-column tracker.
+func (s *Solver) finishWarm(sol *Solution, err error, oldN int) (*Solution, error) {
+	sol, err = s.finish(sol, err)
+	if s.trackChanged && err == nil && sol != nil && sol.Status == Optimal {
+		s.diffChanged(oldN, sol.X)
+		s.snapshotX(sol)
+	}
+	return sol, err
 }
 
 // pivotSubstTol is the minimum pivot magnitude accepted when swapping a
@@ -227,8 +366,10 @@ const warmFeasTol = 1e-9
 // state arena.
 func (s *Solver) cold() (*Solution, error) {
 	s.stats.ColdSolves++
+	s.changedAll = true
 	if sol, done := trivialSolution(s.prob); done {
 		s.warmOK = false
+		s.snapshotX(sol)
 		return sol, solutionErr(sol)
 	}
 	if s.st == nil {
@@ -239,7 +380,9 @@ func (s *Solver) cold() (*Solution, error) {
 		s.warmOK = false
 		return nil, err
 	}
-	return s.finish(s.Config.pivot(s.st, false))
+	sol, err := s.finish(s.Config.pivot(s.st, false))
+	s.snapshotX(sol)
+	return sol, err
 }
 
 // finish records whether the state is a valid warm-start source.
@@ -316,17 +459,19 @@ func (s *Solver) checkDelta(d *ProblemDelta, oldN int) error {
 // rows whose FTRAN'd pivot element is comfortably nonzero, so the patched
 // basis is nonsingular by construction (the failure of naive substitution,
 // which picks a slack blind and routinely lands on a zero pivot). Basic
-// values are left stale — the post-delta refactorization recomputes x_B and
+// values are left stale — the post-delta x_B refresh recomputes them and
 // dualRepair absorbs any infeasibility the swap introduced. Runs before the
 // delta mutates the column storage, while the removed columns' row lists
 // are still readable; variable indices stay in the pre-delta space and
-// remapState translates them after compaction. Returns false when some
-// removed basic column has no usable entering slack — then the warm start
-// is abandoned.
-func (s *Solver) substituteRemovedBasics(d *ProblemDelta, oldN int) bool {
+// remapState translates them after compaction. Reports the number of swaps
+// performed (zero means the basis, and so the duals, survived the delta
+// untouched — what qualifies the re-solve for the fast finish) and ok=false
+// when some removed basic column has no usable entering slack — then the
+// warm start is abandoned.
+func (s *Solver) substituteRemovedBasics(d *ProblemDelta, oldN int) (swaps int, ok bool) {
 	st := s.st
 	if len(d.RemoveCols) == 0 {
-		return true
+		return 0, true
 	}
 	if cap(s.removed) < oldN {
 		s.removed = make([]bool, oldN)
@@ -360,14 +505,15 @@ func (s *Solver) substituteRemovedBasics(d *ProblemDelta, oldN int) bool {
 			st.posOf[q] = i
 			st.cB[i] = 0
 			st.pushEta(i)
+			swaps++
 			entered = true
 			break
 		}
 		if !entered {
-			return false
+			return swaps, false
 		}
 	}
-	return true
+	return swaps, true
 }
 
 // applyDelta mutates the owned problem: bounds, objective coefficients,

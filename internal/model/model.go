@@ -62,8 +62,9 @@ type Instance struct {
 	// Beta is β ∈ [0,1], balancing interest against interaction degree.
 	Beta float64
 
-	bidders [][]int      // Nv, rebuilt lazily from Users[*].Bids
-	weights *WeightCache // w(u,v) over bid lists, built lazily (weights.go)
+	bidders  [][]int      // Nv, rebuilt lazily from Users[*].Bids
+	prevBids [][]int      // per-user bid snapshot backing the Invalidate(users...) diff
+	weights  *WeightCache // w(u,v) over bid lists, built lazily (weights.go)
 }
 
 // NumEvents returns |V|.
@@ -83,7 +84,9 @@ func (in *Instance) Bidders(v int) []int {
 
 // RebuildBidders recomputes the per-event bidder lists from the users' bid
 // sets. Call it after mutating any user's Bids. It also drops the weight
-// cache, which is aligned with the bid lists.
+// cache, which is aligned with the bid lists, and snapshots the bid sets so
+// later Invalidate(users...) calls can patch the lists instead of rebuilding
+// them.
 func (in *Instance) RebuildBidders() {
 	b := make([][]int, len(in.Events))
 	for u := range in.Users {
@@ -93,6 +96,25 @@ func (in *Instance) RebuildBidders() {
 	}
 	in.bidders = b
 	in.weights = nil
+	in.snapshotBids()
+}
+
+// snapshotBids copies every user's bid list into one flat arena. The copies
+// are what the delta-scoped Invalidate diffs against, so in-place mutation
+// of a caller's Bids slice can never corrupt the patch.
+func (in *Instance) snapshotBids() {
+	total := 0
+	for u := range in.Users {
+		total += len(in.Users[u].Bids)
+	}
+	arena := make([]int, 0, total)
+	snap := make([][]int, len(in.Users))
+	for u := range in.Users {
+		lo := len(arena)
+		arena = append(arena, in.Users[u].Bids...)
+		snap[u] = arena[lo:len(arena):len(arena)]
+	}
+	in.prevBids = snap
 }
 
 // DPI returns the degree of potential interaction D(G,u) (Definition 6).
@@ -124,34 +146,99 @@ func (in *Instance) Check() error {
 	if !(in.Beta >= 0 && in.Beta <= 1) { // negated form also rejects NaN
 		return fmt.Errorf("model: beta = %v outside [0,1]", in.Beta)
 	}
-	for v, ev := range in.Events {
-		if ev.Capacity < 0 {
-			return fmt.Errorf("model: event %d has negative capacity %d", v, ev.Capacity)
+	for v := range in.Events {
+		if err := in.checkEvent(v); err != nil {
+			return err
 		}
 	}
-	for u, us := range in.Users {
-		if us.Capacity < 0 {
-			return fmt.Errorf("model: user %d has negative capacity %d", u, us.Capacity)
-		}
-		maxDegree := len(in.Users) - 1
-		if maxDegree < 0 {
-			maxDegree = 0
-		}
-		if us.Degree < 0 || us.Degree > maxDegree {
-			return fmt.Errorf("model: user %d has impossible degree %d (|U| = %d)", u, us.Degree, len(in.Users))
-		}
-		prev := -1
-		for _, v := range us.Bids {
-			if v < 0 || v >= len(in.Events) {
-				return fmt.Errorf("model: user %d bids for unknown event %d", u, v)
-			}
-			if v <= prev {
-				return fmt.Errorf("model: user %d bids not sorted/deduplicated at event %d", u, v)
-			}
-			prev = v
+	for u := range in.Users {
+		if err := in.checkUser(u); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// checkEvent validates one event's fields.
+func (in *Instance) checkEvent(v int) error {
+	if c := in.Events[v].Capacity; c < 0 {
+		return fmt.Errorf("model: event %d has negative capacity %d", v, c)
+	}
+	return nil
+}
+
+// checkUser validates one user's fields and bid list.
+func (in *Instance) checkUser(u int) error {
+	us := &in.Users[u]
+	if us.Capacity < 0 {
+		return fmt.Errorf("model: user %d has negative capacity %d", u, us.Capacity)
+	}
+	maxDegree := len(in.Users) - 1
+	if maxDegree < 0 {
+		maxDegree = 0
+	}
+	if us.Degree < 0 || us.Degree > maxDegree {
+		return fmt.Errorf("model: user %d has impossible degree %d (|U| = %d)", u, us.Degree, len(in.Users))
+	}
+	prev := -1
+	for _, v := range us.Bids {
+		if v < 0 || v >= len(in.Events) {
+			return fmt.Errorf("model: user %d bids for unknown event %d", u, v)
+		}
+		if v <= prev {
+			return fmt.Errorf("model: user %d bids not sorted/deduplicated at event %d", u, v)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// CheckUsers validates just the listed users (index range plus checkUser) —
+// the delta-scoped counterpart of Check for callers who mutated a known set
+// of users on an instance that already passed a full Check.
+func (in *Instance) CheckUsers(users []int) error {
+	for _, u := range users {
+		if u < 0 || u >= len(in.Users) {
+			return fmt.Errorf("model: unknown user %d (|U| = %d)", u, len(in.Users))
+		}
+		if err := in.checkUser(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckEvents validates just the listed events — the delta-scoped
+// counterpart of Check after capacity mutations.
+func (in *Instance) CheckEvents(events []int) error {
+	for _, v := range events {
+		if v < 0 || v >= len(in.Events) {
+			return fmt.Errorf("model: unknown event %d (|V| = %d)", v, len(in.Events))
+		}
+		if err := in.checkEvent(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the mutable parts of the instance — events, users and
+// their bid lists — sharing the conflict/interest functions and β. Derived
+// caches are not carried over; the clone rebuilds them lazily. It is the
+// one copy used by mutation-replay tests and the serving layer's shadow
+// instances.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		Events:    append([]Event(nil), in.Events...),
+		Users:     append([]User(nil), in.Users...),
+		Conflicts: in.Conflicts,
+		Interest:  in.Interest,
+		Beta:      in.Beta,
+	}
+	for u := range out.Users {
+		out.Users[u].Bids = append([]int(nil), in.Users[u].Bids...)
+	}
+	return out
 }
 
 // Arrangement is an event–participant arrangement M ⊆ V×U, stored as one
@@ -269,19 +356,6 @@ func MergeDisjoint(n int, parts ...*Arrangement) (*Arrangement, error) {
 		}
 	}
 	return out, nil
-}
-
-// Utility computes Utility(M) (Definition 7) for the arrangement under the
-// instance's interest function, social degrees and β.
-func Utility(in *Instance, a *Arrangement) float64 {
-	wc := in.Weights()
-	total := 0.0
-	for u, set := range a.Sets {
-		for _, v := range set {
-			total += wc.Of(u, v)
-		}
-	}
-	return total
 }
 
 // Validate checks that the arrangement is feasible for the instance

@@ -1,0 +1,115 @@
+package model
+
+// utilityBlock is the user-block width of the utility summation tree. The
+// sum is defined as Σ over blocks of (Σ over the block's users of the
+// user's subtotal), with every level accumulated left to right. Fixing this
+// shape (instead of one flat left-to-right pass over pairs) is what lets
+// UtilityAccumulator maintain the value under seat moves bit-identically to
+// a from-scratch evaluation: a changed user re-derives only their subtotal
+// and their block's partial, and every float64 addition that produces the
+// final value happens in exactly the same order either way.
+const utilityBlock = 256
+
+// Utility computes Utility(M) (Definition 7) for the arrangement under the
+// instance's interest function, social degrees and β.
+//
+// The summation shape is the fixed user-blocked tree described on
+// utilityBlock; UtilityAccumulator reproduces it exactly, so incremental
+// maintenance is bit-equal to calling Utility from scratch.
+func Utility(in *Instance, a *Arrangement) float64 {
+	wc := in.Weights()
+	total := 0.0
+	n := len(a.Sets)
+	for lo := 0; lo < n; lo += utilityBlock {
+		hi := min(lo+utilityBlock, n)
+		block := 0.0
+		for u := lo; u < hi; u++ {
+			block += userUtility(wc, u, a.Sets[u])
+		}
+		total += block
+	}
+	return total
+}
+
+// userUtility is user u's subtotal over their assigned events, accumulated
+// in set order — the one shared leaf computation of Utility and
+// UtilityAccumulator.
+func userUtility(wc *WeightCache, u int, set []int) float64 {
+	su := 0.0
+	for _, v := range set {
+		su += wc.Of(u, v)
+	}
+	return su
+}
+
+// UtilityAccumulator maintains Utility(M) under seat moves: SetUser
+// re-derives one user's subtotal in O(|set|) and marks their block stale;
+// Total re-sums only stale blocks plus the O(|U|/utilityBlock) block chain.
+// Because both levels reproduce Utility's fixed summation tree, Total is
+// bit-equal to a from-scratch Utility call on the tracked arrangement — the
+// incremental rounding path's determinism contract depends on this, and the
+// property test in utility_test.go pins it.
+//
+// The accumulator reads the instance's weight cache at SetUser time, so
+// after a bid delta the caller must re-sync the cache (Invalidate) and then
+// SetUser every affected user, even those whose event set did not change.
+// An accumulator is not safe for concurrent use.
+type UtilityAccumulator struct {
+	in    *Instance
+	user  []float64 // per-user subtotals
+	block []float64 // per-block partials, re-derived lazily from user
+	stale []bool    // block staleness
+}
+
+// NewUtilityAccumulator builds an accumulator tracking the arrangement. The
+// arrangement itself is not retained: the caller owns it and reports every
+// later mutation through SetUser.
+func NewUtilityAccumulator(in *Instance, a *Arrangement) *UtilityAccumulator {
+	nu := len(in.Users)
+	nb := (nu + utilityBlock - 1) / utilityBlock
+	acc := &UtilityAccumulator{
+		in:    in,
+		user:  make([]float64, nu),
+		block: make([]float64, nb),
+		stale: make([]bool, nb),
+	}
+	wc := in.Weights()
+	for u := 0; u < nu; u++ {
+		var set []int
+		if a != nil {
+			set = a.Sets[u]
+		}
+		acc.user[u] = userUtility(wc, u, set)
+	}
+	for b := range acc.stale {
+		acc.stale[b] = true
+	}
+	return acc
+}
+
+// SetUser re-derives user u's subtotal from their (sorted) event set. Call
+// it after any change to the user's assignment — or to their weights.
+func (acc *UtilityAccumulator) SetUser(u int, set []int) {
+	acc.user[u] = userUtility(acc.in.Weights(), u, set)
+	acc.stale[u/utilityBlock] = true
+}
+
+// Total returns the tracked Utility(M), bit-equal to Utility on the same
+// arrangement.
+func (acc *UtilityAccumulator) Total() float64 {
+	total := 0.0
+	for b := range acc.block {
+		if acc.stale[b] {
+			lo := b * utilityBlock
+			hi := min(lo+utilityBlock, len(acc.user))
+			s := 0.0
+			for u := lo; u < hi; u++ {
+				s += acc.user[u]
+			}
+			acc.block[b] = s
+			acc.stale[b] = false
+		}
+		total += acc.block[b]
+	}
+	return total
+}

@@ -1,0 +1,216 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// randomInstance builds a mid-size random instance with enough users to
+// span several utility blocks, so the block chain of the summation tree is
+// actually exercised.
+func randomInstance(seed int64, nu, nv int) *Instance {
+	rng := xrand.New(seed)
+	in := &Instance{
+		Events:    make([]Event, nv),
+		Users:     make([]User, nu),
+		Conflicts: func(v, w int) bool { return v != w && (v+w)%7 == 0 },
+		Beta:      0.5,
+	}
+	si := make([][]float64, nu)
+	for v := range in.Events {
+		in.Events[v].Capacity = 1 + rng.Intn(5)
+	}
+	for u := range in.Users {
+		in.Users[u].Capacity = 1 + rng.Intn(3)
+		in.Users[u].Degree = rng.Intn(nu)
+		nb := 1 + rng.Intn(6)
+		seen := map[int]bool{}
+		for len(seen) < nb {
+			seen[rng.Intn(nv)] = true
+		}
+		for v := 0; v < nv; v++ {
+			if seen[v] {
+				in.Users[u].Bids = append(in.Users[u].Bids, v)
+			}
+		}
+		si[u] = make([]float64, nv)
+		for v := range si[u] {
+			si[u][v] = rng.Float64()
+		}
+	}
+	in.Interest = func(u, v int) float64 { return si[u][v] }
+	return in
+}
+
+// randomSubset returns a random sorted subset of the user's bids, at most
+// their capacity.
+func randomSubset(rng *xrand.RNG, usr *User) []int {
+	var set []int
+	for _, v := range usr.Bids {
+		if len(set) < usr.Capacity && rng.Bool(0.4) {
+			set = append(set, v)
+		}
+	}
+	return set
+}
+
+// TestUtilityAccumulatorMatchesUtility is the accumulator's bit-equality
+// property test: a long random sequence of seat moves (assignments granted,
+// revoked, replaced) must keep Total exactly — not approximately — equal to
+// a from-scratch Utility evaluation of the same arrangement.
+func TestUtilityAccumulatorMatchesUtility(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		in := randomInstance(seed, 700, 40) // several utility blocks
+		rng := xrand.New(seed ^ 0xacc)
+		arr := NewArrangement(in.NumUsers())
+		for u := range arr.Sets {
+			arr.Sets[u] = randomSubset(rng, &in.Users[u])
+		}
+		acc := NewUtilityAccumulator(in, arr)
+		if got, want := acc.Total(), Utility(in, arr); got != want {
+			t.Fatalf("seed %d: initial Total %.17g != Utility %.17g", seed, got, want)
+		}
+		for step := 0; step < 400; step++ {
+			u := rng.Intn(in.NumUsers())
+			switch {
+			case rng.Bool(0.2):
+				arr.Sets[u] = nil // full cancel
+			default:
+				arr.Sets[u] = randomSubset(rng, &in.Users[u])
+			}
+			acc.SetUser(u, arr.Sets[u])
+			if step%17 != 0 {
+				continue // queries between batches of moves, not per move
+			}
+			if got, want := acc.Total(), Utility(in, arr); got != want {
+				t.Fatalf("seed %d step %d: Total %.17g != Utility %.17g", seed, step, got, want)
+			}
+		}
+		if got, want := acc.Total(), Utility(in, arr); got != want {
+			t.Fatalf("seed %d final: Total %.17g != Utility %.17g", seed, got, want)
+		}
+	}
+}
+
+// TestUtilityAccumulatorTracksWeightChanges pins the re-sync contract:
+// after a bid delta changes a user's weights, SetUser with the unchanged
+// event set must pick up the new weight table.
+func TestUtilityAccumulatorTracksWeightChanges(t *testing.T) {
+	in := tiny(0.5)
+	arr := NewArrangement(3)
+	arr.Sets[0] = []int{0, 2}
+	acc := NewUtilityAccumulator(in, arr)
+	before := acc.Total()
+
+	// Dropping bid 1 does not change the assignment {0,2}, but the weight
+	// rows re-align; the accumulator must agree with Utility afterwards.
+	in.Users[0].Bids = []int{0, 2}
+	in.Invalidate(0)
+	acc.SetUser(0, arr.Sets[0])
+	if got, want := acc.Total(), Utility(in, arr); got != want {
+		t.Fatalf("after bid delta: Total %.17g != Utility %.17g", got, want)
+	}
+	if acc.Total() != before {
+		// same events, same weights for them — value should be unchanged
+		t.Fatalf("utility changed by a bid drop that kept the assignment: %v -> %v", before, acc.Total())
+	}
+}
+
+// TestInvalidateUsersPatchesCaches pins the delta-scoped Invalidate: after
+// mutating a few users' bids, patching just those users must leave the
+// weight table and bidder lists identical to a full rebuild on a fresh
+// clone.
+func TestInvalidateUsersPatchesCaches(t *testing.T) {
+	in := randomInstance(3, 120, 25)
+	in.Weights()
+	in.RebuildBidders()
+	_ = in.Bidders(0) // materialize
+
+	rng := xrand.New(44)
+	for step := 0; step < 30; step++ {
+		var changed []int
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			u := rng.Intn(in.NumUsers())
+			usr := &in.Users[u]
+			if len(usr.Bids) > 0 && rng.Bool(0.5) {
+				i := rng.Intn(len(usr.Bids))
+				usr.Bids = append(usr.Bids[:i:i], usr.Bids[i+1:]...)
+			} else {
+				v := rng.Intn(in.NumEvents())
+				if !Contains(usr.Bids, v) {
+					bids := append(append([]int(nil), usr.Bids...), v)
+					for i := len(bids) - 1; i > 0 && bids[i-1] > bids[i]; i-- {
+						bids[i-1], bids[i] = bids[i], bids[i-1]
+					}
+					usr.Bids = bids
+				}
+			}
+			changed = append(changed, u)
+		}
+		in.Invalidate(changed...)
+
+		fresh := in.Clone()
+		fwc := fresh.Weights()
+		wc := in.Weights()
+		for u := 0; u < in.NumUsers(); u++ {
+			if !reflect.DeepEqual(wc.Row(u), fwc.Row(u)) {
+				t.Fatalf("step %d: patched weight row %d = %v, rebuilt %v", step, u, wc.Row(u), fwc.Row(u))
+			}
+		}
+		for v := 0; v < in.NumEvents(); v++ {
+			got, want := in.Bidders(v), fresh.Bidders(v)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: patched bidders(%d) = %v, rebuilt %v", step, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: patched bidders(%d) = %v, rebuilt %v", step, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestInvalidateUsersWithoutCachesStaysLazy pins that the delta form on an
+// instance with no materialized caches is a no-op that still leaves lazy
+// rebuilds correct.
+func TestInvalidateUsersWithoutCachesStaysLazy(t *testing.T) {
+	in := tiny(0.5)
+	in.Users[0].Bids = []int{0, 2}
+	in.Invalidate(0)
+	if got := in.Weights().Row(0); len(got) != 2 {
+		t.Fatalf("lazy rebuild after delta Invalidate: row 0 has %d entries, want 2", len(got))
+	}
+	if got := in.Bidders(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("lazy bidders after delta Invalidate: Bidders(1) = %v, want [1]", got)
+	}
+}
+
+func TestCheckUsersAndEvents(t *testing.T) {
+	in := tiny(0.5)
+	if err := in.CheckUsers([]int{0, 1, 2}); err != nil {
+		t.Fatalf("CheckUsers on valid instance: %v", err)
+	}
+	if err := in.CheckEvents([]int{0, 1, 2}); err != nil {
+		t.Fatalf("CheckEvents on valid instance: %v", err)
+	}
+	if err := in.CheckUsers([]int{3}); err == nil {
+		t.Error("CheckUsers accepted out-of-range user")
+	}
+	if err := in.CheckEvents([]int{-1}); err == nil {
+		t.Error("CheckEvents accepted negative event")
+	}
+	in.Users[1].Bids = []int{1, 0} // unsorted
+	if err := in.CheckUsers([]int{1}); err == nil {
+		t.Error("CheckUsers accepted unsorted bids")
+	}
+	if err := in.CheckUsers([]int{0, 2}); err != nil {
+		t.Errorf("CheckUsers flagged untouched users: %v", err)
+	}
+	in.Events[2].Capacity = -1
+	if err := in.CheckEvents([]int{2}); err == nil {
+		t.Error("CheckEvents accepted negative capacity")
+	}
+}

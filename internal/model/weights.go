@@ -1,6 +1,9 @@
 package model
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // WeightCache is a CSR-style cache of the pair weights w(u,v) over each
 // user's bid list: row u holds one weight per entry of Users[u].Bids, in bid
@@ -10,47 +13,71 @@ import "sort"
 // β·SI(lv,lu) + (1−β)·D(G,u) once per pair and sharing the table removes the
 // per-call interest-function churn from every hot path.
 //
-// A cache is immutable after construction and therefore safe for concurrent
-// readers (the parallel enumeration and sampling stages rely on this).
+// Rows are views into one flat arena, so a freshly built cache is a handful
+// of allocations; the per-row indirection is what lets Invalidate(users...)
+// patch a single user's weights in place after a bid delta instead of
+// discarding the whole table.
+//
+// A cache is never mutated by concurrent readers (the parallel enumeration
+// and sampling stages rely on this). The only writers are buildWeightCache
+// and the delta patch in Instance.Invalidate, both of which run on the
+// caller's single mutation thread before any parallel stage starts.
 type WeightCache struct {
-	in  *Instance
-	off []int32   // user u's row is w[off[u]:off[u+1]]
-	w   []float64 // weights aligned with Users[u].Bids
+	in   *Instance
+	rows [][]float64 // rows[u] is aligned with Users[u].Bids
 }
 
 // buildWeightCache computes the full table in one pass.
 func buildWeightCache(in *Instance) *WeightCache {
 	nu := len(in.Users)
-	off := make([]int32, nu+1)
 	total := 0
 	for u := range in.Users {
 		total += len(in.Users[u].Bids)
-		off[u+1] = int32(total)
 	}
 	w := make([]float64, total)
+	rows := make([][]float64, nu)
+	off := 0
+	c := &WeightCache{in: in, rows: rows}
 	for u := range in.Users {
-		base := 1 - in.Beta
-		dpi := base * in.DPI(u)
-		row := w[off[u]:off[u+1]]
-		for i, v := range in.Users[u].Bids {
-			// identical arithmetic to Instance.Weight so cached and direct
-			// evaluation agree bit-for-bit
-			row[i] = in.Beta*in.Interest(u, v) + dpi
-		}
+		rows[u] = w[off : off+len(in.Users[u].Bids) : off+len(in.Users[u].Bids)]
+		off += len(in.Users[u].Bids)
+		c.fillRow(u)
 	}
-	return &WeightCache{in: in, off: off, w: w}
+	return c
+}
+
+// fillRow computes user u's weights into the (already sized) row. The
+// arithmetic is identical to Instance.Weight so cached and direct evaluation
+// agree bit-for-bit.
+func (c *WeightCache) fillRow(u int) {
+	in := c.in
+	base := 1 - in.Beta
+	dpi := base * in.DPI(u)
+	row := c.rows[u]
+	for i, v := range in.Users[u].Bids {
+		row[i] = in.Beta*in.Interest(u, v) + dpi
+	}
+}
+
+// patchRow re-derives user u's row after their bids changed, reusing the
+// existing storage when the bid count is unchanged.
+func (c *WeightCache) patchRow(u int) {
+	if n := len(c.in.Users[u].Bids); n != len(c.rows[u]) {
+		c.rows[u] = make([]float64, n)
+	}
+	c.fillRow(u)
 }
 
 // At returns w(u, Users[u].Bids[i]) — the aligned, search-free accessor for
 // callers already iterating a bid list by position.
 func (c *WeightCache) At(u, i int) float64 {
-	return c.w[int(c.off[u])+i]
+	return c.rows[u][i]
 }
 
 // Row returns user u's cached weights, aligned with Users[u].Bids. The
 // returned slice is shared; callers must not modify it.
 func (c *WeightCache) Row(u int) []float64 {
-	return c.w[c.off[u]:c.off[u+1]]
+	return c.rows[u]
 }
 
 // Of returns w(u,v) by binary search over u's sorted bid list. Pairs outside
@@ -62,7 +89,7 @@ func (c *WeightCache) Of(u, v int) float64 {
 	if i >= len(bids) || bids[i] != v {
 		return c.in.Weight(u, v)
 	}
-	return c.w[int(c.off[u])+i]
+	return c.rows[u][i]
 }
 
 // Weights returns the instance's weight cache, building it on first use.
@@ -77,10 +104,77 @@ func (in *Instance) Weights() *WeightCache {
 	return in.weights
 }
 
-// Invalidate drops the instance's derived caches (bidder lists and pair
-// weights) so they are rebuilt from the current Events/Users/Beta/Interest
-// on next use. Call it after mutating any of those.
-func (in *Instance) Invalidate() {
-	in.bidders = nil
-	in.weights = nil
+// Invalidate re-syncs the instance's derived caches (bidder lists and pair
+// weights) with the current Events/Users/Beta/Interest. Call it after
+// mutating any of those.
+//
+// With no arguments it drops both caches wholesale, to be rebuilt lazily on
+// next use — required after global changes (Beta, Interest, Degree, user
+// count). With user arguments it patches in place instead: only the named
+// users' weight rows are recomputed and only their bidder-list entries move,
+// so a serving-path bid delta costs O(|Δ| · bids) rather than a
+// full-instance rebuild. The delta form requires that only the named users'
+// Bids/Capacity changed since the last sync; naming a superset is safe,
+// omitting a changed user leaves stale cache entries.
+func (in *Instance) Invalidate(users ...int) {
+	if len(users) == 0 {
+		in.bidders = nil
+		in.prevBids = nil
+		in.weights = nil
+		return
+	}
+	for _, u := range users {
+		if in.bidders != nil {
+			in.patchBidders(u)
+		}
+		if in.weights != nil {
+			in.weights.patchRow(u)
+		}
+	}
+}
+
+// patchBidders replays user u's bid changes onto the per-event bidder lists
+// by diffing against the snapshot taken at the last full rebuild (or last
+// patch). Both lists are sorted, so the diff is a single merge pass and each
+// membership edit is a binary search plus a small copy.
+func (in *Instance) patchBidders(u int) {
+	if in.prevBids == nil {
+		// No snapshot to diff against: fall back to a lazy full rebuild.
+		in.bidders = nil
+		return
+	}
+	old, cur := in.prevBids[u], in.Users[u].Bids
+	i, j := 0, 0
+	for i < len(old) || j < len(cur) {
+		switch {
+		case j >= len(cur) || (i < len(old) && old[i] < cur[j]):
+			in.removeBidder(old[i], u)
+			i++
+		case i >= len(old) || cur[j] < old[i]:
+			in.insertBidder(cur[j], u)
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	in.prevBids[u] = append(in.prevBids[u][:0:0], cur...)
+}
+
+// removeBidder deletes user u from event v's sorted bidder list.
+func (in *Instance) removeBidder(v, u int) {
+	lst := in.bidders[v]
+	if i := sort.SearchInts(lst, u); i < len(lst) && lst[i] == u {
+		in.bidders[v] = slices.Delete(lst, i, i+1)
+	}
+}
+
+// insertBidder adds user u to event v's sorted bidder list.
+func (in *Instance) insertBidder(v, u int) {
+	lst := in.bidders[v]
+	i := sort.SearchInts(lst, u)
+	if i < len(lst) && lst[i] == u {
+		return
+	}
+	in.bidders[v] = slices.Insert(lst, i, u)
 }

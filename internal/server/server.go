@@ -50,6 +50,7 @@ import (
 
 	"github.com/ebsn/igepa/internal/model"
 	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/stats"
 )
 
 // Defaults for Config zero values.
@@ -224,6 +225,13 @@ func (srv *Server) Drain(timeout time.Duration) bool {
 			}
 		}
 		if idle {
+			// Quiescent: fold any bound events still pending since the last
+			// renewal threshold, so end-of-stream /statsz reads current.
+			if srv.eng.BoundEnabled() {
+				srv.lockAll()
+				srv.eng.UpdateBound()
+				srv.unlockAll()
+			}
 			return true
 		}
 		if time.Now().After(deadline) {
@@ -279,14 +287,18 @@ func (srv *Server) shardLoop(si int) {
 		srv.shardMu[si].Unlock()
 		srv.batches.Add(1)
 		srv.queues[si].finish()
-		if srv.s > 1 && srv.sinceRenew.Add(int64(len(batch))) >= int64(srv.b) {
+		if srv.sinceRenew.Add(int64(len(batch))) >= int64(srv.b) &&
+			(srv.s > 1 || srv.eng.BoundEnabled()) {
 			srv.tryRenew()
 		}
 	}
 }
 
 // tryRenew runs one lease-renewal round if no other is in progress, using
-// the queued users as the demand predictor for the "next batch".
+// the queued users as the demand predictor for the "next batch". When the
+// live LP bound is enabled, the same stop-the-world window re-solves it
+// over everything served since the last renewal — the live-mode analogue of
+// the replay path's per-batch bound update.
 func (srv *Server) tryRenew() {
 	if !srv.renewMu.TryLock() {
 		return
@@ -298,7 +310,13 @@ func (srv *Server) tryRenew() {
 		pending = q.pendingUsers(pending)
 	}
 	srv.lockAll()
-	_, err := srv.eng.RenewLeases(pending)
+	var err error
+	if srv.s > 1 {
+		_, err = srv.eng.RenewLeases(pending)
+	}
+	if srv.eng.BoundEnabled() {
+		srv.eng.UpdateBound() // failures land in BoundStats.Errors
+	}
 	srv.unlockAll()
 	if err != nil {
 		srv.m.leaseErrors.Add(1)
@@ -491,6 +509,9 @@ func (srv *Server) applyBidUpdateLocked(u int, bids []int) {
 	srv.in.RebuildBidders()
 	srv.in.Weights() // eager: the shard loops must never race the lazy build
 	srv.eng.RefreshWeights()
+	// The live-bound shadow must re-read this user's bids, or the reported
+	// remaining-LP would be computed over the stale set until they decide.
+	srv.eng.NoteBidUpdate(u)
 }
 
 func dedupeSorted(s []int) []int {
@@ -710,6 +731,22 @@ type Stats struct {
 	Cache    CacheStats   `json:"cache"`
 	PerShard []ShardStats `json:"per_shard"`
 	Utility  float64      `json:"utility"`
+
+	// Bound is the live LP bound report (nil unless the engine runs with
+	// shard.Options.LiveBound). Update is the planner-update latency —
+	// reported separately from the decision percentiles above so the
+	// bound's cost is visible next to the serving tails.
+	Bound *BoundReport `json:"live_bound,omitempty"`
+}
+
+// BoundReport is the /statsz view of the live LP-bound tracker.
+type BoundReport struct {
+	RemainingLP float64     `json:"remaining_lp"`
+	Updates     int         `json:"updates"`
+	Errors      int         `json:"errors"`
+	Update      Percentiles `json:"update"`
+	WarmSolves  int         `json:"warm_solves"`
+	ColdSolves  int         `json:"cold_solves"`
 }
 
 // Stats assembles the admin snapshot (also served as /statsz).
@@ -744,6 +781,7 @@ func (srv *Server) Stats() Stats {
 	st.LeaseRenewals = srv.eng.Renewals()
 	st.MovedSeats = srv.eng.MovedSeats()
 	cs := srv.eng.CacheStats()
+	bs := srv.eng.BoundStats()
 	for si := 0; si < srv.s; si++ {
 		row := ShardStats{Arrivals: srv.eng.ArrivalsOn(si), Utility: srv.eng.ShardUtility(si)}
 		if !srv.cfg.Replay {
@@ -756,6 +794,17 @@ func (srv *Server) Stats() Stats {
 	st.Cache = CacheStats{
 		Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate(),
 		Evictions: cs.Evictions, Entries: cs.Entries,
+	}
+	if bs != nil {
+		ps := stats.DurationPercentiles(bs.UpdateLatencies, 0.50, 0.99)
+		st.Bound = &BoundReport{
+			RemainingLP: bs.Remaining,
+			Updates:     bs.Updates,
+			Errors:      bs.Errors,
+			Update:      Percentiles{P50Micros: ps[0].Microseconds(), P99Micros: ps[1].Microseconds()},
+			WarmSolves:  bs.Solver.WarmSolves,
+			ColdSolves:  bs.Solver.ColdSolves,
+		}
 	}
 	return st
 }

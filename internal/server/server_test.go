@@ -475,3 +475,86 @@ func TestQueue(t *testing.T) {
 		t.Fatalf("push after close: %v", err)
 	}
 }
+
+// TestLiveBoundThroughServer runs both dispatch modes with the live LP
+// bound enabled and checks /statsz reports it: replay updates per batch,
+// live updates at renewal points; decisions are never affected.
+func TestLiveBoundThroughServer(t *testing.T) {
+	in := testInstance(t, 9, 64, 12)
+
+	t.Run("replay", func(t *testing.T) {
+		srv, _, c := startServer(t, in.Clone(), Config{
+			Shard:  shard.Options{Shards: 2, Batch: 16, Seed: 5, LiveBound: true},
+			Replay: true,
+		})
+		for u := 0; u < 48; u++ {
+			wait := false
+			if code := c.status("POST", "/v1/bid", bidRequest{User: u, Wait: &wait}); code != http.StatusAccepted {
+				t.Fatalf("bid %d: %d", u, code)
+			}
+		}
+		if !srv.Drain(5 * time.Second) {
+			t.Fatal("drain timed out")
+		}
+		var st Stats
+		c.do("GET", "/statsz", nil, &st)
+		if st.Bound == nil {
+			t.Fatal("/statsz has no live_bound with LiveBound enabled")
+		}
+		if st.Bound.Updates != st.Epochs || st.Bound.Errors != 0 {
+			t.Fatalf("bound updates %d over %d epochs (errors %d)", st.Bound.Updates, st.Epochs, st.Bound.Errors)
+		}
+		if st.Bound.RemainingLP < 0 {
+			t.Fatalf("negative remaining bound %v", st.Bound.RemainingLP)
+		}
+	})
+
+	t.Run("live", func(t *testing.T) {
+		srv, _, c := startServer(t, in.Clone(), Config{
+			Shard:         shard.Options{Shards: 2, Batch: 8, Seed: 5, LiveBound: true},
+			FlushInterval: 200 * time.Microsecond,
+		})
+		for u := 0; u < 48; u++ {
+			req := bidRequest{User: u}
+			if u%7 == 0 {
+				// replacement bid set: exercises the shadow re-bid path
+				req.Bids = []int{u % 12, (u + 3) % 12}
+			}
+			if code := c.status("POST", "/v1/bid", req); code != http.StatusOK {
+				t.Fatalf("bid %d: %d", u, code)
+			}
+		}
+		if !srv.Drain(5 * time.Second) {
+			t.Fatal("drain timed out")
+		}
+		var st Stats
+		c.do("GET", "/statsz", nil, &st)
+		if st.Bound == nil {
+			t.Fatal("/statsz has no live_bound with LiveBound enabled")
+		}
+		if st.Bound.Updates == 0 {
+			t.Fatal("live mode never updated the bound (drain must fold the tail)")
+		}
+		if st.Bound.Errors != 0 {
+			t.Fatalf("bound errors: %d", st.Bound.Errors)
+		}
+		// Drain folded every pending event: another drain adds nothing.
+		srv.Drain(time.Second)
+		var again Stats
+		c.do("GET", "/statsz", nil, &again)
+		if again.Bound.Updates != st.Bound.Updates {
+			t.Fatalf("idle drain changed bound updates: %d -> %d", st.Bound.Updates, again.Bound.Updates)
+		}
+	})
+
+	t.Run("disabled", func(t *testing.T) {
+		_, _, c := startServer(t, in.Clone(), Config{
+			Shard: shard.Options{Shards: 2, Batch: 16, Seed: 5},
+		})
+		var st Stats
+		c.do("GET", "/statsz", nil, &st)
+		if st.Bound != nil {
+			t.Fatal("live_bound reported without LiveBound")
+		}
+	})
+}

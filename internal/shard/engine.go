@@ -62,6 +62,7 @@ type Engine struct {
 	caches   []*admissible.Cache
 	renewer  *leaseRenewer
 	wc       *model.WeightCache
+	bound    *boundTracker // live LP bound (Options.LiveBound)
 
 	epochs, renewals, moved int
 	arrivals                []int
@@ -175,6 +176,13 @@ func NewEngine(in *model.Instance, opt Options) (*Engine, error) {
 	if opt.RecordLatency {
 		e.latencies = make([]time.Duration, nu)
 	}
+	if opt.LiveBound {
+		bt, err := newBoundTracker(in, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		e.bound = bt
+	}
 	e.renewer = newLeaseRenewer(in, budgets, e.planners, opt)
 	return e, nil
 }
@@ -218,6 +226,9 @@ func (e *Engine) DispatchBatch(users []int) {
 		}
 	})
 	e.epochs++
+	if e.bound != nil {
+		e.UpdateBound() // failures are counted in BoundStats.Errors
+	}
 }
 
 // arriveOn serves user u on shard si and accounts the granted utility.
@@ -226,6 +237,9 @@ func (e *Engine) arriveOn(si, u int) []int {
 	e.parts[si].Sets[u] = set
 	for _, v := range set {
 		e.shardUtil[si] += e.wc.Of(u, v)
+	}
+	if e.bound != nil {
+		e.bound.record(si, u, set, false)
 	}
 	return set
 }
@@ -254,6 +268,9 @@ func (e *Engine) CancelOn(si, u int) []int {
 		e.shardUtil[si] -= e.wc.Of(u, v)
 	}
 	e.parts[si].Sets[u] = nil
+	if e.bound != nil {
+		e.bound.record(si, u, set, true)
+	}
 	return set
 }
 
@@ -369,9 +386,14 @@ func (e *Engine) Result() (*Result, error) {
 		Latencies:     e.latencies,
 		LeaseSolves:   e.renewer.solveStats(),
 		Cache:         e.CacheStats(),
+		Bound:         e.BoundStats(),
 	}
 	return res, nil
 }
 
-// Close releases the lease renewer's solver state to the arena pool.
-func (e *Engine) Close() { e.renewer.close() }
+// Close releases the lease renewer's and bound planner's solver state to
+// the arena pool.
+func (e *Engine) Close() {
+	e.renewer.close()
+	e.bound.close()
+}

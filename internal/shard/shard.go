@@ -165,6 +165,15 @@ type Options struct {
 	// enabling the cache may resolve exact weight ties differently than the
 	// uncached scorer.
 	CacheSize int
+	// LiveBound, when set, keeps an incremental LP planner (core.Planner)
+	// over a shadow copy of the instance, updated after every dispatched
+	// batch: served users leave the shadow problem and consumed seats leave
+	// its capacities, so the planner's objective is a live upper bound on
+	// the utility still reachable (committed + remaining ≥ best total).
+	// Results and decisions are unchanged; the tracker's outcome lands in
+	// Result.Bound and behind Engine.LiveBound/BoundStats. Costs one warm
+	// LP re-solve plus a delta-scoped re-round per batch.
+	LiveBound bool
 }
 
 // Result carries the merged arrangement plus the serving diagnostics.
@@ -194,6 +203,9 @@ type Result struct {
 	// Cache aggregates the per-shard admissible-set cache counters (zero
 	// unless Options.CacheSize enabled caching).
 	Cache admissible.CacheStats
+	// Bound is the live LP-bound tracker's outcome (nil unless
+	// Options.LiveBound).
+	Bound *BoundStats
 }
 
 // ShardOf returns the shard in [0, shards) owning user u. The partition is
