@@ -17,6 +17,18 @@
 //	igepa-serve -cache 4096              # admissible-set cache per shard
 //	igepa-serve -listen :8080            # host the HTTP front-end
 //	igepa-serve -listen :8080 -replay    # deterministic replay dispatcher
+//	igepa-serve -listen :8080 -wal serve.wal -checkpoint serve.ckpt
+//	igepa-serve -listen :8081 -wal serve.wal -follow   # read replica
+//
+// With -wal every accepted operation is appended to a write-ahead log
+// before its reply and restarts warm-boot by replaying it (from the
+// -checkpoint snapshot's offset when one exists); -wal-sync picks the fsync
+// policy (always / interval / off). With -follow the process is a read
+// replica tailing the leader's -wal: reads only, ready once caught up
+// within -lag-bytes, promoted via POST /admin/promote. SIGINT and SIGTERM
+// both shut the server down cleanly: stop accepting, drain every queued
+// decision into the log, checkpoint if configured, then exit — a container
+// stop is a clean shutdown, not a crash. See DESIGN.md §9.
 //
 // The arrival stream is either a timestamped JSONL log written by
 // igepa-datagen -arrivals, or the built-in synthetic stream. Every row is
@@ -61,6 +73,7 @@ import (
 	"github.com/ebsn/igepa/internal/server"
 	"github.com/ebsn/igepa/internal/shard"
 	"github.com/ebsn/igepa/internal/stats"
+	"github.com/ebsn/igepa/internal/wal"
 	"github.com/ebsn/igepa/internal/workload"
 )
 
@@ -83,11 +96,21 @@ type config struct {
 	pace      float64
 	cache     int
 
+	arrivalsPartial bool
+
 	// -listen mode
 	listen     string
 	flush      time.Duration
 	queueDepth int
 	replay     bool
+
+	// durability (-listen mode)
+	wal             string
+	walSync         string
+	walSyncInterval time.Duration
+	checkpoint      string
+	follow          bool
+	lagBytes        int64
 }
 
 func main() {
@@ -114,6 +137,13 @@ func main() {
 	flag.DurationVar(&cfg.flush, "flush", 0, "listen: micro-batch flush deadline (0 = default)")
 	flag.IntVar(&cfg.queueDepth, "queue", 0, "listen: bounded queue depth (0 = default)")
 	flag.BoolVar(&cfg.replay, "replay", false, "listen: deterministic replay dispatcher (batch-by-count, no deadlines)")
+	flag.BoolVar(&cfg.arrivalsPartial, "arrivals-partial", false, "tolerate a truncated arrival log: replay the valid prefix and warn")
+	flag.StringVar(&cfg.wal, "wal", "", "listen: write-ahead log path (crash-safe serving + warm boot)")
+	flag.StringVar(&cfg.walSync, "wal-sync", "interval", "listen: WAL fsync policy: always, interval or off")
+	flag.DurationVar(&cfg.walSyncInterval, "wal-sync-interval", 0, "listen: background fsync period under -wal-sync interval (0 = default)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "listen: checkpoint file (atomic snapshot bounding WAL replay; written on shutdown and POST /admin/checkpoint)")
+	flag.BoolVar(&cfg.follow, "follow", false, "listen: run as a read replica tailing -wal (promote via POST /admin/promote)")
+	flag.Int64Var(&cfg.lagBytes, "lag-bytes", 0, "listen: follower readiness bound in bytes behind the log end (0 = default)")
 	flag.Parse()
 
 	shardsSet := false
@@ -142,7 +172,12 @@ func main() {
 	}
 }
 
-// listenAndServe hosts the HTTP serving subsystem until SIGINT/SIGTERM.
+// shutdownGrace bounds each stage of a signal-driven shutdown: finishing
+// in-flight HTTP requests, then draining the queued decisions.
+const shutdownGrace = 10 * time.Second
+
+// listenAndServe hosts the HTTP serving subsystem until SIGINT or SIGTERM
+// (containers send SIGTERM; both take the same drain path).
 func listenAndServe(w *os.File, cfg config) error {
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
@@ -150,16 +185,21 @@ func listenAndServe(w *os.File, cfg config) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
-	return serveListener(w, ln, cfg)
+	return serveListenerCtx(ctx, w, ln, cfg)
 }
 
 // serveListener runs the HTTP server on an existing listener; it returns
 // cleanly when the listener closes (tests drive it this way).
 func serveListener(w *os.File, ln net.Listener, cfg config) error {
+	return serveListenerCtx(context.Background(), w, ln, cfg)
+}
+
+// serveListenerCtx is the -listen engine room. When ctx fires (SIGINT or
+// SIGTERM) it shuts down through the drain path: stop accepting and finish
+// in-flight requests (http.Server.Shutdown), drain every queued decision —
+// with a WAL, into the log — write a final checkpoint if one is configured,
+// then Close. A container stop is a clean shutdown, not a crash.
+func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg config) error {
 	in, err := makeInstance(cfg)
 	if err != nil {
 		return err
@@ -172,6 +212,12 @@ func serveListener(w *os.File, ln net.Listener, cfg config) error {
 	if err != nil {
 		return err
 	}
+	sync := wal.SyncInterval
+	if cfg.walSync != "" {
+		if sync, err = wal.ParseSyncPolicy(cfg.walSync); err != nil {
+			return err
+		}
+	}
 	if len(cfg.shards) != 1 {
 		return fmt.Errorf("-listen hosts one server: pass a single -shards value (default 1), got %v", cfg.shards)
 	}
@@ -182,9 +228,15 @@ func serveListener(w *os.File, ln net.Listener, cfg config) error {
 			Planner: kind, Tau: cfg.tau, Guard: cfg.guard,
 			Lease: lease, CacheSize: cfg.cache, LiveBound: cfg.liveBound,
 		},
-		Replay:        cfg.replay,
-		FlushInterval: cfg.flush,
-		QueueDepth:    cfg.queueDepth,
+		Replay:          cfg.replay,
+		FlushInterval:   cfg.flush,
+		QueueDepth:      cfg.queueDepth,
+		WALPath:         cfg.wal,
+		WALSync:         sync,
+		WALSyncInterval: cfg.walSyncInterval,
+		CheckpointPath:  cfg.checkpoint,
+		Follow:          cfg.follow,
+		LagBytes:        cfg.lagBytes,
 	})
 	if err != nil {
 		return err
@@ -194,10 +246,37 @@ func serveListener(w *os.File, ln net.Listener, cfg config) error {
 	if cfg.replay {
 		mode = "replay"
 	}
-	fmt.Fprintf(w, "igepa-serve: %s mode on %s — |V|=%d |U|=%d S=%d (POST /v1/bid, /v1/cancel; GET /v1/assignment, /v1/load, /healthz, /statsz)\n",
-		mode, ln.Addr(), in.NumEvents(), in.NumUsers(), s)
+	role := ""
+	if cfg.follow {
+		role = " as read follower"
+	}
+	fmt.Fprintf(w, "igepa-serve: %s mode on %s%s — |V|=%d |U|=%d S=%d (POST /v1/bid, /v1/cancel; GET /v1/assignment, /v1/load, /healthz, /readyz, /statsz)\n",
+		mode, ln.Addr(), role, in.NumEvents(), in.NumUsers(), s)
 	hs := &http.Server{Handler: srv}
+	served := make(chan struct{})
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(w, "igepa-serve: signal received, draining\n")
+			sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+			hs.Shutdown(sctx)
+			cancel()
+			if !srv.Drain(shutdownGrace) {
+				fmt.Fprintln(os.Stderr, "igepa-serve: drain timed out; closing anyway")
+			}
+			if cfg.checkpoint != "" && !cfg.follow {
+				if err := srv.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "igepa-serve: checkpoint on shutdown:", err)
+				}
+			}
+		case <-served:
+		}
+	}()
 	err = hs.Serve(ln)
+	close(served)
+	<-shutdownDone
 	if err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
 		return err
 	}
@@ -489,9 +568,23 @@ func makeStream(cfg config, numUsers int) ([]workload.Arrival, error) {
 		return nil, err
 	}
 	defer f.Close()
-	arr, err := workload.ReadArrivals(f)
-	if err != nil {
-		return nil, err
+	var arr []workload.Arrival
+	if cfg.arrivalsPartial {
+		// A crashed or mid-write producer leaves a truncated final line;
+		// salvage the valid prefix and say where the damage starts instead
+		// of rejecting the whole log.
+		var off int64
+		var perr error
+		arr, off, perr = workload.ReadArrivalsPartial(f)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "igepa-serve: arrival log damaged at offset %d, replaying the %d-arrival prefix (%v)\n",
+				off, len(arr), perr)
+		}
+	} else {
+		arr, err = workload.ReadArrivals(f)
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i, a := range arr {
 		if a.User >= numUsers {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -266,5 +267,201 @@ func TestLiveBoundReportsUpdateLatency(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("live-bound output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestListenDurableShutdownAndWarmBoot drives the crash-safety flags through
+// the command path: a signal-style shutdown drains into the WAL and writes
+// the checkpoint, and the next boot recovers the decisions.
+func TestListenDurableShutdownAndWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	null := devNull(t)
+	cfg := config{
+		workload: "synthetic", events: 12, users: 50, seed: 6,
+		shards: []int{2}, planner: "greedy", flush: 200 * time.Microsecond,
+		wal:        filepath.Join(dir, "serve.wal"),
+		walSync:    "off",
+		checkpoint: filepath.Join(dir, "serve.ckpt"),
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveListenerCtx(ctx, null, ln, cfg) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, u := range []int{3, 7, 11} {
+		resp, err := client.Post(base+"/v1/bid", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"user":%d}`, u)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bid user %d: %d", u, resp.StatusCode)
+		}
+	}
+
+	cancel() // stands in for SIGTERM: same drain path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveListenerCtx: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on signal")
+	}
+	if _, err := os.Stat(cfg.checkpoint); err != nil {
+		t.Fatalf("shutdown wrote no checkpoint: %v", err)
+	}
+
+	// Warm boot: the recovered server knows the decisions without replay.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- serveListener(null, ln2, cfg) }()
+	base2 := "http://" + ln2.Addr().String()
+	resp, err := client.Get(base2 + "/v1/assignment?user=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar struct {
+		Decided bool `json:"decided"`
+	}
+	json.NewDecoder(resp.Body).Decode(&ar)
+	resp.Body.Close()
+	if !ar.Decided {
+		t.Fatal("warm boot lost a decided user")
+	}
+	ln2.Close()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second serveListener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second server did not exit")
+	}
+}
+
+// TestListenFollowerThroughCommand boots a leader and a -follow replica
+// through the command path and checks the replica reaches the leader's
+// decisions and refuses writes — the acceptance-criteria follower demo.
+func TestListenFollowerThroughCommand(t *testing.T) {
+	dir := t.TempDir()
+	null := devNull(t)
+	cfg := config{
+		workload: "synthetic", events: 12, users: 50, seed: 6,
+		shards: []int{2}, planner: "greedy", flush: 200 * time.Microsecond,
+		wal: filepath.Join(dir, "serve.wal"), walSync: "off",
+	}
+	lnL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneL := make(chan error, 1)
+	go func() { doneL <- serveListener(null, lnL, cfg) }()
+
+	fcfg := cfg
+	fcfg.follow = true
+	lnF, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneF := make(chan error, 1)
+	go func() { doneF <- serveListener(null, lnF, fcfg) }()
+
+	baseL := "http://" + lnL.Addr().String()
+	baseF := "http://" + lnF.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(baseL+"/v1/bid", "application/json", strings.NewReader(`{"user":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader bid: %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(baseF + "/v1/assignment?user=9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ar struct {
+			Decided bool `json:"decided"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ar)
+		resp.Body.Close()
+		if ar.Decided {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never reached the leader's decision")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err = client.Post(baseF+"/v1/bid", "application/json", strings.NewReader(`{"user":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower accepted a write: %d", resp.StatusCode)
+	}
+
+	for _, stop := range []struct {
+		ln   net.Listener
+		done chan error
+	}{{lnL, doneL}, {lnF, doneF}} {
+		stop.ln.Close()
+		select {
+		case err := <-stop.done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("server did not exit after listener close")
+		}
+	}
+}
+
+// TestRunTruncatedArrivalLog pins -arrivals-partial: a log cut mid-line is
+// rejected by default and salvaged with the flag.
+func TestRunTruncatedArrivalLog(t *testing.T) {
+	null := devNull(t)
+	dir := t.TempDir()
+	log := filepath.Join(dir, "arrivals.jsonl")
+	arr := workload.SyntheticArrivals(9, 70, 500)
+	f, err := os.Create(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteArrivals(f, arr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(log, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		workload: "synthetic", events: 15, users: 70, seed: 9,
+		shards: []int{2}, planner: "greedy", arrivals: log, lpBound: false,
+	}
+	if err := run(null, cfg); err == nil {
+		t.Error("truncated arrival log accepted without -arrivals-partial")
+	}
+	cfg.arrivalsPartial = true
+	if err := run(null, cfg); err != nil {
+		t.Fatalf("-arrivals-partial rejected the salvageable log: %v", err)
 	}
 }

@@ -1,0 +1,79 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCrashAfterTearsTheCrossingWrite(t *testing.T) {
+	mem := &MemFile{}
+	f := Wrap(mem, Fault{CrashAfter: 10})
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("write below the boundary: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v, want 2 torn bytes and ErrInjected", n, err)
+	}
+	if !f.Crashed() || f.Written() != 10 {
+		t.Fatalf("crashed=%v written=%d, want true/10", f.Crashed(), f.Written())
+	}
+	if got := mem.Bytes(); !bytes.Equal(got, []byte("12345678ab")) {
+		t.Fatalf("surviving image %q", got)
+	}
+}
+
+func TestCrashAfterZeroMeansNothingLands(t *testing.T) {
+	mem := &MemFile{}
+	f := Wrap(mem, Fault{CrashAfter: 0})
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("n=%d err=%v, want 0/ErrInjected", n, err)
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("%d bytes survived a crash-at-zero", mem.Len())
+	}
+}
+
+func TestWedgedAfterCrash(t *testing.T) {
+	f := Wrap(&MemFile{}, Fault{CrashAfter: 1})
+	f.Write([]byte("ab")) // triggers
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after crash: %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after crash: %v, want ErrInjected", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close must still release the backing file: %v", err)
+	}
+}
+
+func TestFailSyncAt(t *testing.T) {
+	f := Wrap(&MemFile{}, Fault{CrashAfter: Disabled, FailSyncAt: 2})
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after failed fsync: %v, want ErrInjected (wedged)", err)
+	}
+}
+
+func TestDisabledPassesThrough(t *testing.T) {
+	mem := &MemFile{}
+	f := Wrap(mem, Fault{CrashAfter: Disabled})
+	for i := 0; i < 100; i++ {
+		if _, err := f.Write([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Crashed() || mem.Len() != 1000 {
+		t.Fatalf("crashed=%v len=%d, want false/1000", f.Crashed(), mem.Len())
+	}
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/wal"
+)
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFollowerServesAndPromotes is the failover acceptance pin: a read
+// replica tailing the leader's WAL catches up to an identical state, serves
+// reads while refusing writes, and — once the leader is dead — promotes into
+// a serving leader that picks up exactly where the log ends.
+func TestFollowerServesAndPromotes(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	opts := shard.Options{Shards: 4, Batch: 16, Seed: 7, CacheSize: 64}
+	base := testInstance(t, 23, 66, 10)
+
+	leader, _, lc := startServer(t, base.Clone(), Config{
+		Shard: opts, WALPath: walPath, WALSync: wal.SyncOff,
+	})
+	follower, _, fc := startServer(t, base.Clone(), Config{
+		Shard: opts, WALPath: walPath, Follow: true,
+	})
+
+	driveTraffic(t, lc, 66, 10, false)
+	if !leader.Drain(10 * time.Second) {
+		t.Fatal("leader drain timed out")
+	}
+	appends := leader.walWriter().Stats().Appends
+	want := snapshotServing(leader)
+
+	waitFor(t, 10*time.Second, "follower catch-up", func() bool {
+		return follower.fol.stats().Records == appends
+	})
+	requireSameServing(t, want, follower)
+
+	// At quiescence the replica answers reads exactly like the leader.
+	var la, fa struct {
+		Sets [][]int `json:"sets"`
+	}
+	lc.do("GET", "/v1/assignment", nil, &la)
+	fc.do("GET", "/v1/assignment", nil, &fa)
+	if !reflect.DeepEqual(la.Sets, fa.Sets) {
+		t.Fatal("follower assignment dump differs from leader")
+	}
+	if code := fc.status("GET", "/readyz", nil); code != http.StatusOK {
+		t.Fatalf("caught-up follower readyz: %d, want 200", code)
+	}
+
+	// Reads only: every mutation bounces with 503 (and checkpointing is the
+	// leader's job).
+	if code := fc.status("POST", "/v1/bid", bidRequest{User: 10}); code != http.StatusServiceUnavailable {
+		t.Fatalf("follower bid: %d, want 503", code)
+	}
+	if code := fc.status("POST", "/v1/cancel", cancelRequest{User: 0}); code != http.StatusServiceUnavailable {
+		t.Fatalf("follower cancel: %d, want 503", code)
+	}
+	if code := fc.status("POST", "/admin/checkpoint", nil); code != http.StatusConflict {
+		t.Fatalf("follower checkpoint: %d, want 409", code)
+	}
+	var h healthResponse
+	fc.do("GET", "/healthz", nil, &h)
+	if h.Role != "follower" {
+		t.Fatalf("follower role %q", h.Role)
+	}
+
+	// Failover: kill the leader, then promote. (Order matters — promotion
+	// takes ownership of the log; see DESIGN.md §9.)
+	leader.Close()
+	if code := fc.status("POST", "/admin/promote", nil); code != http.StatusOK {
+		t.Fatalf("promote: %d", code)
+	}
+	fc.do("GET", "/healthz", nil, &h)
+	if h.Role != "leader" {
+		t.Fatalf("role after promote: %q", h.Role)
+	}
+	if code := fc.status("POST", "/admin/promote", nil); code != http.StatusConflict {
+		t.Fatalf("second promote: %d, want 409", code)
+	}
+
+	// The promoted leader serves writes on top of the tailed state: user 10
+	// was held out by driveTraffic and decides normally now.
+	if code := fc.status("POST", "/v1/bid", bidRequest{User: 10}); code != http.StatusOK {
+		t.Fatalf("bid after promote: %d", code)
+	}
+	var ar assignmentResponse
+	fc.do("GET", "/v1/assignment?user=10", nil, &ar)
+	if !ar.Decided {
+		t.Fatalf("post-promote bid not decided: %+v", ar)
+	}
+}
+
+// TestFollowerReadiness pins the liveness/readiness split on the replica
+// side: alive but not ready before it has ever observed the log, ready only
+// within the lag bound.
+func TestFollowerReadiness(t *testing.T) {
+	srv, _, c := startServer(t, testInstance(t, 29, 20, 6), Config{
+		Shard:    shard.Options{Shards: 2, Batch: 8, Seed: 1},
+		WALPath:  filepath.Join(t.TempDir(), "absent.log"),
+		Follow:   true,
+		LagBytes: 128,
+	})
+	// The leader's log does not exist yet: alive, not ready.
+	if code := c.status("GET", "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d, want 200 (liveness is not readiness)", code)
+	}
+	var rr readyResponse
+	if code := c.do("GET", "/readyz", nil, &rr).StatusCode; code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no log: %d, want 503", code)
+	}
+	if rr.Ready || rr.Role != "follower" {
+		t.Fatalf("readyz payload: %+v", rr)
+	}
+
+	// White-box lag arithmetic (the loop is stopped, so the fields are ours).
+	f := srv.fol
+	f.stopLoop()
+	f.mu.Lock()
+	f.applied, f.size = 1000, 1000+srv.lagBound()+1
+	f.mu.Unlock()
+	if st := f.stats(); st.Ready || st.LagBytes != srv.lagBound()+1 {
+		t.Fatalf("over the lag bound but ready: %+v", st)
+	}
+	f.mu.Lock()
+	f.size = 1000 + srv.lagBound()
+	f.mu.Unlock()
+	if st := f.stats(); !st.Ready {
+		t.Fatalf("within the lag bound but not ready: %+v", st)
+	}
+}
+
+// TestFollowerHaltsOnCorruptLog pins the never-replay-a-bad-record contract
+// on the tailing path: a corrupt frame parks the replica permanently not
+// ready (everything before it applied, nothing after), and promotion of a
+// halted replica is refused.
+func TestFollowerHaltsOnCorruptLog(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wal.NewWriter(f, 0, wal.Options{Sync: wal.SyncOff})
+	var ends []int64
+	for u := 0; u < 3; u++ {
+		off, err := w.Append(wal.Op{Kind: wal.OpBid, TMillis: 1, User: u})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, off)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record: CRC mismatch, ErrCorrupt.
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[ends[0]+8] ^= 0xFF
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _, c := startServer(t, testInstance(t, 31, 20, 6), Config{
+		Shard:   shard.Options{Shards: 2, Batch: 8, Seed: 1},
+		WALPath: walPath,
+		Follow:  true,
+	})
+	waitFor(t, 10*time.Second, "follower halt", func() bool {
+		return srv.fol.stats().Failure != ""
+	})
+	st := srv.fol.stats()
+	if st.Records != 1 {
+		t.Fatalf("applied %d records before the corrupt frame, want 1", st.Records)
+	}
+	var rr readyResponse
+	if code := c.do("GET", "/readyz", nil, &rr).StatusCode; code != http.StatusServiceUnavailable {
+		t.Fatalf("halted follower readyz: %d, want 503", code)
+	}
+	if !strings.Contains(rr.Reason, "replica halted") {
+		t.Fatalf("readyz reason %q", rr.Reason)
+	}
+	var ar assignmentResponse
+	c.do("GET", "/v1/assignment?user=0", nil, &ar)
+	if !ar.Decided {
+		t.Fatal("record before the corruption was not applied")
+	}
+	c.do("GET", "/v1/assignment?user=1", nil, &ar)
+	if ar.Decided {
+		t.Fatal("corrupt record was applied")
+	}
+	if code := c.status("POST", "/admin/promote", nil); code != http.StatusInternalServerError {
+		t.Fatalf("promoting a halted replica: %d, want 500", code)
+	}
+}

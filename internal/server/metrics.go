@@ -56,10 +56,12 @@ type metrics struct {
 	conflicts   atomic.Int64 // 409: duplicate submission / bad state
 	badRequests atomic.Int64 // 400
 	leaseErrors atomic.Int64
+	walErrors   atomic.Int64 // WAL append/fsync failures (durability lost)
 
 	queueWait reservoir // enqueue → processing start
 	decide    reservoir // planner time per arrival
 	total     reservoir // enqueue → decision delivered
+	walAppend reservoir // WAL append+commit per micro-batch, amortized per decision
 }
 
 // Percentiles is a (p50, p99) pair in microseconds, the /statsz currency.

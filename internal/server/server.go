@@ -42,7 +42,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -51,6 +50,7 @@ import (
 	"github.com/ebsn/igepa/internal/model"
 	"github.com/ebsn/igepa/internal/shard"
 	"github.com/ebsn/igepa/internal/stats"
+	"github.com/ebsn/igepa/internal/wal"
 )
 
 // Defaults for Config zero values.
@@ -83,6 +83,29 @@ type Config struct {
 	// RetryAfter is the backpressure hint returned with 429 responses.
 	// 0 means DefaultRetryAfter.
 	RetryAfter time.Duration
+
+	// WALPath, when non-empty, makes serving crash-safe: every accepted
+	// operation is appended to a write-ahead log before its reply, and New
+	// warm-boots by replaying the log (from the checkpoint's offset, if
+	// CheckpointPath names one) through the engine. See internal/wal.
+	WALPath string
+	// WALSync is the fsync policy (wal.SyncInterval by default) and
+	// WALSyncInterval its background period. The trade-off: SyncAlways
+	// makes every acked decision power-loss durable, SyncInterval bounds
+	// the loss window to one interval, SyncOff trusts the page cache.
+	WALSync         wal.SyncPolicy
+	WALSyncInterval time.Duration
+	// CheckpointPath, when non-empty, enables Checkpoint (and the
+	// POST /admin/checkpoint surface): an atomic snapshot that bounds how
+	// much WAL a warm boot replays.
+	CheckpointPath string
+	// Follow runs the server as a read replica: no serving loops, no
+	// writes (503), state built by tailing WALPath. /readyz reports ready
+	// only within LagBytes of the log's end; POST /admin/promote turns the
+	// replica into the leader. Requires WALPath.
+	Follow bool
+	// LagBytes is the follower readiness bound (0 = DefaultLagBytes).
+	LagBytes int64
 }
 
 // user lifecycle states
@@ -120,6 +143,18 @@ type Server struct {
 	stateMu sync.Mutex
 	state   []uint8
 
+	// wal is the durability log (nil without Config.WALPath; nil on a
+	// follower until Promote installs one — atomic because handlers read
+	// it while Promote writes it). recovered reports what boot replayed
+	// (guarded by stateMu for the same reason). overrides records bid
+	// replacements for the checkpoint; written and read under every shard
+	// lock.
+	wal       atomic.Pointer[wal.Writer]
+	recovered wal.RecoverInfo
+	overrides map[int][]int
+	follow    atomic.Bool
+	fol       *follower
+
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 	started time.Time
@@ -140,11 +175,12 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 	b := eng.Batch()
 	srv := &Server{
 		cfg: cfg, in: in, eng: eng, s: s, b: b,
-		flush:   cfg.FlushInterval,
-		micro:   cfg.MicroBatch,
-		shardMu: make([]sync.Mutex, s),
-		state:   make([]uint8, in.NumUsers()),
-		started: time.Now(),
+		flush:     cfg.FlushInterval,
+		micro:     cfg.MicroBatch,
+		shardMu:   make([]sync.Mutex, s),
+		state:     make([]uint8, in.NumUsers()),
+		overrides: make(map[int][]int),
+		started:   time.Now(),
 	}
 	if srv.flush <= 0 {
 		srv.flush = DefaultFlushInterval
@@ -168,27 +204,65 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 
 	if cfg.Replay {
 		srv.queues = []*queue{newQueue(depth)}
-		srv.wg.Add(1)
-		go srv.replayLoop()
 	} else {
 		srv.queues = make([]*queue, s)
 		for si := 0; si < s; si++ {
 			srv.queues[si] = newQueue(depth)
 		}
-		for si := 0; si < s; si++ {
-			srv.wg.Add(1)
-			go srv.shardLoop(si)
-		}
 	}
+
+	// Durability boot, before any serving goroutine exists: a leader
+	// replays checkpoint + WAL into the engine and opens the log for
+	// appending; a follower replays the checkpoint and starts tailing.
+	switch {
+	case cfg.Follow:
+		if cfg.WALPath == "" {
+			eng.Close()
+			return nil, &shard.ConfigError{Field: "WALPath", Reason: "follower mode requires a WAL path to tail"}
+		}
+		startOff, err := srv.restoreCheckpoint()
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		srv.finishRecovery()
+		srv.startFollower(startOff)
+	case cfg.WALPath != "":
+		if err := srv.bootDurable(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		srv.startLoops()
+	default:
+		srv.startLoops()
+	}
+
 	srv.mux = http.NewServeMux()
 	srv.mux.HandleFunc("/v1/bid", srv.handleBid)
 	srv.mux.HandleFunc("/v1/cancel", srv.handleCancel)
 	srv.mux.HandleFunc("/v1/assignment", srv.handleAssignment)
 	srv.mux.HandleFunc("/v1/load", srv.handleLoad)
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("/readyz", srv.handleReadyz)
 	srv.mux.HandleFunc("/statsz", srv.handleStatsz)
 	srv.mux.HandleFunc("/admin/drain", srv.handleDrain)
+	srv.mux.HandleFunc("/admin/checkpoint", srv.handleCheckpoint)
+	srv.mux.HandleFunc("/admin/promote", srv.handlePromote)
 	return srv, nil
+}
+
+// startLoops launches the batching consumers — at New for a leader, at
+// Promote for a follower taking over.
+func (srv *Server) startLoops() {
+	if srv.cfg.Replay {
+		srv.wg.Add(1)
+		go srv.replayLoop()
+		return
+	}
+	for si := 0; si < srv.s; si++ {
+		srv.wg.Add(1)
+		go srv.shardLoop(si)
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -197,9 +271,10 @@ func (srv *Server) Handler() http.Handler { return srv.mux }
 // ServeHTTP implements http.Handler.
 func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
 
-// Close flushes and stops the batching loops and releases the engine. In
-// replay mode any partial final batch is dispatched first, so every
-// accepted submission still receives its decision.
+// Close flushes and stops the batching loops, syncs and closes the WAL and
+// releases the engine. In replay mode any partial final batch is dispatched
+// first, so every accepted submission still receives its decision — and with
+// a WAL, logged: a clean shutdown loses nothing under any fsync policy.
 func (srv *Server) Close() {
 	if !srv.closed.CompareAndSwap(false, true) {
 		return
@@ -208,6 +283,14 @@ func (srv *Server) Close() {
 		q.close()
 	}
 	srv.wg.Wait()
+	if srv.fol != nil {
+		srv.fol.stopLoop()
+	}
+	if w := srv.walWriter(); w != nil {
+		if err := w.Close(); err != nil {
+			srv.noteWALError(err)
+		}
+	}
 	srv.eng.Close()
 }
 
@@ -278,11 +361,31 @@ func (srv *Server) shardLoop(si int) {
 		// the lease epoch this batch is served under (renewMu holders also
 		// hold every shard lock, so the read is serialized)
 		epoch := srv.eng.Renewals() + 1
+		logging := srv.walWriter() != nil
+		var walDur time.Duration
 		for i := range batch {
 			r := &batch[i]
 			t0 := time.Now()
-			events := srv.eng.ArriveOn(si, r.user)
-			srv.finishDecision(r, events, epoch, t0.Sub(r.enqueued), time.Since(t0))
+			r.events = srv.eng.ArriveOn(si, r.user)
+			r.decide = time.Since(t0)
+			r.wait = t0.Sub(r.enqueued)
+			if logging {
+				a0 := time.Now()
+				srv.walAppend(wal.Op{Kind: wal.OpBid, TMillis: nowMillis(), User: r.user})
+				walDur += time.Since(a0)
+			}
+		}
+		// Commit before any reply leaves: an acked decision is at least
+		// flushed to the log (and fsynced under SyncAlways).
+		if logging {
+			c0 := time.Now()
+			srv.walCommit()
+			walDur += time.Since(c0)
+			srv.m.walAppend.add(walDur / time.Duration(len(batch)))
+		}
+		for i := range batch {
+			r := &batch[i]
+			srv.finishDecision(r, r.events, epoch, r.wait, r.decide)
 		}
 		srv.shardMu[si].Unlock()
 		srv.batches.Add(1)
@@ -313,6 +416,14 @@ func (srv *Server) tryRenew() {
 	var err error
 	if srv.s > 1 {
 		_, err = srv.eng.RenewLeases(pending)
+		// Live-mode renewals ride the micro-batch clock, which is not
+		// derivable from the operation stream — so they are logged
+		// explicitly, demand snapshot included. (Replay mode logs none:
+		// its renewal schedule is a function of the batch records.)
+		if srv.walWriter() != nil {
+			srv.walAppend(wal.Op{Kind: wal.OpRenew, TMillis: nowMillis(), Users: pending})
+			srv.walCommit()
+		}
 	}
 	if srv.eng.BoundEnabled() {
 		srv.eng.UpdateBound() // failures land in BoundStats.Errors
@@ -349,6 +460,15 @@ func (srv *Server) replayLoop() {
 		}
 		t0 := time.Now()
 		srv.eng.DispatchBatch(users)
+		// One batch record stands in for the renewal and every decision:
+		// replay re-derives the renewal from engine state (see
+		// shard.Engine.Apply), exactly as the dispatch above did.
+		if srv.walWriter() != nil {
+			w0 := time.Now()
+			srv.walAppend(wal.Op{Kind: wal.OpBatch, TMillis: nowMillis(), Users: users})
+			srv.walCommit()
+			srv.m.walAppend.add(time.Since(w0) / time.Duration(len(batch)))
+		}
 		epoch := srv.eng.Epochs()
 		for i := range batch {
 			r := &batch[i]
@@ -400,6 +520,9 @@ type bidResponse struct {
 func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !srv.writable(w) {
 		return
 	}
 	var req bidRequest
@@ -478,6 +601,21 @@ func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writable gates the mutating handlers: a follower serves reads only, and
+// a leader whose WAL has failed must not ack decisions it cannot make
+// durable. Answers 503 and reports false when writes are off.
+func (srv *Server) writable(w http.ResponseWriter) bool {
+	if srv.follow.Load() {
+		httpError(w, http.StatusServiceUnavailable, "read-only follower; POST /admin/promote to take over")
+		return false
+	}
+	if srv.walBroken() {
+		httpError(w, http.StatusServiceUnavailable, "write-ahead log failed; not accepting writes")
+		return false
+	}
+	return true
+}
+
 // enqueue routes the request to the owning queue.
 func (srv *Server) enqueue(rq request) error {
 	if srv.cfg.Replay {
@@ -500,28 +638,14 @@ func (srv *Server) checkBids(bids []int) error {
 // applyBidUpdateLocked replaces the user's bid set before their decision.
 // Bids shape the weight table and the per-event bidder lists, so the update
 // is a stop-the-world: the caller holds every shard lock while the instance
-// caches rebuild.
+// caches rebuild (shard.Engine.SetBids — the same code path WAL replay
+// takes, so a logged update replays bit-identically). The WAL record is
+// appended under the same locks: no decision anywhere can interleave
+// between the update and its log entry.
 func (srv *Server) applyBidUpdateLocked(u int, bids []int) {
-	norm := append([]int(nil), bids...)
-	sort.Ints(norm)
-	norm = dedupeSorted(norm)
-	srv.in.Users[u].Bids = norm
-	srv.in.RebuildBidders()
-	srv.in.Weights() // eager: the shard loops must never race the lazy build
-	srv.eng.RefreshWeights()
-	// The live-bound shadow must re-read this user's bids, or the reported
-	// remaining-LP would be computed over the stale set until they decide.
-	srv.eng.NoteBidUpdate(u)
-}
-
-func dedupeSorted(s []int) []int {
-	out := s[:0]
-	for i, v := range s {
-		if i == 0 || v != s[i-1] {
-			out = append(out, v)
-		}
-	}
-	return out
+	norm := srv.eng.SetBids(u, bids)
+	srv.overrides[u] = norm
+	srv.walAppend(wal.Op{Kind: wal.OpSetBids, TMillis: nowMillis(), User: u, Bids: norm})
 }
 
 type cancelRequest struct {
@@ -541,6 +665,9 @@ type cancelResponse struct {
 func (srv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !srv.writable(w) {
 		return
 	}
 	var req cancelRequest
@@ -567,6 +694,10 @@ func (srv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	si := srv.eng.ShardOf(req.User)
 	srv.shardMu[si].Lock()
 	freed := srv.eng.CancelOn(si, req.User)
+	if srv.walWriter() != nil {
+		srv.walAppend(wal.Op{Kind: wal.OpCancel, TMillis: nowMillis(), User: req.User})
+		srv.walCommit()
+	}
 	srv.shardMu[si].Unlock()
 	srv.m.cancels.Add(1)
 	if freed == nil {
@@ -658,6 +789,7 @@ func (srv *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 type healthResponse struct {
 	Status    string `json:"status"`
 	Mode      string `json:"mode"`
+	Role      string `json:"role"`
 	UptimeMS  int64  `json:"uptime_ms"`
 	Shards    int    `json:"shards"`
 	Batch     int    `json:"batch"`
@@ -665,17 +797,24 @@ type healthResponse struct {
 	NumEvents int    `json:"num_events"`
 }
 
+// handleHealthz is liveness: "is this process up and sane". Whether it
+// should receive traffic is /readyz's question (a catching-up follower is
+// alive but not ready).
 func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if srv.m.leaseErrors.Load() > 0 {
 		status, code = "degraded: lease invariant violated", http.StatusInternalServerError
 	}
+	if srv.walBroken() {
+		status, code = "degraded: write-ahead log failed", http.StatusInternalServerError
+	}
 	if srv.closed.Load() {
 		status, code = "closing", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, healthResponse{
-		Status: status, Mode: srv.modeName(), UptimeMS: time.Since(srv.started).Milliseconds(),
-		Shards: srv.s, Batch: srv.b, NumUsers: srv.in.NumUsers(), NumEvents: srv.in.NumEvents(),
+		Status: status, Mode: srv.modeName(), Role: srv.role(),
+		UptimeMS: time.Since(srv.started).Milliseconds(),
+		Shards:   srv.s, Batch: srv.b, NumUsers: srv.in.NumUsers(), NumEvents: srv.in.NumEvents(),
 	})
 }
 
@@ -737,6 +876,13 @@ type Stats struct {
 	// reported separately from the decision percentiles above so the
 	// bound's cost is visible next to the serving tails.
 	Bound *BoundReport `json:"live_bound,omitempty"`
+
+	// WAL is the durability report (nil without Config.WALPath): append
+	// traffic, fsync counts, the per-decision append+commit percentiles to
+	// hold against Decision, and what the last boot recovered. Follower is
+	// the replica's lag/readiness view (nil on a leader).
+	WAL      *WALStats      `json:"wal,omitempty"`
+	Follower *FollowerStats `json:"follower,omitempty"`
 }
 
 // BoundReport is the /statsz view of the live LP-bound tracker.
@@ -794,6 +940,11 @@ func (srv *Server) Stats() Stats {
 	st.Cache = CacheStats{
 		Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate(),
 		Evictions: cs.Evictions, Entries: cs.Entries,
+	}
+	st.WAL = srv.walStats()
+	if srv.fol != nil {
+		fs := srv.fol.stats()
+		st.Follower = &fs
 	}
 	if bs != nil {
 		ps := stats.DurationPercentiles(bs.UpdateLatencies, 0.50, 0.99)

@@ -69,6 +69,8 @@ type Engine struct {
 	shardUtil               []float64
 	latencies               []time.Duration
 	batches                 [][]int // DispatchBatch partition scratch
+
+	closed bool
 }
 
 // NewEngine validates the configuration and assembles the serving state:
@@ -392,8 +394,14 @@ func (e *Engine) Result() (*Result, error) {
 }
 
 // Close releases the lease renewer's and bound planner's solver state to
-// the arena pool.
+// the arena pool. It is idempotent and nil-receiver-safe, so recovery error
+// paths can always `defer Close()` — a failed boot leaves a nil engine, and
+// an aborted warm boot may close an engine its owner will close again.
 func (e *Engine) Close() {
+	if e == nil || e.closed {
+		return
+	}
+	e.closed = true
 	e.renewer.close()
 	e.bound.close()
 }

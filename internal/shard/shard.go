@@ -320,7 +320,7 @@ func newLeaseRenewer(in *model.Instance, budgets [][]int, planners []shardPlanne
 
 // close releases the split LP's solver state to the arena pool.
 func (r *leaseRenewer) close() {
-	if r.solver != nil {
+	if r != nil && r.solver != nil {
 		r.solver.Release()
 	}
 }

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkAppendCommit measures one append+commit cycle — the per-decision
+// durability cost the serving layer adds — under each fsync policy, against
+// a real file. CI publishes these as BENCH_wal.json to hold the ≤10%-of-
+// decision-p99 budget.
+func BenchmarkAppendCommit(b *testing.B) {
+	for _, sync := range []SyncPolicy{SyncOff, SyncInterval, SyncAlways} {
+		b.Run(sync.String(), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "bench.wal")
+			w, _, err := Open(path, 0, Options{Sync: sync}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			op := Op{Kind: OpBid, TMillis: 12345, User: 42}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(op); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures warm-boot replay time as a function of WAL
+// length — the recovery-time-vs-checkpoint-cadence trade-off in DESIGN.md §9.
+func BenchmarkRecovery(b *testing.B) {
+	for _, records := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "bench.wal")
+			w, _, err := Open(path, 0, Options{Sync: SyncOff}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records; i++ {
+				if _, err := w.Append(Op{Kind: OpBid, TMillis: int64(i), User: i}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(fi.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				w, info, err := Open(path, 0, Options{Sync: SyncOff}, func(p []byte) error {
+					if _, derr := DecodeOp(p); derr != nil {
+						return derr
+					}
+					n++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != records || info.Records != records {
+					b.Fatalf("replayed %d records, want %d", n, records)
+				}
+				b.StopTimer()
+				w.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

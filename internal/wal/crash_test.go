@@ -1,0 +1,124 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/faultfs"
+)
+
+// TestCrashSweepFraming kills the log at every byte offset of a fixture
+// stream — via faultfs, so the surviving image is exactly what a crashed
+// process leaves — and asserts the framing contract at each: recovery
+// returns precisely the records wholly committed before the crash, reports
+// the torn tail, and never surfaces a partial record. The engine-level half
+// of the sweep (bit-identical state at every crash point) lives in
+// internal/shard, which owns the engine.
+func TestCrashSweepFraming(t *testing.T) {
+	ops := fixtureOps(12)
+	encoded := make([][]byte, len(ops))
+	var full []byte
+	// ends[k] is the file offset after k whole records
+	ends := []int64{0}
+	for i, op := range ops {
+		encoded[i] = op.Encode()
+		full = append(full, frame(encoded[i])...)
+		ends = append(ends, int64(len(full)))
+	}
+
+	for crash := int64(0); crash <= int64(len(full)); crash++ {
+		mem := &faultfs.MemFile{}
+		f := faultfs.Wrap(mem, faultfs.Fault{CrashAfter: crash})
+		w := NewWriter(f, 0, Options{Sync: SyncOff})
+		for _, op := range ops {
+			if _, err := w.Append(op); err != nil {
+				break
+			}
+			if err := w.Commit(); err != nil {
+				break
+			}
+		}
+		w.Close()
+
+		img := mem.Bytes()
+		if int64(len(img)) != crash {
+			t.Fatalf("crash@%d: %d bytes survived", crash, len(img))
+		}
+		if !bytes.Equal(img, full[:crash]) {
+			t.Fatalf("crash@%d: surviving image is not the byte prefix of the log", crash)
+		}
+
+		payloads, valid, tailErr := Scan(bytes.NewReader(img))
+		// the number of whole records at or before the crash point
+		k := 0
+		for k+1 < len(ends) && ends[k+1] <= crash {
+			k++
+		}
+		if len(payloads) != k {
+			t.Fatalf("crash@%d: recovered %d records, want %d", crash, len(payloads), k)
+		}
+		if valid != ends[k] {
+			t.Fatalf("crash@%d: valid prefix %d, want %d", crash, valid, ends[k])
+		}
+		for i, p := range payloads {
+			if !bytes.Equal(p, encoded[i]) {
+				t.Fatalf("crash@%d: record %d does not match what was appended", crash, i)
+			}
+		}
+		if crash == ends[k] {
+			if tailErr != nil {
+				t.Fatalf("crash@%d: clean record boundary reported tail error %v", crash, tailErr)
+			}
+		} else if !errors.Is(tailErr, ErrTorn) {
+			t.Fatalf("crash@%d: tail error %v, want ErrTorn", crash, tailErr)
+		}
+	}
+}
+
+// TestCrashSweepTailerNeverAdvancesPastTear runs the same sweep through the
+// follower's reader: at every crash point the tailer must yield exactly the
+// whole records and then report a retry-later signal, never corruption and
+// never a partial record.
+func TestCrashSweepTailer(t *testing.T) {
+	ops := fixtureOps(8)
+	var full []byte
+	ends := []int64{0}
+	for _, op := range ops {
+		full = append(full, frame(op.Encode())...)
+		ends = append(ends, int64(len(full)))
+	}
+	for crash := int64(0); crash <= int64(len(full)); crash++ {
+		img := full[:crash]
+		k := 0
+		for k+1 < len(ends) && ends[k+1] <= crash {
+			k++
+		}
+		var got int
+		off := int64(0)
+		for {
+			p, end, err := readFrame(bytes.NewReader(img), off)
+			if err == io.EOF {
+				if crash != ends[k] {
+					t.Fatalf("crash@%d: EOF on a torn tail", crash)
+				}
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrTorn) {
+					t.Fatalf("crash@%d: reader error %v, want ErrTorn", crash, err)
+				}
+				break
+			}
+			if len(p) == 0 && crash == 0 {
+				t.Fatalf("crash@%d: record from an empty log", crash)
+			}
+			got++
+			off = end
+		}
+		if got != k || off != ends[k] {
+			t.Fatalf("crash@%d: tailed %d records to %d, want %d to %d", crash, got, off, k, ends[k])
+		}
+	}
+}

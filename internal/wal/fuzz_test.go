@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzWALDecode feeds arbitrary bytes — seeded with valid logs, torn logs
+// and flipped-bit logs — through recovery and asserts the two recovery
+// invariants: it never panics, and every record it returns re-verifies (a
+// CRC-failing or out-of-frame record is never surfaced). The valid prefix
+// it reports must be exactly re-encodable from the returned records.
+func FuzzWALDecode(f *testing.F) {
+	var clean []byte
+	for _, op := range fixtureOps(5) {
+		clean = append(clean, frame(op.Encode())...)
+	}
+	f.Add([]byte{})
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3]) // torn payload
+	f.Add(clean[:5])            // torn header
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	huge := frame([]byte(`{"op":"bid","user":1}`))
+	binary.LittleEndian.PutUint32(huge[0:4], uint32(MaxRecord+7))
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, valid, tailErr := Scan(bytes.NewReader(data))
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid size %d outside [0,%d]", valid, len(data))
+		}
+		// Re-frame the returned records: they must reproduce data[:valid]
+		// byte for byte, which implies every CRC verified.
+		var rebuilt []byte
+		for _, p := range payloads {
+			rebuilt = append(rebuilt, frame(p)...)
+		}
+		if !bytes.Equal(rebuilt, data[:valid]) {
+			t.Fatalf("recovered records do not re-encode the valid prefix")
+		}
+		for i, p := range payloads {
+			if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(frameHeaderAt(data, payloads, i)[4:8]) {
+				t.Fatalf("record %d surfaced with a failing CRC", i)
+			}
+			// decoding arbitrary surviving payloads must never panic
+			_, _ = DecodeOp(p)
+		}
+		if tailErr == nil && valid != int64(len(data)) {
+			t.Fatalf("clean scan stopped at %d of %d bytes", valid, len(data))
+		}
+	})
+}
+
+// frameHeaderAt recomputes where record i's header starts in data.
+func frameHeaderAt(data []byte, payloads [][]byte, i int) []byte {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += headerSize + len(payloads[j])
+	}
+	return data[off : off+headerSize]
+}

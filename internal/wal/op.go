@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Op kinds. The payload format extends the workload.Arrivals JSONL codec:
+// a bid record is the arrival line {"t_ms":…,"user":…} plus the "op" tag, so
+// a WAL of pure bid traffic is an arrival log with framing.
+const (
+	// OpBid is one accepted live-mode arrival, applied immediately on the
+	// user's shard (Engine.ArriveOn).
+	OpBid = "bid"
+	// OpBatch is one replay-mode dispatch: Users in order through
+	// Engine.DispatchBatch, preceded by a lease renewal fed with Users when
+	// the engine has prior epochs and more than one shard — the Serve
+	// schedule, reproduced from state rather than logged.
+	OpBatch = "batch"
+	// OpRenew is a live-mode lease renewal; Users is the queued-demand
+	// snapshot the renewer was fed.
+	OpRenew = "renew"
+	// OpCancel revokes the user's assignment (Engine.CancelOn).
+	OpCancel = "cancel"
+	// OpSetBids replaces the user's bid set before their decision.
+	OpSetBids = "set_bids"
+)
+
+// Op is one logical serving operation — the unit of WAL replay.
+type Op struct {
+	Kind    string `json:"op"`
+	TMillis int64  `json:"t_ms,omitempty"`
+	User    int    `json:"user,omitempty"`
+	// Users is the dispatch list (OpBatch) or the renewal demand snapshot
+	// (OpRenew).
+	Users []int `json:"users,omitempty"`
+	// Bids is the replacement bid set (OpSetBids).
+	Bids []int `json:"bids,omitempty"`
+}
+
+// Encode returns the op's JSON payload.
+func (op Op) Encode() []byte {
+	b, err := json.Marshal(op)
+	if err != nil {
+		// Op has no marshal-failing field types.
+		panic(err)
+	}
+	return b
+}
+
+// DecodeOp parses and validates one payload. Structural problems (unknown
+// kind, negative users) are reported as errors, never applied.
+func DecodeOp(payload []byte) (Op, error) {
+	var op Op
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return op, fmt.Errorf("wal: decoding op: %w", err)
+	}
+	switch op.Kind {
+	case OpBid, OpCancel:
+		if op.User < 0 {
+			return op, fmt.Errorf("wal: %s op with negative user %d", op.Kind, op.User)
+		}
+	case OpBatch, OpRenew:
+		for _, u := range op.Users {
+			if u < 0 {
+				return op, fmt.Errorf("wal: %s op with negative user %d", op.Kind, u)
+			}
+		}
+	case OpSetBids:
+		if op.User < 0 {
+			return op, fmt.Errorf("wal: set_bids op with negative user %d", op.User)
+		}
+		for _, v := range op.Bids {
+			if v < 0 {
+				return op, fmt.Errorf("wal: set_bids op with negative event %d", v)
+			}
+		}
+	default:
+		return op, fmt.Errorf("wal: unknown op kind %q", op.Kind)
+	}
+	return op, nil
+}

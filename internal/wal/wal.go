@@ -1,0 +1,534 @@
+// Package wal is the durability subsystem of the serving stack: a
+// write-ahead log of the logical serving operations (accepted bids, batch
+// dispatches, lease renewals, cancellations, bid replacements) that, replayed
+// in order against a fresh shard.Engine, reproduces the serving state
+// bit-identically. The engine is a pure function of its operation stream —
+// the determinism contract pinned since PR 2 — so logging the inputs is
+// logging the state.
+//
+// # Frame format
+//
+// Each record is one length-prefixed, checksummed frame:
+//
+//	offset 0: uint32 LE  payload length n (n ≤ MaxRecord)
+//	offset 4: uint32 LE  CRC32C (Castagnoli) of the payload
+//	offset 8: n bytes    payload (the wal.Op JSON codec, see op.go)
+//
+// A crash can leave the file with a torn final frame (header or payload cut
+// short) or, on misbehaving storage, a corrupt one (checksum mismatch).
+// Recovery (Open, Scan) reads the longest valid prefix, reports how the tail
+// failed, and truncates it — a bad tail is never silently replayed, and a
+// record is never returned unless its CRC verified.
+//
+// # Fsync policy
+//
+// The Writer separates appending (buffered, cheap) from committing (flush,
+// and fsync per policy): SyncAlways fsyncs on every Commit — an acked
+// decision survives power loss; SyncInterval (the default) fsyncs on a
+// background tick — bounded loss window, near-zero append overhead;
+// SyncOff leaves persistence to the OS page cache. The serving layer commits
+// once per micro-batch before delivering replies, so the policy is exactly
+// the ack-durability trade-off.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	headerSize = 8
+	// MaxRecord bounds a single payload; a larger length prefix is treated
+	// as corruption, which keeps a flipped length byte from allocating
+	// gigabytes during recovery.
+	MaxRecord = 1 << 26
+)
+
+// DefaultSyncInterval is the background fsync period under SyncInterval.
+const DefaultSyncInterval = 50 * time.Millisecond
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed recovery errors. ErrTorn marks an incomplete frame at the tail (the
+// normal crash signature, and what a follower sees racing the leader's
+// buffered write); ErrCorrupt marks a frame whose bytes are all present but
+// wrong (bad length or checksum).
+var (
+	ErrTorn    = errors.New("wal: torn record at tail")
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs on a background tick (Options.SyncInterval); a
+	// crash loses at most one interval of acked decisions. The default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs on every Commit: an acked decision is durable.
+	SyncAlways
+	// SyncOff never fsyncs (flush to the OS only): process crashes lose
+	// nothing, power loss loses the page cache.
+	SyncOff
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "", "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or off)", s)
+	}
+}
+
+// File is the subset of *os.File the writer needs. internal/faultfs wraps it
+// to inject crashes, short writes and fsync failures underneath an otherwise
+// unmodified Writer.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options parameterizes a Writer.
+type Options struct {
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval
+	// (0 = DefaultSyncInterval).
+	SyncInterval time.Duration
+}
+
+// WriterStats counts a writer's traffic.
+type WriterStats struct {
+	Appends int64 // records appended
+	Bytes   int64 // frame bytes appended (header + payload)
+	Syncs   int64 // fsync calls issued
+}
+
+// Writer appends framed records to a log file. It is safe for concurrent
+// use; the first append, flush or fsync failure is sticky — durability can
+// no longer be promised, so every later call reports it too.
+type Writer struct {
+	mu    sync.Mutex
+	f     File
+	buf   []byte // pending frame bytes not yet written to f
+	off   int64  // logical end offset: start offset + all appended frames
+	dirty bool   // bytes written to f since the last fsync
+	err   error  // sticky failure
+	opt   Options
+	st    WriterStats
+
+	stop chan struct{} // interval-sync goroutine lifecycle (nil unless running)
+	done chan struct{}
+}
+
+// NewWriter wraps an open log file positioned at offset off (the end of the
+// valid prefix — Open handles scanning and truncation). Under SyncInterval a
+// background goroutine fsyncs every Options.SyncInterval until Close.
+func NewWriter(f File, off int64, opt Options) *Writer {
+	if opt.SyncInterval <= 0 {
+		opt.SyncInterval = DefaultSyncInterval
+	}
+	w := &Writer{f: f, off: off, opt: opt}
+	if opt.Sync == SyncInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w
+}
+
+func (w *Writer) syncLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.err == nil && (len(w.buf) > 0 || w.dirty) {
+				w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// AppendFrame frames and buffers one payload, returning the log's logical
+// end offset after the record. The record is not durable (and under
+// SyncAlways not even flushed) until the next Commit.
+func (w *Writer) AppendFrame(payload []byte) (int64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.off, w.err
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.off += int64(headerSize + len(payload))
+	w.st.Appends++
+	w.st.Bytes += int64(headerSize + len(payload))
+	return w.off, nil
+}
+
+// Append frames and buffers one operation (AppendFrame of its encoding).
+func (w *Writer) Append(op Op) (int64, error) { return w.AppendFrame(op.Encode()) }
+
+// Commit makes everything appended so far visible to readers of the file
+// (flush), and durable under SyncAlways (fsync). The serving layer calls it
+// once per micro-batch, after the decisions and before the replies.
+func (w *Writer) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if w.opt.Sync == SyncAlways {
+		return w.fsyncLocked()
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs regardless of policy — the full durability point
+// checkpoints take before recording their WAL offset.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	return w.fsyncLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.buf)
+	if n > 0 {
+		w.dirty = true
+	}
+	if err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+func (w *Writer) fsyncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	w.st.Syncs++
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	w.dirty = false
+	return nil
+}
+
+// Offset returns the logical end offset (start + every appended frame).
+func (w *Writer) Offset() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Err returns the sticky failure, if any: once non-nil the log can no longer
+// promise durability and the serving layer stops accepting writes.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns the append/sync counters.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.st
+}
+
+// Close stops the interval-sync goroutine, flushes, fsyncs and closes the
+// file. It returns the sticky error, if any.
+func (w *Writer) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+		w.stop = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.err == nil {
+		err = w.syncLocked()
+	} else {
+		err = w.err
+	}
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- reading ---------------------------------------------------------------
+
+// readFrame decodes the frame starting at off. It returns io.EOF at a clean
+// end, ErrTorn (wrapped, with the offset) on an incomplete frame and
+// ErrCorrupt on a bad length or checksum.
+func readFrame(r io.ReaderAt, off int64) (payload []byte, end int64, err error) {
+	var hdr [headerSize]byte
+	n, err := r.ReadAt(hdr[:], off)
+	if n == 0 && err == io.EOF {
+		return nil, off, io.EOF
+	}
+	if n < headerSize {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, off, fmt.Errorf("wal: offset %d: header cut to %d bytes: %w", off, n, ErrTorn)
+		}
+		return nil, off, fmt.Errorf("wal: offset %d: reading header: %w", off, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length > MaxRecord {
+		return nil, off, fmt.Errorf("wal: offset %d: length %d exceeds MaxRecord: %w", off, length, ErrCorrupt)
+	}
+	payload = make([]byte, length)
+	n, err = r.ReadAt(payload, off+headerSize)
+	if n < int(length) {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, off, fmt.Errorf("wal: offset %d: payload cut to %d of %d bytes: %w", off, n, length, ErrTorn)
+		}
+		return nil, off, fmt.Errorf("wal: offset %d: reading payload: %w", off, err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, off, fmt.Errorf("wal: offset %d: CRC32C %08x, frame says %08x: %w", off, got, want, ErrCorrupt)
+	}
+	return payload, off + headerSize + int64(length), nil
+}
+
+// Scan reads every valid record from offset 0 and reports where the valid
+// prefix ends. tailErr is nil for a clean end, or wraps ErrTorn/ErrCorrupt —
+// the bytes past validSize must be discarded, never replayed.
+func Scan(r io.ReaderAt) (payloads [][]byte, validSize int64, tailErr error) {
+	off := int64(0)
+	for {
+		p, end, err := readFrame(r, off)
+		if err == io.EOF {
+			return payloads, off, nil
+		}
+		if err != nil {
+			return payloads, off, err
+		}
+		payloads = append(payloads, p)
+		off = end
+	}
+}
+
+// RecoverInfo reports what Open found in an existing log.
+type RecoverInfo struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// ValidSize is the file size after tail truncation.
+	ValidSize int64
+	// Dropped is the number of torn/corrupt tail bytes truncated.
+	Dropped int64
+	// TailErr describes the dropped tail (nil when the log ended cleanly);
+	// it wraps ErrTorn or ErrCorrupt.
+	TailErr error
+}
+
+// Open opens (creating if absent) the log for appending: it replays every
+// valid record from startOffset through apply, truncates any torn or corrupt
+// tail at the last valid frame, and returns a Writer positioned at the end.
+// startOffset is the checkpoint's WAL offset (0 for a cold boot); an offset
+// past the end of the file means the checkpoint and log disagree, which is
+// an error, not a truncation.
+//
+// If apply returns an error, recovery aborts and the file is left untouched.
+func Open(path string, startOffset int64, opt Options, apply func(payload []byte) error) (*Writer, RecoverInfo, error) {
+	var info RecoverInfo
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, info, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	size := fi.Size()
+	if startOffset < 0 || startOffset > size {
+		f.Close()
+		return nil, info, fmt.Errorf("wal: checkpoint offset %d outside log of %d bytes", startOffset, size)
+	}
+	off := startOffset
+	for {
+		payload, end, rerr := readFrame(f, off)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			info.TailErr = rerr
+			break
+		}
+		if apply != nil {
+			if aerr := apply(payload); aerr != nil {
+				f.Close()
+				return nil, info, fmt.Errorf("wal: replaying record %d at offset %d: %w", info.Records, off, aerr)
+			}
+		}
+		info.Records++
+		off = end
+	}
+	info.ValidSize = off
+	info.Dropped = size - off
+	if info.Dropped > 0 {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: truncating bad tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	return NewWriter(f, off, opt), info, nil
+}
+
+// --- tailing ---------------------------------------------------------------
+
+// Tailer reads a log another process is appending to — the follower's view.
+// Next never truncates: an incomplete tail may simply be the leader's write
+// in flight, so the tailer reports ErrTorn and the caller retries after the
+// file grows.
+type Tailer struct {
+	f   *os.File
+	off int64
+}
+
+// OpenTailer opens the log read-only, positioned at off.
+func OpenTailer(path string, off int64) (*Tailer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Tailer{f: f, off: off}, nil
+}
+
+// Next returns the next complete record. io.EOF means a clean end (for now);
+// an error wrapping ErrTorn means an incomplete tail — both are retry-later
+// signals for a live leader. An error wrapping ErrCorrupt is permanent.
+func (t *Tailer) Next() ([]byte, error) {
+	payload, end, err := readFrame(t.f, t.off)
+	if err != nil {
+		return nil, err
+	}
+	t.off = end
+	return payload, nil
+}
+
+// Offset returns the offset of the next unread record.
+func (t *Tailer) Offset() int64 { return t.off }
+
+// Size returns the log's current size.
+func (t *Tailer) Size() (int64, error) {
+	fi, err := t.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Close closes the underlying file.
+func (t *Tailer) Close() error { return t.f.Close() }
+
+// --- atomic file replacement ----------------------------------------------
+
+// WriteFileAtomic replaces path with data atomically: write to a temp file
+// in the same directory, fsync it, rename over the target, fsync the
+// directory. A crash at any point leaves either the old complete file or the
+// new complete file — never a partial checkpoint.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

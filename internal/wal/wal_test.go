@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/ebsn/igepa/internal/faultfs"
+)
+
+// frame builds one valid frame for a payload.
+func frame(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+func fixtureOps(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		switch i % 4 {
+		case 0:
+			ops[i] = Op{Kind: OpBid, TMillis: int64(i), User: i}
+		case 1:
+			ops[i] = Op{Kind: OpBatch, Users: []int{i, i + 1}}
+		case 2:
+			ops[i] = Op{Kind: OpCancel, User: i}
+		default:
+			ops[i] = Op{Kind: OpSetBids, User: i, Bids: []int{0, 2, 5}}
+		}
+	}
+	return ops
+}
+
+func TestWriterRoundtrip(t *testing.T) {
+	for _, sync := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(sync.String(), func(t *testing.T) {
+			mem := &faultfs.MemFile{}
+			w := NewWriter(mem, 0, Options{Sync: sync, SyncInterval: time.Millisecond})
+			ops := fixtureOps(17)
+			var wantOff int64
+			for _, op := range ops {
+				off, err := w.Append(op)
+				if err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+				wantOff += int64(headerSize + len(op.Encode()))
+				if off != wantOff {
+					t.Fatalf("offset %d after append, want %d", off, wantOff)
+				}
+			}
+			if err := w.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+			// before Close: Close always fsyncs (clean shutdown durability),
+			// so the policy distinction is only visible here
+			if sync == SyncOff && w.Stats().Syncs != 0 {
+				t.Fatalf("SyncOff issued %d fsyncs before Close", w.Stats().Syncs)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			payloads, valid, tailErr := Scan(bytes.NewReader(mem.Bytes()))
+			if tailErr != nil {
+				t.Fatalf("clean log reports tail error %v", tailErr)
+			}
+			if valid != wantOff || int64(mem.Len()) != wantOff {
+				t.Fatalf("valid %d, file %d, want %d", valid, mem.Len(), wantOff)
+			}
+			if len(payloads) != len(ops) {
+				t.Fatalf("%d records scanned, want %d", len(payloads), len(ops))
+			}
+			for i, p := range payloads {
+				got, err := DecodeOp(p)
+				if err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(normalize(got), normalize(ops[i])) {
+					t.Fatalf("record %d decoded to %+v, want %+v", i, got, ops[i])
+				}
+			}
+			st := w.Stats()
+			if st.Appends != int64(len(ops)) || st.Bytes != wantOff {
+				t.Fatalf("stats %+v, want %d appends / %d bytes", st, len(ops), wantOff)
+			}
+		})
+	}
+}
+
+// normalize maps nil and empty slices together for comparison across the
+// JSON roundtrip.
+func normalize(op Op) Op {
+	if len(op.Users) == 0 {
+		op.Users = nil
+	}
+	if len(op.Bids) == 0 {
+		op.Bids = nil
+	}
+	return op
+}
+
+func TestSyncAlwaysFsyncsEveryCommit(t *testing.T) {
+	mem := &faultfs.MemFile{}
+	w := NewWriter(mem, 0, Options{Sync: SyncAlways})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(Op{Kind: OpBid, User: i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Stats().Syncs; got != 3 {
+		t.Fatalf("%d fsyncs after 3 commits under SyncAlways, want 3", got)
+	}
+}
+
+func TestSyncIntervalBackgroundFsync(t *testing.T) {
+	mem := &faultfs.MemFile{}
+	w := NewWriter(mem, 0, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	defer w.Close()
+	if _, err := w.Append(Op{Kind: OpBid, User: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background fsync never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if mem.Len() == 0 {
+		t.Fatal("background fsync ran but nothing was flushed")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	mem := &faultfs.MemFile{}
+	f := faultfs.Wrap(mem, faultfs.Fault{CrashAfter: 10})
+	w := NewWriter(f, 0, Options{Sync: SyncOff})
+	if _, err := w.Append(Op{Kind: OpBid, User: 1}); err != nil {
+		t.Fatalf("buffered append should not touch the file: %v", err)
+	}
+	if err := w.Commit(); err == nil {
+		t.Fatal("commit over a crashed file succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("no sticky error after failed commit")
+	}
+	if _, err := w.Append(Op{Kind: OpBid, User: 2}); err == nil {
+		t.Fatal("append after sticky failure succeeded")
+	}
+	if err := w.Commit(); err == nil {
+		t.Fatal("commit after sticky failure succeeded")
+	}
+	// the torn prefix — and only it — reached the file
+	if mem.Len() != 10 {
+		t.Fatalf("%d bytes reached the file, want the torn prefix of 10", mem.Len())
+	}
+}
+
+func TestFsyncFailureWedges(t *testing.T) {
+	mem := &faultfs.MemFile{}
+	f := faultfs.Wrap(mem, faultfs.Fault{CrashAfter: faultfs.Disabled, FailSyncAt: 1})
+	w := NewWriter(f, 0, Options{Sync: SyncAlways})
+	if _, err := w.Append(Op{Kind: OpBid, User: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("commit error %v, want injected fsync failure", err)
+	}
+	if _, err := w.Append(Op{Kind: OpBid, User: 2}); err == nil {
+		t.Fatal("append after fsync failure succeeded")
+	}
+}
+
+func TestScanTornAndCorruptTails(t *testing.T) {
+	a := frame([]byte(`{"op":"bid","user":1}`))
+	b := frame([]byte(`{"op":"bid","user":2}`))
+	full := append(append([]byte(nil), a...), b...)
+
+	t.Run("torn header", func(t *testing.T) {
+		log := append(append([]byte(nil), full...), 0x03, 0x00)
+		payloads, valid, tailErr := Scan(bytes.NewReader(log))
+		if len(payloads) != 2 || valid != int64(len(full)) {
+			t.Fatalf("recovered %d records to offset %d, want 2 to %d", len(payloads), valid, len(full))
+		}
+		if !errors.Is(tailErr, ErrTorn) {
+			t.Fatalf("tail error %v, want ErrTorn", tailErr)
+		}
+	})
+	t.Run("torn payload", func(t *testing.T) {
+		log := append(append([]byte(nil), a...), b[:len(b)-3]...)
+		payloads, valid, tailErr := Scan(bytes.NewReader(log))
+		if len(payloads) != 1 || valid != int64(len(a)) {
+			t.Fatalf("recovered %d records to offset %d, want 1 to %d", len(payloads), valid, len(a))
+		}
+		if !errors.Is(tailErr, ErrTorn) {
+			t.Fatalf("tail error %v, want ErrTorn", tailErr)
+		}
+	})
+	t.Run("bad CRC", func(t *testing.T) {
+		log := append(append([]byte(nil), a...), b...)
+		log[len(log)-1] ^= 0xff
+		payloads, valid, tailErr := Scan(bytes.NewReader(log))
+		if len(payloads) != 1 || valid != int64(len(a)) {
+			t.Fatalf("recovered %d records to offset %d, want 1 to %d", len(payloads), valid, len(a))
+		}
+		if !errors.Is(tailErr, ErrCorrupt) {
+			t.Fatalf("tail error %v, want ErrCorrupt", tailErr)
+		}
+	})
+	t.Run("absurd length", func(t *testing.T) {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(MaxRecord+1))
+		log := append(append([]byte(nil), a...), hdr[:]...)
+		payloads, valid, tailErr := Scan(bytes.NewReader(log))
+		if len(payloads) != 1 || valid != int64(len(a)) {
+			t.Fatalf("recovered %d records to offset %d, want 1 to %d", len(payloads), valid, len(a))
+		}
+		if !errors.Is(tailErr, ErrCorrupt) {
+			t.Fatalf("tail error %v, want ErrCorrupt", tailErr)
+		}
+	})
+}
+
+func TestOpenReplaysAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.wal")
+	ops := fixtureOps(9)
+	var log []byte
+	for _, op := range ops {
+		log = append(log, frame(op.Encode())...)
+	}
+	goodSize := int64(len(log))
+	log = append(log, frame([]byte(`{"op":"bid","user":99}`))[:5]...) // torn tail
+	if err := os.WriteFile(path, log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []Op
+	w, info, err := Open(path, 0, Options{Sync: SyncOff}, func(p []byte) error {
+		op, derr := DecodeOp(p)
+		if derr != nil {
+			return derr
+		}
+		replayed = append(replayed, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if info.Records != len(ops) || info.ValidSize != goodSize || info.Dropped != 5 {
+		t.Fatalf("recovery %+v, want %d records, valid %d, dropped 5", info, len(ops), goodSize)
+	}
+	if !errors.Is(info.TailErr, ErrTorn) {
+		t.Fatalf("tail error %v, want ErrTorn", info.TailErr)
+	}
+	if len(replayed) != len(ops) {
+		t.Fatalf("replayed %d ops, want %d", len(replayed), len(ops))
+	}
+	// the bad tail is gone from disk, and new appends land after the valid prefix
+	if fi, _ := os.Stat(path); fi.Size() != goodSize {
+		t.Fatalf("file is %d bytes after recovery, want %d", fi.Size(), goodSize)
+	}
+	if _, err := w.Append(Op{Kind: OpBid, User: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	payloads, _, tailErr := mustScanFile(t, path)
+	if tailErr != nil {
+		t.Fatalf("log not clean after recovery + append: %v", tailErr)
+	}
+	if len(payloads) != len(ops)+1 {
+		t.Fatalf("%d records after recovery + append, want %d", len(payloads), len(ops)+1)
+	}
+}
+
+func mustScanFile(t *testing.T, path string) ([][]byte, int64, error) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scan(bytes.NewReader(raw))
+}
+
+func TestOpenBadStartOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.wal")
+	if err := os.WriteFile(path, frame([]byte(`{"op":"bid"}`)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, 1<<20, Options{}, nil); err == nil {
+		t.Fatal("offset past the end accepted — checkpoint/log disagreement must be an error")
+	}
+}
+
+func TestOpenStartsAtCheckpointOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.wal")
+	ops := fixtureOps(6)
+	var log []byte
+	var mid int64
+	for i, op := range ops {
+		if i == 3 {
+			mid = int64(len(log))
+		}
+		log = append(log, frame(op.Encode())...)
+	}
+	if err := os.WriteFile(path, log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	w, info, err := Open(path, mid, Options{Sync: SyncOff}, func([]byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if n != 3 || info.Records != 3 {
+		t.Fatalf("replayed %d records from checkpoint offset, want the 3-op suffix", n)
+	}
+}
+
+func TestTailer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.wal")
+	w, _, err := Open(path, 0, Options{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	tl, err := OpenTailer(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if _, err := tl.Next(); err != io.EOF {
+		t.Fatalf("empty log Next = %v, want io.EOF", err)
+	}
+
+	if _, err := w.Append(Op{Kind: OpBid, User: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// uncommitted: still invisible to the tailer
+	if _, err := tl.Next(); err != io.EOF {
+		t.Fatalf("uncommitted record visible: Next = %v, want io.EOF", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tl.Next()
+	if err != nil {
+		t.Fatalf("Next after commit: %v", err)
+	}
+	op, err := DecodeOp(p)
+	if err != nil || op.User != 7 {
+		t.Fatalf("tailed %+v (%v), want user 7", op, err)
+	}
+	if tl.Offset() != w.Offset() {
+		t.Fatalf("tailer at %d, writer at %d", tl.Offset(), w.Offset())
+	}
+
+	// a torn tail is a retry signal, not corruption — and Next must not advance
+	raw := frame([]byte(`{"op":"bid","user":8}`))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(raw[:len(raw)-4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Next(); !errors.Is(err, ErrTorn) {
+		t.Fatalf("Next on torn tail = %v, want ErrTorn", err)
+	}
+	if _, err := f.Write(raw[len(raw)-4:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if p, err = tl.Next(); err != nil {
+		t.Fatalf("Next after tail completed: %v", err)
+	}
+	if op, _ := DecodeOp(p); op.User != 8 {
+		t.Fatalf("tailed user %d, want 8", op.User)
+	}
+	size, err := tl.Size()
+	if err != nil || size != tl.Offset() {
+		t.Fatalf("Size %d (%v), want %d", size, err, tl.Offset())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read %q (%v), want %q", got, err, "two")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d directory entries after atomic replace, want 1 (no temp litter)", len(ents))
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "interval": SyncInterval, "": SyncInterval, "off": SyncOff,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDecodeOpValidation(t *testing.T) {
+	bad := [][]byte{
+		[]byte(`{`),
+		[]byte(`{"op":"explode"}`),
+		[]byte(`{"op":"bid","user":-1}`),
+		[]byte(`{"op":"batch","users":[0,-2]}`),
+		[]byte(`{"op":"set_bids","user":0,"bids":[-1]}`),
+	}
+	for _, p := range bad {
+		if _, err := DecodeOp(p); err == nil {
+			t.Fatalf("DecodeOp(%s) accepted", p)
+		}
+	}
+	op, err := DecodeOp([]byte(`{"op":"renew"}`))
+	if err != nil {
+		t.Fatalf("renewal with empty demand rejected: %v", err)
+	}
+	if op.Kind != OpRenew {
+		t.Fatalf("kind %q, want renew", op.Kind)
+	}
+}
+
+func TestAppendFrameTooLarge(t *testing.T) {
+	w := NewWriter(&faultfs.MemFile{}, 0, Options{Sync: SyncOff})
+	if _, err := w.AppendFrame(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if w.Err() != nil {
+		t.Fatal("an oversized record must be rejected, not wedge the writer")
+	}
+}

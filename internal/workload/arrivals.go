@@ -51,19 +51,46 @@ func WriteArrivals(w io.Writer, arrivals []Arrival) error {
 	return bw.Flush()
 }
 
+// arrivalValidator holds the stream invariants shared by ReadArrivals and
+// ReadArrivalsPartial: non-decreasing timestamps, non-negative users, every
+// user at most once (the replay layers decide each user irrevocably, so a
+// duplicate is a corrupt log, not a legal event).
+type arrivalValidator struct {
+	prev int64
+	seen map[int]int // user → first line
+}
+
+func newArrivalValidator() *arrivalValidator {
+	return &arrivalValidator{prev: math.MinInt64, seen: make(map[int]int)}
+}
+
+func (v *arrivalValidator) check(line int, a Arrival) error {
+	if a.User < 0 {
+		return fmt.Errorf("workload: arrival log line %d: negative user %d", line, a.User)
+	}
+	if first, dup := v.seen[a.User]; dup {
+		return fmt.Errorf("workload: arrival log line %d: user %d already arrived on line %d", line, a.User, first)
+	}
+	v.seen[a.User] = line
+	if a.TMillis < v.prev {
+		return fmt.Errorf("workload: arrival log line %d: timestamp %d before %d", line, a.TMillis, v.prev)
+	}
+	v.prev = a.TMillis
+	return nil
+}
+
 // ReadArrivals parses a JSONL arrival log, validating that timestamps are
-// non-decreasing, users are non-negative and no user arrives twice (the
-// replay layers decide each user irrevocably, so a duplicate is a corrupt
-// log, not a legal event). Blank lines are skipped. Malformed input —
-// truncated lines, oversized lines, non-monotonic timestamps, duplicates —
-// yields a line-numbered error, never a panic.
+// non-decreasing, users are non-negative and no user arrives twice. Blank
+// lines are skipped. Malformed input — truncated lines, oversized lines,
+// non-monotonic timestamps, duplicates — yields a line-numbered error,
+// never a panic. Use ReadArrivalsPartial to salvage the valid prefix of a
+// damaged log instead of rejecting it whole.
 func ReadArrivals(r io.Reader) ([]Arrival, error) {
 	var out []Arrival
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
-	prev := int64(math.MinInt64)
-	seen := make(map[int]int) // user → first line
+	v := newArrivalValidator()
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -74,23 +101,70 @@ func ReadArrivals(r io.Reader) ([]Arrival, error) {
 		if err := json.Unmarshal(raw, &a); err != nil {
 			return nil, fmt.Errorf("workload: arrival log line %d: %w", line, err)
 		}
-		if a.User < 0 {
-			return nil, fmt.Errorf("workload: arrival log line %d: negative user %d", line, a.User)
+		if err := v.check(line, a); err != nil {
+			return nil, err
 		}
-		if first, dup := seen[a.User]; dup {
-			return nil, fmt.Errorf("workload: arrival log line %d: user %d already arrived on line %d", line, a.User, first)
-		}
-		seen[a.User] = line
-		if a.TMillis < prev {
-			return nil, fmt.Errorf("workload: arrival log line %d: timestamp %d before %d", line, a.TMillis, prev)
-		}
-		prev = a.TMillis
 		out = append(out, a)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("workload: reading arrival log: %w", err)
 	}
 	return out, nil
+}
+
+// maxArrivalLine bounds one JSONL line, matching ReadArrivals' scanner limit.
+const maxArrivalLine = 1 << 20
+
+// ReadArrivalsPartial parses as much of a JSONL arrival log as is provably
+// valid: it returns the longest valid prefix, the byte offset where that
+// prefix ends, and the error that stopped the scan (nil when the whole log
+// parsed). A final line without a trailing newline is excluded and reported
+// even when it happens to parse — a crash mid-append can truncate a line and
+// still leave valid JSON (e.g. cutting a multi-digit number short), and
+// there is no checksum to tell. This is the arrival-log analogue of the
+// WAL's torn-tail rule: load everything before the damage, report its
+// offset, never silently replay a fragment. Operators can resume or
+// truncate the log at the returned offset.
+func ReadArrivalsPartial(r io.Reader) ([]Arrival, int64, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var out []Arrival
+	var off int64
+	line := 0
+	v := newArrivalValidator()
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err == io.EOF && len(raw) == 0 {
+			return out, off, nil
+		}
+		if err != nil && err != io.EOF {
+			return out, off, fmt.Errorf("workload: arrival log offset %d: %w", off, err)
+		}
+		line++
+		torn := err == io.EOF
+		trimmed := raw
+		if !torn {
+			trimmed = raw[:len(raw)-1]
+		}
+		if len(trimmed) == 0 {
+			off += int64(len(raw))
+			continue
+		}
+		if len(trimmed) > maxArrivalLine {
+			return out, off, fmt.Errorf("workload: arrival log line %d (offset %d): line exceeds %d bytes", line, off, maxArrivalLine)
+		}
+		if torn {
+			return out, off, fmt.Errorf("workload: arrival log line %d (offset %d): no trailing newline; log may be cut mid-write", line, off)
+		}
+		var a Arrival
+		if uerr := json.Unmarshal(trimmed, &a); uerr != nil {
+			return out, off, fmt.Errorf("workload: arrival log line %d (offset %d): %w", line, off, uerr)
+		}
+		if verr := v.check(line, a); verr != nil {
+			return out, off, verr
+		}
+		out = append(out, a)
+		off += int64(len(raw))
+	}
 }
 
 // ArrivalOrder projects the stream onto the replay order cmd/igepa-serve and

@@ -98,3 +98,92 @@ func TestReadArrivalsErrorsNameLines(t *testing.T) {
 		t.Errorf("duplicate error does not name both lines: %q", msg)
 	}
 }
+
+// TestReadArrivalsPartial pins the salvage contract: the valid prefix comes
+// back with the byte offset where the damage starts, and a log cut without
+// its trailing newline is treated as torn even when the fragment parses.
+func TestReadArrivalsPartial(t *testing.T) {
+	arr := SyntheticArrivals(9, 50, 0)
+	var buf bytes.Buffer
+	if err := WriteArrivals(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	t.Run("clean", func(t *testing.T) {
+		got, off, err := ReadArrivalsPartial(bytes.NewReader(whole))
+		if err != nil || off != int64(len(whole)) {
+			t.Fatalf("clean log: off=%d err=%v, want %d/nil", off, err, len(whole))
+		}
+		if !reflect.DeepEqual(arr, got) {
+			t.Fatal("clean log: prefix differs from ReadArrivals' view")
+		}
+	})
+
+	t.Run("every truncation point", func(t *testing.T) {
+		// Index the line boundaries so every cut has a known valid prefix.
+		var ends []int64
+		for i, b := range whole {
+			if b == '\n' {
+				ends = append(ends, int64(i+1))
+			}
+		}
+		for cut := 0; cut <= len(whole); cut++ {
+			got, off, err := ReadArrivalsPartial(bytes.NewReader(whole[:cut]))
+			k := 0
+			for k < len(ends) && ends[k] <= int64(cut) {
+				k++
+			}
+			wantOff := int64(0)
+			if k > 0 {
+				wantOff = ends[k-1]
+			}
+			if off != wantOff || len(got) != k {
+				t.Fatalf("cut %d: %d arrivals at offset %d, want %d at %d", cut, len(got), off, k, wantOff)
+			}
+			if k > 0 && !reflect.DeepEqual(got, arr[:k]) {
+				t.Fatalf("cut %d: prefix content differs", cut)
+			}
+			atBoundary := int64(cut) == wantOff
+			if atBoundary && err != nil {
+				t.Fatalf("cut %d at a line boundary: unexpected error %v", cut, err)
+			}
+			if !atBoundary && err == nil {
+				t.Fatalf("cut %d mid-line: truncation not reported", cut)
+			}
+		}
+	})
+
+	t.Run("bad line mid-stream", func(t *testing.T) {
+		log := "{\"t_ms\": 1, \"user\": 0}\n{\"t_ms\": 2, \"user\": 1}\nnot json\n{\"t_ms\": 3, \"user\": 2}\n"
+		got, off, err := ReadArrivalsPartial(strings.NewReader(log))
+		if err == nil || len(got) != 2 {
+			t.Fatalf("got %d arrivals, err %v; want 2 and an error", len(got), err)
+		}
+		if off != int64(strings.Index(log, "not json")) {
+			t.Fatalf("offset %d does not point at the bad line", off)
+		}
+	})
+
+	t.Run("invariant violation mid-stream", func(t *testing.T) {
+		log := "{\"t_ms\": 5, \"user\": 0}\n{\"t_ms\": 3, \"user\": 1}\n"
+		got, off, err := ReadArrivalsPartial(strings.NewReader(log))
+		if err == nil || len(got) != 1 || off != int64(strings.Index(log, "{\"t_ms\": 3")) {
+			t.Fatalf("got %d arrivals at offset %d, err %v", len(got), off, err)
+		}
+	})
+
+	t.Run("oversized line", func(t *testing.T) {
+		var b strings.Builder
+		b.WriteString("{\"t_ms\": 1, \"user\": 0}\n")
+		b.WriteString(`{"t_ms": 2, "user": 1, "junk": "`)
+		for i := 0; i < 1<<21; i++ {
+			b.WriteByte('x')
+		}
+		b.WriteString("\"}\n")
+		got, _, err := ReadArrivalsPartial(strings.NewReader(b.String()))
+		if err == nil || len(got) != 1 {
+			t.Fatalf("oversized line: got %d arrivals, err %v", len(got), err)
+		}
+	})
+}
