@@ -87,6 +87,7 @@ type tally struct {
 	ok       int
 	rejected int // 429
 	conflict int // 409
+	unavail  int // 503
 	errs     int
 }
 
@@ -104,6 +105,8 @@ func (t *tally) count(status int) {
 		t.rejected++
 	case http.StatusConflict:
 		t.conflict++
+	case http.StatusServiceUnavailable:
+		t.unavail++
 	default:
 		t.errs++
 	}
@@ -238,7 +241,10 @@ func closedLoop(hc *http.Client, cfg config, numUsers int, t *tally) error {
 					case http.StatusOK:
 						t.record(time.Since(t0))
 						postCancel(hc, cfg.addr, u)
-					case http.StatusTooManyRequests:
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+						// 429 is queue backpressure; 503 is a transient
+						// unavailability (a router mid-renewal, a shard
+						// failing over) — both may carry a Retry-After hint.
 						t.count(status)
 						if retry <= 0 {
 							retry = time.Millisecond
@@ -276,10 +282,10 @@ func workerUsers(wi, conc, numUsers int) []int {
 func report(w io.Writer, cfg config, t *tally, elapsed time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	total := t.ok + t.rejected + t.conflict + t.errs
+	total := t.ok + t.rejected + t.conflict + t.unavail + t.errs
 	fmt.Fprintf(w, "\n%s workload: %d requests in %s\n", cfg.mode, total, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "  decided %d · rejected(429) %d · conflict(409) %d · errors %d\n",
-		t.ok, t.rejected, t.conflict, t.errs)
+	fmt.Fprintf(w, "  decided %d · rejected(429) %d · conflict(409) %d · unavailable(503) %d · errors %d\n",
+		t.ok, t.rejected, t.conflict, t.unavail, t.errs)
 	if elapsed > 0 {
 		fmt.Fprintf(w, "  sustained throughput: %.0f decided/s\n", float64(t.ok)/elapsed.Seconds())
 	}
@@ -292,8 +298,8 @@ func report(w io.Writer, cfg config, t *tally, elapsed time.Duration) {
 		ps[2].Round(time.Microsecond), ps[3].Round(time.Microsecond))
 }
 
-// postBid submits a bid; on 429 it returns the server's Retry-After hint as
-// retry (zero otherwise) so the caller can honor the backpressure.
+// postBid submits a bid; on 429 or 503 it returns the server's Retry-After
+// hint as retry (zero otherwise) so the caller can honor the backpressure.
 func postBid(hc *http.Client, addr string, user int, wait bool) (status int, retry time.Duration, err error) {
 	body, _ := json.Marshal(map[string]any{"user": user, "wait": wait})
 	resp, err := hc.Post(addr+"/v1/bid", "application/json", bytes.NewReader(body))
@@ -302,7 +308,7 @@ func postBid(hc *http.Client, addr string, user int, wait bool) (status int, ret
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode == http.StatusTooManyRequests {
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 			retry = time.Duration(ra) * time.Second
 		}

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ebsn/igepa"
+	"github.com/ebsn/igepa/internal/router"
+	"github.com/ebsn/igepa/internal/server"
+	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// freeAddr grabs a loopback port to hand to a child process. The tiny
+// close-to-bind race is acceptable in a test.
+func freeAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func postJSON(hc *http.Client, url string, body, out any) (int, error) {
+	raw, _ := json.Marshal(body)
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func getJSON(hc *http.Client, url string, out any) (int, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// TestMultiProcessClusterSmoke is the deployment-shaped acceptance test: it
+// builds the real igepa-shardd and igepa-router binaries, boots a cluster of
+// separate OS processes (router + 2 shards), replays an arrival order
+// through the public API, and pins the cluster's utility bit-identical to
+// the in-process ServeSharded run — and therefore trivially ≥ 99.6% of the
+// single-shard utility the acceptance bound asks for.
+func TestMultiProcessClusterSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	sharddBin := filepath.Join(dir, "igepa-shardd")
+	routerBin := filepath.Join(dir, "igepa-router")
+	for bin, pkg := range map[string]string{
+		sharddBin: "github.com/ebsn/igepa/cmd/igepa-shardd",
+		routerBin: "github.com/ebsn/igepa/cmd/igepa-router",
+	} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	const (
+		S      = 2
+		events = 24
+		users  = 240
+		seed   = 3
+		batch  = 24
+	)
+	common := []string{
+		"-workload", "synthetic", "-events", fmt.Sprint(events),
+		"-users", fmt.Sprint(users), "-seed", fmt.Sprint(seed),
+		"-batch", fmt.Sprint(batch),
+	}
+	var logs []*bytes.Buffer
+	startProc := func(bin string, args ...string) {
+		t.Helper()
+		cmd := exec.Command(bin, append(args, common...)...)
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		logs = append(logs, &buf)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+
+	backendAddrs := make([]string, S)
+	backendURLs := ""
+	for i := 0; i < S; i++ {
+		backendAddrs[i] = freeAddr(t)
+		if i > 0 {
+			backendURLs += ","
+		}
+		backendURLs += "http://" + backendAddrs[i]
+		startProc(sharddBin, "-listen", backendAddrs[i],
+			"-index", fmt.Sprint(i), "-cluster", fmt.Sprint(S))
+	}
+	routerAddr := freeAddr(t)
+	startProc(routerBin, "-listen", routerAddr, "-backends", backendURLs, "-replay")
+	base := "http://" + routerAddr
+
+	hc := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var h struct {
+			Status string `json:"status"`
+		}
+		if _, err := getJSON(hc, base+"/healthz", &h); err == nil && h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, l := range logs {
+				t.Logf("proc %d:\n%s", i, l.String())
+			}
+			t.Fatal("cluster never came up")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// the in-process oracles: the sharded run the cluster must reproduce
+	// bit-for-bit, and the single-shard run the utility bound is against
+	in, err := igepa.Synthetic(igepa.SyntheticConfig{Seed: seed, NumEvents: events, NumUsers: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := xrand.New(9).Perm(users)
+	want, err := shard.Serve(in, order, shard.Options{Shards: S, Batch: batch, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := shard.Serve(in, order, shard.Options{Shards: 1, Batch: batch, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, u := range order {
+		code, err := postJSON(hc, base+"/v1/bid", map[string]any{"user": u, "wait": false}, nil)
+		if err != nil {
+			t.Fatalf("submit user %d: %v", u, err)
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("submit user %d: %d", u, code)
+		}
+	}
+	var dr struct {
+		Drained bool `json:"drained"`
+	}
+	if _, err := postJSON(hc, base+"/admin/drain", struct{}{}, &dr); err != nil || !dr.Drained {
+		t.Fatalf("drain: %v drained=%v", err, dr.Drained)
+	}
+
+	var st struct {
+		Utility       float64 `json:"utility"`
+		LeaseRenewals int     `json:"lease_renewals"`
+		MovedSeats    int     `json:"moved_seats"`
+		Degraded      bool    `json:"degraded"`
+	}
+	if _, err := getJSON(hc, base+"/statsz", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded {
+		t.Fatal("cluster degraded during the smoke")
+	}
+	if math.Abs(st.Utility-want.Utility) > 1e-6 {
+		t.Fatalf("cluster utility %g, ServeSharded %g", st.Utility, want.Utility)
+	}
+	if st.LeaseRenewals != want.LeaseRenewals || st.MovedSeats != want.MovedSeats {
+		t.Fatalf("cluster ran %d renewals / %d moved, ServeSharded %d / %d",
+			st.LeaseRenewals, st.MovedSeats, want.LeaseRenewals, want.MovedSeats)
+	}
+	if ratio := st.Utility / single.Utility; ratio < 0.996 {
+		t.Fatalf("cluster utility %g is %.4f of single-shard %g (acceptance floor 0.996)",
+			st.Utility, ratio, single.Utility)
+	}
+}
+
+// BenchmarkClusterHTTP measures sustained decided/s through the full
+// distributed stack — router tier in front of two shard-process servers —
+// under a closed-loop bid/cancel workload; BENCH_cluster.json in CI.
+func BenchmarkClusterHTTP(b *testing.B) {
+	in, err := igepa.Synthetic(igepa.SyntheticConfig{Seed: 1, NumEvents: 40, NumUsers: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const S = 2
+	opt := shard.Options{Batch: 32, Seed: 1, CacheSize: 4096}
+	urls := make([]string, S)
+	for si := 0; si < S; si++ {
+		bopt := opt
+		bopt.Shards = 1
+		bopt.ClusterShards, bopt.ClusterIndex = S, si
+		srv, err := server.New(in, server.Config{Shard: bopt, FlushInterval: 200 * time.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		urls[si] = ts.URL
+	}
+	ropt := opt
+	ropt.Shards = S
+	rt, err := router.New(in, router.Config{Backends: urls, Shard: ropt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.CheckBackends(); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	var userCtr, decided atomic.Int64
+	post := func(hc *http.Client, path string, body any) (int, error) {
+		raw, _ := json.Marshal(body)
+		resp, err := hc.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		hc := &http.Client{}
+		u := int(userCtr.Add(1)-1) % in.NumUsers()
+		for pb.Next() {
+			code, err := post(hc, "/v1/bid", map[string]int{"user": u})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			switch code {
+			case http.StatusOK:
+				decided.Add(1)
+				post(hc, "/v1/cancel", map[string]int{"user": u})
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				time.Sleep(time.Millisecond)
+			case http.StatusConflict:
+				post(hc, "/v1/cancel", map[string]int{"user": u})
+			default:
+				b.Errorf("bid user %d: %d", u, code)
+				return
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(decided.Load())/elapsed.Seconds(), "decided/s")
+	}
+	if rt.Stats().Degraded {
+		b.Fatalf("router degraded: %s", rt.Stats().DegradedReason)
+	}
+}

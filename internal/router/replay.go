@@ -1,0 +1,322 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/ebsn/igepa/internal/server"
+)
+
+// Replay mode: the router owns the global batch schedule that a single-
+// process replay server runs in its replayLoop. Arrivals queue centrally,
+// flush strictly every B in arrival order, and before every batch but the
+// first the router runs a wire renewal fed with that batch's users — then
+// partitions the batch by owner (preserving arrival order within each part)
+// and drives each backend's /cluster/batch. Because each backend's engine
+// sees exactly the sub-batch, budgets, and order that its shard would see
+// inside one S-shard engine, the cluster's decisions are bit-identical to
+// ServeSharded on the same arrival order.
+
+// rreq is one queued replay submission; rrep its decision.
+type rreq struct {
+	user  int
+	reply chan rrep // buffered(1); nil for wait:false submissions
+}
+
+type rrep struct {
+	events   []int
+	epoch    int
+	failed   bool // dispatch failed (router degraded); submitter gets 503
+	shutdown bool // router closed before deciding
+}
+
+// rqueue is the bounded global arrival buffer: FIFO push from the handlers,
+// popBatch from the single dispatcher. Strictly batch-by-count — partial
+// batches flush only on drain or close, like the server's replay queue.
+type rqueue struct {
+	mu           sync.Mutex
+	nonIdle      *sync.Cond
+	items        []rreq
+	head         int
+	limit        int
+	closed       bool
+	drainPending bool
+	busy         bool
+}
+
+func newRQueue(limit int) *rqueue {
+	q := &rqueue{limit: limit}
+	q.nonIdle = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *rqueue) push(r rreq) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errClosed
+	}
+	if len(q.items)-q.head >= q.limit {
+		return errFull
+	}
+	q.items = append(q.items, r)
+	q.nonIdle.Broadcast()
+	return nil
+}
+
+// popBatch blocks until a full batch of max is pending (or a drain/close
+// flushes a partial one); returns nil once closed and emptied.
+func (q *rqueue) popBatch(max int, dst []rreq) []rreq {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		n := len(q.items) - q.head
+		if n >= max {
+			return q.pop(max, dst)
+		}
+		if q.closed {
+			if n > 0 {
+				return q.pop(n, dst)
+			}
+			return nil
+		}
+		if q.drainPending {
+			q.drainPending = false
+			if n > 0 {
+				return q.pop(n, dst)
+			}
+			continue
+		}
+		q.nonIdle.Wait()
+	}
+}
+
+func (q *rqueue) pop(n int, dst []rreq) []rreq {
+	dst = append(dst[:0], q.items[q.head:q.head+n]...)
+	q.head += n
+	q.busy = true
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return dst
+}
+
+func (q *rqueue) finish() {
+	q.mu.Lock()
+	q.busy = false
+	q.mu.Unlock()
+}
+
+func (q *rqueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+func (q *rqueue) idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)-q.head == 0 && !q.busy
+}
+
+func (q *rqueue) drain() {
+	q.mu.Lock()
+	q.drainPending = true
+	q.nonIdle.Broadcast()
+	q.mu.Unlock()
+}
+
+// takeAll empties the queue after the dispatcher has exited — the shutdown
+// backstop that releases every still-parked submitter.
+func (q *rqueue) takeAll() []rreq {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := append([]rreq(nil), q.items[q.head:]...)
+	q.items = q.items[:0]
+	q.head = 0
+	return out
+}
+
+func (q *rqueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.nonIdle.Broadcast()
+	q.mu.Unlock()
+}
+
+var (
+	errFull   = fmt.Errorf("router: queue full")
+	errClosed = fmt.Errorf("router: queue closed")
+)
+
+// replayBid is handleBid's replay-mode tail: duplicate-check against the
+// router's lifecycle view, enqueue, park until the batch decides.
+func (rt *Router) replayBid(w http.ResponseWriter, req *bidRequest) {
+	if req.Bids != nil {
+		// A replacement bid set would have to reach the owner's weight table
+		// before the decision — a wire step the replay dispatcher does not
+		// have. Refuse loudly rather than decide on stale weights.
+		httpError(w, http.StatusNotImplemented, "bid replacement is not supported through the router in replay mode")
+		return
+	}
+	rt.stateMu.Lock()
+	st := rt.state[req.User]
+	if st == stateQueued || st == stateDecided {
+		rt.stateMu.Unlock()
+		rt.m.conflicts.Add(1)
+		httpError(w, http.StatusConflict, fmt.Sprintf("user %d already %s", req.User,
+			map[uint8]string{stateQueued: "queued", stateDecided: "decided"}[st]))
+		return
+	}
+	rt.state[req.User] = stateQueued
+	rt.stateMu.Unlock()
+
+	wait := req.Wait == nil || *req.Wait
+	rq := rreq{user: req.User}
+	if wait {
+		rq.reply = make(chan rrep, 1)
+	}
+	if err := rt.q.push(rq); err != nil {
+		rt.stateMu.Lock()
+		if rt.state[req.User] == stateQueued {
+			rt.state[req.User] = st
+		}
+		rt.stateMu.Unlock()
+		if err == errClosed {
+			httpError(w, http.StatusServiceUnavailable, "router closing")
+			return
+		}
+		rt.m.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((rt.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	rt.m.arrivals.Add(1)
+	if !wait {
+		writeJSON(w, http.StatusAccepted, bidResponse{User: req.User, Queued: true})
+		return
+	}
+	rep := <-rq.reply
+	switch {
+	case rep.shutdown:
+		httpError(w, http.StatusServiceUnavailable, "router closed before deciding")
+	case rep.failed:
+		httpError(w, http.StatusServiceUnavailable, "router degraded: "+rt.degradedReason())
+	default:
+		writeJSON(w, http.StatusOK, bidResponse{User: req.User, Events: rep.events, Epoch: rep.epoch})
+	}
+}
+
+// dispatchLoop is the replay dispatcher: one goroutine popping strict
+// B-batches and driving the cluster through renewal + partitioned dispatch.
+func (rt *Router) dispatchLoop() {
+	defer rt.wg.Done()
+	buf := make([]rreq, 0, rt.b)
+	users := make([]int, 0, rt.b)
+	for {
+		batch := rt.q.popBatch(rt.b, buf)
+		if batch == nil {
+			return
+		}
+		buf = batch
+		users = users[:0]
+		for i := range batch {
+			users = append(users, batch[i].user)
+		}
+		decisions, epoch, err := rt.dispatchBatch(users)
+		if err != nil {
+			rt.degrade("batch dispatch failed: " + err.Error())
+			rt.stateMu.Lock()
+			for _, u := range users {
+				if rt.state[u] == stateQueued {
+					rt.state[u] = stateNone
+				}
+			}
+			rt.stateMu.Unlock()
+			for i := range batch {
+				if batch[i].reply != nil {
+					batch[i].reply <- rrep{failed: true}
+				}
+			}
+			rt.q.finish()
+			continue
+		}
+		rt.m.epochs.Add(1)
+		rt.stateMu.Lock()
+		for _, u := range users {
+			rt.state[u] = stateDecided
+		}
+		rt.stateMu.Unlock()
+		for i := range batch {
+			rt.m.decided.Add(1)
+			if len(decisions[i]) > 0 {
+				rt.m.granted.Add(1)
+			}
+			if batch[i].reply != nil {
+				batch[i].reply <- rrep{events: decisions[i], epoch: epoch}
+			}
+		}
+		rt.q.finish()
+	}
+}
+
+// dispatchBatch runs one replay batch end to end: renewal (after the first
+// batch — the schedule shard.Serve keeps), owner partition preserving
+// arrival order, parallel /cluster/batch, decision reassembly in arrival
+// order. Any failure is terminal for bit-identity, so errors degrade.
+func (rt *Router) dispatchBatch(users []int) ([][]int, int, error) {
+	rt.renewMu.Lock()
+	defer rt.renewMu.Unlock()
+	if rt.degraded.Load() {
+		return nil, 0, fmt.Errorf("router degraded: %s", rt.degradedReason())
+	}
+	if rt.m.epochs.Load() > 0 {
+		if err := rt.renewOnce(users); err != nil {
+			rt.m.renewErrors.Add(1)
+			return nil, 0, err
+		}
+	}
+	parts := make([][]int, rt.s) // users per owning backend, arrival order
+	idxs := make([][]int, rt.s)  // each user's position in the batch
+	for i, u := range users {
+		o := rt.ownerOf(u)
+		parts[o] = append(parts[o], u)
+		idxs[o] = append(idxs[o], i)
+	}
+	decisions := make([][]int, len(users))
+	errs := make([]error, rt.s)
+	var wg sync.WaitGroup
+	for o := 0; o < rt.s; o++ {
+		if len(parts[o]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			var resp server.ClusterBatchResponse
+			if _, err := rt.postJSON(o, "/cluster/batch",
+				server.ClusterBatchRequest{Users: parts[o]}, &resp); err != nil {
+				errs[o] = err
+				return
+			}
+			if len(resp.Decisions) != len(parts[o]) {
+				errs[o] = fmt.Errorf("%d decisions for %d users", len(resp.Decisions), len(parts[o]))
+				return
+			}
+			for k, i := range idxs[o] {
+				decisions[i] = resp.Decisions[k]
+			}
+		}(o)
+	}
+	wg.Wait()
+	for o, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("backend %d: %w", o, err)
+		}
+	}
+	return decisions, int(rt.m.epochs.Load()) + 1, nil
+}

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/ebsn/igepa/internal/shard"
+	"github.com/ebsn/igepa/internal/wal"
+)
+
+// This file is the cluster-shard half of the wire renewal protocol (see
+// DESIGN.md §10). A shard process (cmd/igepa-shardd) exposes /cluster/*
+// endpoints to its router:
+//
+//	POST /cluster/demand  — phase 1 (prepare): freeze grants, report loads
+//	                        and queued demand
+//	POST /cluster/lease   — phase 2 (install): install the coordinator's
+//	                        budget vector, thaw
+//	POST /cluster/abort   — explicit thaw without install
+//	POST /cluster/batch   — replay-mode dispatch of one ordered sub-batch
+//	POST /cluster/export  — migration: hand a user range off this shard
+//	POST /cluster/adopt   — migration: take a user range onto this shard
+//
+// The freeze between demand and lease is what makes the two-phase renewal
+// sound: the shard's loads must not move between the coordinator reading
+// them and the new budgets landing, or a grant in that window could exceed
+// the incoming lease. Freezing means holding every serving lock across the
+// two HTTP calls; a watchdog thaws the shard after Config.FreezeTimeout so a
+// dead router cannot wedge it (the late install then gets a 409 and the
+// router degrades rather than double-booking).
+
+// leaseGate is the freeze window's state machine. busy covers the whole
+// prepare→install/abort/expiry span (a second prepare is refused, not
+// deadlocked behind held serving locks); frozen marks the serving locks as
+// held on the coordinator's behalf.
+type leaseGate struct {
+	mu     sync.Mutex
+	busy   bool
+	frozen bool
+	gen    uint64
+	timer  *time.Timer
+}
+
+func (srv *Server) freezeTimeout() time.Duration {
+	if srv.cfg.FreezeTimeout > 0 {
+		return srv.cfg.FreezeTimeout
+	}
+	return DefaultFreezeTimeout
+}
+
+// freezeLeases acquires every serving lock on behalf of the coordinator and
+// arms the expiry watchdog. Returns false when a freeze is already active.
+func (srv *Server) freezeLeases() (uint64, bool) {
+	g := &srv.gate
+	g.mu.Lock()
+	if g.busy {
+		g.mu.Unlock()
+		return 0, false
+	}
+	g.busy = true
+	g.mu.Unlock()
+
+	srv.lockAll()
+	g.mu.Lock()
+	g.frozen = true
+	g.gen++
+	gen := g.gen
+	g.timer = time.AfterFunc(srv.freezeTimeout(), func() {
+		if srv.thawFreeze(gen) {
+			log.Printf("server: wire-renewal freeze expired after %v; thawed (router dead or slow)", srv.freezeTimeout())
+		}
+	})
+	g.mu.Unlock()
+	return gen, true
+}
+
+// thawFreeze releases freeze generation gen (no-op when a newer freeze or an
+// install already released it). Reports whether this call released the locks.
+func (srv *Server) thawFreeze(gen uint64) bool {
+	g := &srv.gate
+	g.mu.Lock()
+	if !g.frozen || g.gen != gen {
+		g.mu.Unlock()
+		return false
+	}
+	g.release()
+	g.mu.Unlock()
+	srv.unlockAll()
+	return true
+}
+
+// abortFreeze releases whatever freeze is active (Close's path: a frozen
+// gate would stall the consumers' final batches).
+func (srv *Server) abortFreeze() bool {
+	g := &srv.gate
+	g.mu.Lock()
+	if !g.frozen {
+		g.mu.Unlock()
+		return false
+	}
+	g.release()
+	g.mu.Unlock()
+	srv.unlockAll()
+	return true
+}
+
+// release resets the gate; the caller holds g.mu and still owns unlockAll.
+func (g *leaseGate) release() {
+	g.frozen = false
+	g.busy = false
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+}
+
+// --- wire types (shared with internal/router) ------------------------------
+
+// ClusterDemandResponse is the prepare phase's report: this shard's per-event
+// granted seats and the users queued behind the freeze (the renewal demand
+// predictor), plus the renewal counter for coordinator/shard sync checks.
+type ClusterDemandResponse struct {
+	Loads    []int `json:"loads"`
+	Queued   []int `json:"queued"`
+	Renewals int   `json:"renewals"`
+}
+
+// ClusterLeaseRequest carries the coordinator-computed absolute budget
+// vector to install.
+type ClusterLeaseRequest struct {
+	Budget []int `json:"budget"`
+}
+
+// ClusterLeaseResponse reports the install: seats gained versus the old free
+// headroom (the MovedSeats currency) and the shard's new renewal count.
+type ClusterLeaseResponse struct {
+	Moved    int `json:"moved"`
+	Renewals int `json:"renewals"`
+}
+
+// ClusterBatchRequest is one ordered replay sub-batch for this shard.
+type ClusterBatchRequest struct {
+	Users []int `json:"users"`
+}
+
+// ClusterBatchResponse returns the decisions in request order.
+type ClusterBatchResponse struct {
+	Decisions [][]int `json:"decisions"`
+	Epoch     int     `json:"epoch"`
+}
+
+// ClusterExportRequest names the users to hand off this shard.
+type ClusterExportRequest struct {
+	Users []int `json:"users"`
+}
+
+// ClusterMigration is the export response and the adopt request: the shard
+// package's Migration payload plus the serving-layer lifecycle states, so
+// the adopting shard reproduces the users exactly (decided-empty versus
+// never-arrived matters for duplicate detection).
+type ClusterMigration struct {
+	Users  []int   `json:"users"`
+	Sets   [][]int `json:"sets"`
+	States []uint8 `json:"states"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
+// handleClusterDemand is POST /cluster/demand — phase 1 of the wire renewal.
+func (srv *Server) handleClusterDemand(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !srv.writable(w) {
+		return
+	}
+	_, ok := srv.freezeLeases()
+	if !ok {
+		httpError(w, http.StatusConflict, "a lease renewal is already in progress")
+		return
+	}
+	var pending []int
+	for _, q := range srv.queues {
+		pending = q.pendingUsers(pending)
+	}
+	if pending == nil {
+		pending = []int{}
+	}
+	writeJSON(w, http.StatusOK, ClusterDemandResponse{
+		Loads:    srv.eng.LoadVector(),
+		Queued:   pending,
+		Renewals: srv.eng.Renewals(),
+	})
+}
+
+// handleClusterLease is POST /cluster/lease — phase 2: install the budget
+// computed by the coordinator and thaw. Holding gate.mu across the install
+// excludes the expiry watchdog, so the serving locks are provably still held
+// while the engine is touched.
+func (srv *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ClusterLeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	g := &srv.gate
+	g.mu.Lock()
+	if !g.frozen {
+		g.mu.Unlock()
+		httpError(w, http.StatusConflict, "no lease renewal in progress (freeze expired?)")
+		return
+	}
+	moved, err := srv.eng.InstallLease(req.Budget)
+	if err == nil && srv.walWriter() != nil {
+		srv.walAppend(wal.Op{Kind: wal.OpLease, TMillis: nowMillis(), Budget: req.Budget})
+		srv.walCommit()
+	}
+	renewals := srv.eng.Renewals()
+	g.release()
+	g.mu.Unlock()
+	srv.unlockAll()
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ClusterLeaseResponse{Moved: moved, Renewals: renewals})
+}
+
+// handleClusterAbort is POST /cluster/abort — thaw without installing.
+func (srv *Server) handleClusterAbort(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	released := srv.abortFreeze()
+	writeJSON(w, http.StatusOK, struct {
+		Released bool `json:"released"`
+	}{Released: released})
+}
+
+// handleClusterBatch is POST /cluster/batch — the router's replay-mode
+// dispatch of one ordered sub-batch onto this shard, mirroring what
+// Engine.DispatchBatch would feed this shard's planner in a single process.
+func (srv *Server) handleClusterBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !srv.writable(w) {
+		return
+	}
+	var req ClusterBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	for _, u := range req.Users {
+		if u < 0 || u >= srv.in.NumUsers() {
+			srv.m.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("user %d outside [0,%d)", u, srv.in.NumUsers()))
+			return
+		}
+		if !srv.eng.Owns(u) {
+			srv.m.misrouted.Add(1)
+			httpError(w, http.StatusMisdirectedRequest, fmt.Sprintf("user %d is not owned by this shard", u))
+			return
+		}
+	}
+	// Refuse double dispatch loudly: a router retrying a batch that in fact
+	// landed must not replay arrivals (it would corrupt the bit-identical
+	// decision stream), and queued users belong to the live path.
+	srv.stateMu.Lock()
+	for _, u := range req.Users {
+		if st := srv.state[u]; st == stateDecided || st == stateQueued {
+			srv.stateMu.Unlock()
+			srv.m.conflicts.Add(1)
+			httpError(w, http.StatusConflict, fmt.Sprintf("user %d already %s", u,
+				map[uint8]string{stateQueued: "queued", stateDecided: "decided"}[st]))
+			return
+		}
+	}
+	srv.stateMu.Unlock()
+
+	srv.lockAll()
+	t0 := time.Now()
+	srv.eng.DispatchBatch(req.Users)
+	elapsed := time.Since(t0)
+	if srv.walWriter() != nil {
+		srv.walAppend(wal.Op{Kind: wal.OpBatch, TMillis: nowMillis(), Users: req.Users})
+		srv.walCommit()
+	}
+	epoch := srv.eng.Epochs()
+	decisions := make([][]int, len(req.Users))
+	for i, u := range req.Users {
+		decisions[i] = srv.eng.Assignment(srv.eng.ShardOf(u), u)
+		if decisions[i] == nil {
+			decisions[i] = []int{}
+		}
+	}
+	srv.unlockAll()
+
+	srv.stateMu.Lock()
+	for _, u := range req.Users {
+		srv.state[u] = stateDecided
+	}
+	srv.stateMu.Unlock()
+	n := int64(len(req.Users))
+	srv.m.arrivals.Add(n)
+	srv.m.decided.Add(n)
+	for _, set := range decisions {
+		if len(set) > 0 {
+			srv.m.granted.Add(1)
+		}
+	}
+	if n > 0 {
+		srv.m.decide.add(elapsed / time.Duration(n))
+	}
+	srv.batches.Add(1)
+	writeJSON(w, http.StatusOK, ClusterBatchResponse{Decisions: decisions, Epoch: epoch})
+}
+
+// handleClusterExport is POST /cluster/export — hand a user range off this
+// shard. The router drains this shard first; queued users are refused.
+func (srv *Server) handleClusterExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !srv.writable(w) {
+		return
+	}
+	var req ClusterExportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	srv.stateMu.Lock()
+	for _, u := range req.Users {
+		if u >= 0 && u < srv.in.NumUsers() && srv.state[u] == stateQueued {
+			srv.stateMu.Unlock()
+			srv.m.conflicts.Add(1)
+			httpError(w, http.StatusConflict, fmt.Sprintf("user %d still queued; drain before export", u))
+			return
+		}
+	}
+	srv.stateMu.Unlock()
+
+	srv.lockAll()
+	m, err := srv.eng.ExportUsers(req.Users)
+	if err != nil {
+		srv.unlockAll()
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	resp := ClusterMigration{Users: m.Users, Sets: m.Sets, States: make([]uint8, len(m.Users))}
+	srv.stateMu.Lock()
+	for i, u := range m.Users {
+		resp.States[i] = srv.state[u]
+		srv.state[u] = stateNone
+	}
+	srv.stateMu.Unlock()
+	if srv.walWriter() != nil {
+		srv.walAppend(wal.Op{Kind: wal.OpExport, TMillis: nowMillis(), Users: m.Users})
+		srv.walCommit()
+	}
+	srv.unlockAll()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterAdopt is POST /cluster/adopt — take a migrated user range
+// onto this shard: decisions, consumed seats, and lifecycle states.
+func (srv *Server) handleClusterAdopt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !srv.writable(w) {
+		return
+	}
+	var req ClusterMigration
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Sets) != len(req.Users) || (req.States != nil && len(req.States) != len(req.Users)) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"migration with %d users, %d sets, %d states", len(req.Users), len(req.Sets), len(req.States)))
+		return
+	}
+	srv.lockAll()
+	if err := srv.eng.AdoptUsers(&shard.Migration{Users: req.Users, Sets: req.Sets}); err != nil {
+		srv.unlockAll()
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	srv.stateMu.Lock()
+	for i, u := range req.Users {
+		if req.States != nil {
+			srv.state[u] = req.States[i]
+		} else if len(req.Sets[i]) > 0 {
+			srv.state[u] = stateDecided
+		}
+	}
+	srv.stateMu.Unlock()
+	if srv.walWriter() != nil {
+		srv.walAppend(wal.Op{Kind: wal.OpAdopt, TMillis: nowMillis(),
+			Users: req.Users, Sets: req.Sets, States: req.States})
+		srv.walCommit()
+	}
+	srv.unlockAll()
+	writeJSON(w, http.StatusOK, struct {
+		Adopted int `json:"adopted"`
+	}{Adopted: len(req.Users)})
+}

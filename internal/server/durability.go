@@ -206,6 +206,20 @@ func (srv *Server) applyOp(op wal.Op) error {
 		srv.state[op.User] = stateCancelled
 	case wal.OpSetBids:
 		srv.overrides[op.User] = append([]int(nil), op.Bids...)
+	case wal.OpExport:
+		// Exported users left this shard; their lifecycle restarts at the
+		// adopting shard (carried in its OpAdopt record).
+		for _, u := range op.Users {
+			srv.state[u] = stateNone
+		}
+	case wal.OpAdopt:
+		for i, u := range op.Users {
+			if op.States != nil {
+				srv.state[u] = op.States[i]
+			} else if len(op.Sets[i]) > 0 {
+				srv.state[u] = stateDecided
+			}
+		}
 	}
 	srv.stateMu.Unlock()
 	return nil

@@ -180,13 +180,27 @@ func (srv *Server) lagBound() int64 {
 	return DefaultLagBytes
 }
 
+// ErrAlreadyLeader is Promote's typed refusal: this process is already the
+// leader (it was never a follower, or a racing Promote won). The HTTP layer
+// maps it to 409 — a second failover request is a conflict with reality, not
+// a server error.
+var ErrAlreadyLeader = errors.New("server: already the leader")
+
 // Promote turns the follower into the leader: stop tailing, replay whatever
 // the tailer had not reached (taking ownership of the log — this truncates
 // any torn tail, so the old leader must be dead), then start the serving
 // loops and open the write path. See DESIGN.md §9 for the failover runbook.
+//
+// Promote is serialized: of two concurrent calls exactly one performs the
+// transition, the other returns ErrAlreadyLeader. The check and the
+// follow→leader flip both happen under promoteMu, so a second caller can
+// never pass the follower check while the first is mid-transition and fire
+// the serving loops twice.
 func (srv *Server) Promote() error {
+	srv.promoteMu.Lock()
+	defer srv.promoteMu.Unlock()
 	if !srv.follow.Load() {
-		return fmt.Errorf("server: not a follower")
+		return ErrAlreadyLeader
 	}
 	f := srv.fol
 	f.stopLoop()
@@ -230,11 +244,11 @@ func (srv *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if !srv.follow.Load() {
-		httpError(w, http.StatusConflict, "already the leader")
-		return
-	}
 	if err := srv.Promote(); err != nil {
+		if errors.Is(err, ErrAlreadyLeader) {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}

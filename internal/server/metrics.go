@@ -55,6 +55,7 @@ type metrics struct {
 	rejected    atomic.Int64 // 429: queue full
 	conflicts   atomic.Int64 // 409: duplicate submission / bad state
 	badRequests atomic.Int64 // 400
+	misrouted   atomic.Int64 // 421: cluster shard asked about a user it does not own
 	leaseErrors atomic.Int64
 	walErrors   atomic.Int64 // WAL append/fsync failures (durability lost)
 

@@ -27,11 +27,14 @@ type request struct {
 	decide time.Duration
 }
 
-// reply is the decision delivered back to a waiting submitter.
+// reply is the decision delivered back to a waiting submitter. shutdown
+// marks the no-decision reply Close delivers to requests the consumers never
+// reached — the HTTP layer answers 503 instead of an assignment.
 type reply struct {
-	events []int
-	epoch  int
-	wait   time.Duration // time spent queued before processing began
+	events   []int
+	epoch    int
+	wait     time.Duration // time spent queued before processing began
+	shutdown bool
 }
 
 // queue is the bounded arrival buffer feeding one micro-batching loop: FIFO
@@ -189,6 +192,19 @@ func (q *queue) drain() {
 	q.drainPending = true
 	q.nonIdle.Broadcast()
 	q.mu.Unlock()
+}
+
+// takeAll removes and returns everything still queued — the shutdown
+// backstop. Only meaningful after close() and after the consumer has exited:
+// whatever is left is work no consumer will ever pop, and each waiting
+// submitter must be released with a shutdown reply.
+func (q *queue) takeAll() []request {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := append([]request(nil), q.items[q.head:]...)
+	q.items = q.items[:0]
+	q.head = 0
+	return out
 }
 
 // close wakes the consumer to flush whatever is pending and exit.

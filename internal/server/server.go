@@ -57,6 +57,10 @@ import (
 const (
 	DefaultFlushInterval = 2 * time.Millisecond
 	DefaultRetryAfter    = 1 * time.Second
+	// DefaultFreezeTimeout bounds a wire-renewal freeze (cluster mode): if
+	// the router dies between /cluster/demand and /cluster/lease, the shard
+	// thaws itself after this long instead of serving frozen forever.
+	DefaultFreezeTimeout = 2 * time.Second
 )
 
 // Config parameterizes New.
@@ -99,6 +103,11 @@ type Config struct {
 	// POST /admin/checkpoint surface): an atomic snapshot that bounds how
 	// much WAL a warm boot replays.
 	CheckpointPath string
+	// FreezeTimeout bounds how long a cluster shard stays frozen between a
+	// /cluster/demand prepare and the matching /cluster/lease install (or
+	// /cluster/abort) before thawing itself. 0 means DefaultFreezeTimeout.
+	// Only meaningful when Shard.ClusterShards > 0.
+	FreezeTimeout time.Duration
 	// Follow runs the server as a read replica: no serving loops, no
 	// writes (503), state built by tailing WALPath. /readyz reports ready
 	// only within LagBytes of the log's end; POST /admin/promote turns the
@@ -154,6 +163,16 @@ type Server struct {
 	overrides map[int][]int
 	follow    atomic.Bool
 	fol       *follower
+	// promoteMu serializes Promote against itself: two concurrent
+	// /admin/promote calls must produce exactly one leader transition (the
+	// loser gets ErrAlreadyLeader), never two sets of serving loops.
+	promoteMu sync.Mutex
+
+	// cluster is true when the engine hosts one shard of a multi-process
+	// deployment (Config.Shard.ClusterShards > 0); gate is the wire-renewal
+	// freeze window.
+	cluster bool
+	gate    leaseGate
 
 	closed  atomic.Bool
 	wg      sync.WaitGroup
@@ -167,6 +186,11 @@ type Server struct {
 func New(in *model.Instance, cfg Config) (*Server, error) {
 	opt := cfg.Shard
 	opt.RecordLatency = cfg.Replay // per-user decision latency inside DispatchBatch
+	if opt.ClusterShards > 0 && cfg.Replay {
+		// A cluster shard has no replay dispatcher of its own: the router
+		// owns the global batch schedule and drives /cluster/batch.
+		return nil, &shard.ConfigError{Field: "Replay", Reason: "a cluster shard is driven by the router; run the router in replay mode instead"}
+	}
 	eng, err := shard.NewEngine(in, opt)
 	if err != nil {
 		return nil, err
@@ -181,6 +205,7 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 		state:     make([]uint8, in.NumUsers()),
 		overrides: make(map[int][]int),
 		started:   time.Now(),
+		cluster:   opt.ClusterShards > 0,
 	}
 	if srv.flush <= 0 {
 		srv.flush = DefaultFlushInterval
@@ -248,6 +273,14 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 	srv.mux.HandleFunc("/admin/drain", srv.handleDrain)
 	srv.mux.HandleFunc("/admin/checkpoint", srv.handleCheckpoint)
 	srv.mux.HandleFunc("/admin/promote", srv.handlePromote)
+	if srv.cluster {
+		srv.mux.HandleFunc("/cluster/demand", srv.handleClusterDemand)
+		srv.mux.HandleFunc("/cluster/lease", srv.handleClusterLease)
+		srv.mux.HandleFunc("/cluster/abort", srv.handleClusterAbort)
+		srv.mux.HandleFunc("/cluster/batch", srv.handleClusterBatch)
+		srv.mux.HandleFunc("/cluster/export", srv.handleClusterExport)
+		srv.mux.HandleFunc("/cluster/adopt", srv.handleClusterAdopt)
+	}
 	return srv, nil
 }
 
@@ -279,10 +312,26 @@ func (srv *Server) Close() {
 	if !srv.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// A frozen wire-renewal would hold every shard lock and stall the
+	// consumers' final batches; thaw it first (the router's install, if it
+	// still arrives, gets a 409).
+	srv.abortFreeze()
 	for _, q := range srv.queues {
 		q.close()
 	}
 	srv.wg.Wait()
+	// Backstop for the waiter-leak class of shutdown races: the consumers
+	// have exited, so any request still queued (a consumer that never ran,
+	// or died between pop and reply) would park its submitter on <-reply
+	// forever. Hand every leftover a shutdown reply; handleBid turns it
+	// into a 503.
+	for _, q := range srv.queues {
+		for _, r := range q.takeAll() {
+			if r.reply != nil {
+				r.reply <- reply{shutdown: true}
+			}
+		}
+	}
 	if srv.fol != nil {
 		srv.fol.stopLoop()
 	}
@@ -536,6 +585,9 @@ func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("user %d outside [0,%d)", req.User, srv.in.NumUsers()))
 		return
 	}
+	if !srv.owned(w, req.User) {
+		return
+	}
 	if req.Bids != nil {
 		if err := srv.checkBids(req.Bids); err != nil {
 			srv.m.badRequests.Add(1)
@@ -578,9 +630,7 @@ func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		err = srv.enqueue(rq)
 	}
 	if err != nil {
-		srv.stateMu.Lock()
-		srv.state[req.User] = st // roll back to the pre-submit state
-		srv.stateMu.Unlock()
+		srv.rollbackQueued(req.User, st)
 		if err == errQueueClosed {
 			httpError(w, http.StatusServiceUnavailable, "server closing")
 			return
@@ -596,9 +646,39 @@ func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep := <-rq.reply
+	if rep.shutdown {
+		httpError(w, http.StatusServiceUnavailable, "server closed before deciding")
+		return
+	}
 	writeJSON(w, http.StatusOK, bidResponse{
 		User: req.User, Events: rep.events, Epoch: rep.epoch, WaitUS: rep.wait.Microseconds(),
 	})
+}
+
+// rollbackQueued undoes handleBid's optimistic stateQueued claim after a
+// failed enqueue — but only if the user is still in stateQueued. Between the
+// claim and the rollback the state lock is dropped, so a concurrent
+// transition (a racing duplicate submission that won the queue slot and got
+// decided, or a cancel of that decision) may have landed; restoring the
+// pre-submit snapshot over it would clobber a real decision.
+func (srv *Server) rollbackQueued(u int, prev uint8) {
+	srv.stateMu.Lock()
+	if srv.state[u] == stateQueued {
+		srv.state[u] = prev
+	}
+	srv.stateMu.Unlock()
+}
+
+// owned gates the per-user handlers in cluster mode: a request for a user
+// this shard does not own answers 421 Misdirected Request, telling the
+// router its routing table is stale (mid-migration) and to re-resolve.
+func (srv *Server) owned(w http.ResponseWriter, u int) bool {
+	if srv.cluster && !srv.eng.Owns(u) {
+		srv.m.misrouted.Add(1)
+		httpError(w, http.StatusMisdirectedRequest, fmt.Sprintf("user %d is not owned by this shard", u))
+		return false
+	}
+	return true
 }
 
 // writable gates the mutating handlers: a follower serves reads only, and
@@ -681,6 +761,9 @@ func (srv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("user %d outside [0,%d)", req.User, srv.in.NumUsers()))
 		return
 	}
+	if !srv.owned(w, req.User) {
+		return
+	}
 	srv.stateMu.Lock()
 	if srv.state[req.User] != stateDecided {
 		srv.stateMu.Unlock()
@@ -738,6 +821,9 @@ func (srv *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad user")
 		return
 	}
+	if !srv.owned(w, u) {
+		return
+	}
 	srv.stateMu.Lock()
 	st := srv.state[u]
 	srv.stateMu.Unlock()
@@ -786,15 +872,24 @@ func (srv *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, loadResponse{Event: v, Load: srv.eng.EventLoad(v), Capacity: srv.in.Events[v].Capacity})
 }
 
+// ClusterInfo identifies a cluster shard in /healthz: which slice of a how-
+// wide deployment this process hosts. The router validates it at backend
+// registration.
+type ClusterInfo struct {
+	Shards int `json:"shards"`
+	Index  int `json:"index"`
+}
+
 type healthResponse struct {
-	Status    string `json:"status"`
-	Mode      string `json:"mode"`
-	Role      string `json:"role"`
-	UptimeMS  int64  `json:"uptime_ms"`
-	Shards    int    `json:"shards"`
-	Batch     int    `json:"batch"`
-	NumUsers  int    `json:"num_users"`
-	NumEvents int    `json:"num_events"`
+	Status    string       `json:"status"`
+	Mode      string       `json:"mode"`
+	Role      string       `json:"role"`
+	UptimeMS  int64        `json:"uptime_ms"`
+	Shards    int          `json:"shards"`
+	Batch     int          `json:"batch"`
+	NumUsers  int          `json:"num_users"`
+	NumEvents int          `json:"num_events"`
+	Cluster   *ClusterInfo `json:"cluster,omitempty"`
 }
 
 // handleHealthz is liveness: "is this process up and sane". Whether it
@@ -811,11 +906,15 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if srv.closed.Load() {
 		status, code = "closing", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, healthResponse{
+	resp := healthResponse{
 		Status: status, Mode: srv.modeName(), Role: srv.role(),
 		UptimeMS: time.Since(srv.started).Milliseconds(),
 		Shards:   srv.s, Batch: srv.b, NumUsers: srv.in.NumUsers(), NumEvents: srv.in.NumEvents(),
-	})
+	}
+	if srv.cluster {
+		resp.Cluster = &ClusterInfo{Shards: srv.eng.ClusterShards(), Index: srv.eng.ClusterIndex()}
+	}
+	writeJSON(w, code, resp)
 }
 
 func (srv *Server) modeName() string {
@@ -857,6 +956,7 @@ type Stats struct {
 	Rejected      int64  `json:"rejected_429"`
 	Conflicts     int64  `json:"conflict_409"`
 	BadRequests   int64  `json:"bad_request_400"`
+	Misrouted     int64  `json:"misrouted_421,omitempty"`
 	LeaseErrors   int64  `json:"lease_errors"`
 	QueueDepth    []int  `json:"queue_depth"`
 	Epochs        int    `json:"epochs"`
@@ -908,6 +1008,7 @@ func (srv *Server) Stats() Stats {
 		Rejected:    srv.m.rejected.Load(),
 		Conflicts:   srv.m.conflicts.Load(),
 		BadRequests: srv.m.badRequests.Load(),
+		Misrouted:   srv.m.misrouted.Load(),
 		LeaseErrors: srv.m.leaseErrors.Load(),
 		QueueWait:   srv.m.queueWait.snapshot(),
 		Decision:    srv.m.decide.snapshot(),
@@ -980,8 +1081,12 @@ func (srv *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 
 // --- helpers --------------------------------------------------------------
 
+// retryAfterSeconds converts the backpressure window to the integral
+// Retry-After header value, rounding up: a 1500ms window must emit 2, not 1 —
+// truncating tells clients to retry before the window ends, turning every
+// sub-second remainder into a guaranteed second 429.
 func retryAfterSeconds(d time.Duration) int {
-	s := int(d / time.Second)
+	s := int((d + time.Second - 1) / time.Second)
 	if s < 1 {
 		s = 1
 	}

@@ -20,6 +20,10 @@ type EngineState struct {
 	Shards int   `json:"shards"`
 	Batch  int   `json:"batch"`
 	Seed   int64 `json:"seed"`
+	// Cluster-mode fingerprint (zero outside cluster mode): the cluster
+	// width and this process's shard index.
+	ClusterShards int `json:"cluster_shards,omitempty"`
+	ClusterIndex  int `json:"cluster_index,omitempty"`
 
 	Epochs     int   `json:"epochs"`
 	Renewals   int   `json:"renewals"`
@@ -33,6 +37,10 @@ type EngineState struct {
 	// Sets[u] is user u's current assignment (nil when undecided, cancelled
 	// or empty — the States array at the serving layer disambiguates).
 	Sets [][]int `json:"sets"`
+	// Owned/Disowned are the migration ownership overrides (cluster mode
+	// only): users adopted onto this shard and users exported off it.
+	Owned    []int `json:"owned,omitempty"`
+	Disowned []int `json:"disowned,omitempty"`
 }
 
 // CheckpointState captures the engine's serving state. The caller owns
@@ -42,6 +50,7 @@ func (e *Engine) CheckpointState() *EngineState {
 	nu := e.in.NumUsers()
 	st := &EngineState{
 		Shards: e.s, Batch: e.b, Seed: e.opt.Seed,
+		ClusterShards: e.clusterS, ClusterIndex: e.clusterIdx,
 		Epochs: e.epochs, Renewals: e.renewals, MovedSeats: e.moved,
 		Arrivals:    append([]int(nil), e.arrivals...),
 		UtilityBits: make([]uint64, e.s),
@@ -56,6 +65,9 @@ func (e *Engine) CheckpointState() *EngineState {
 		if set := e.parts[e.ShardOf(u)].Sets[u]; len(set) > 0 {
 			st.Sets[u] = append([]int(nil), set...)
 		}
+	}
+	if e.clusterS > 0 {
+		st.Owned, st.Disowned = e.ownershipOverrides()
 	}
 	return st
 }
@@ -73,6 +85,11 @@ func (e *Engine) RestoreState(st *EngineState) error {
 		return &ConfigError{Field: "checkpoint", Reason: fmt.Sprintf(
 			"checkpoint for S=%d B=%d seed=%d, engine has S=%d B=%d seed=%d",
 			st.Shards, st.Batch, st.Seed, e.s, e.b, e.opt.Seed)}
+	}
+	if st.ClusterShards != e.clusterS || (e.clusterS > 0 && st.ClusterIndex != e.clusterIdx) {
+		return &ConfigError{Field: "checkpoint", Reason: fmt.Sprintf(
+			"checkpoint for cluster shard %d/%d, engine is %d/%d",
+			st.ClusterIndex, st.ClusterShards, e.clusterIdx, e.clusterS)}
 	}
 	nu, nv := e.in.NumUsers(), e.in.NumEvents()
 	if len(st.Arrivals) != e.s || len(st.UtilityBits) != e.s || len(st.Budgets) != e.s {
@@ -97,7 +114,15 @@ func (e *Engine) RestoreState(st *EngineState) error {
 			}
 			sum += st.Budgets[si][v]
 		}
-		if sum != e.in.Events[v].Capacity {
+		if e.clusterS > 0 {
+			// A cluster shard holds one slice of the lease table: the full
+			// Σ_s budget[s][v] = cv invariant is the coordinator's to keep;
+			// locally the slice just must not exceed the capacity.
+			if sum > e.in.Events[v].Capacity {
+				return &ConfigError{Field: "checkpoint", Reason: fmt.Sprintf(
+					"event %d has %d seats leased on one cluster shard, capacity %d", v, sum, e.in.Events[v].Capacity)}
+			}
+		} else if sum != e.in.Events[v].Capacity {
 			return &ConfigError{Field: "checkpoint", Reason: fmt.Sprintf(
 				"event %d has %d seats leased, capacity %d", v, sum, e.in.Events[v].Capacity)}
 		}
@@ -143,6 +168,9 @@ func (e *Engine) RestoreState(st *EngineState) error {
 	e.epochs = st.Epochs
 	e.renewals = st.Renewals
 	e.moved = st.MovedSeats
+	if e.clusterS > 0 {
+		e.restoreOwnership(st.Owned, st.Disowned)
+	}
 	return nil
 }
 
@@ -231,6 +259,17 @@ func (e *Engine) Apply(op wal.Op) error {
 		}
 		e.CancelOn(e.ShardOf(op.User), op.User)
 		return nil
+	case wal.OpLease:
+		if e.clusterS == 0 {
+			return fmt.Errorf("shard: replay: lease install outside cluster mode")
+		}
+		_, err := e.InstallLease(op.Budget)
+		return err
+	case wal.OpExport:
+		_, err := e.ExportUsers(op.Users)
+		return err
+	case wal.OpAdopt:
+		return e.AdoptUsers(&Migration{Users: op.Users, Sets: op.Sets})
 	case wal.OpSetBids:
 		if op.User < 0 || op.User >= nu {
 			return fmt.Errorf("shard: replay: set_bids for unknown user %d", op.User)

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ebsn/igepa/internal/admissible"
@@ -64,6 +65,16 @@ type Engine struct {
 	wc       *model.WeightCache
 	bound    *boundTracker // live LP bound (Options.LiveBound)
 
+	// Cluster mode (Options.ClusterShards > 0): this engine is shard
+	// clusterIdx of a clusterS-wide deployment and holds only its lease
+	// slice. ownsOverride records users migrated onto (true) or off of
+	// (false) this shard; ownMu guards it because ownership is read on the
+	// request path while migrations write it under the serving locks.
+	clusterS     int
+	clusterIdx   int
+	ownMu        sync.RWMutex
+	ownsOverride map[int]bool
+
 	epochs, renewals, moved int
 	arrivals                []int
 	shardUtil               []float64
@@ -103,6 +114,22 @@ func NewEngine(in *model.Instance, opt Options) (*Engine, error) {
 	default:
 		return nil, &ConfigError{Field: "Lease", Reason: fmt.Sprintf("unknown lease policy %v", opt.Lease)}
 	}
+	if opt.ClusterShards < 0 {
+		return nil, &ConfigError{Field: "ClusterShards", Reason: fmt.Sprintf("must be non-negative, got %d", opt.ClusterShards)}
+	}
+	if opt.ClusterShards > 0 {
+		if opt.Shards != 1 {
+			return nil, &ConfigError{Field: "Shards", Reason: fmt.Sprintf(
+				"a cluster-mode engine hosts exactly one shard, got Shards=%d", opt.Shards)}
+		}
+		if opt.ClusterIndex < 0 || opt.ClusterIndex >= opt.ClusterShards {
+			return nil, &ConfigError{Field: "ClusterIndex", Reason: fmt.Sprintf(
+				"must be in [0,%d), got %d", opt.ClusterShards, opt.ClusterIndex)}
+		}
+		if opt.LiveBound {
+			return nil, &ConfigError{Field: "LiveBound", Reason: "the live bound shadows the whole instance; run it at the router, not on one cluster shard"}
+		}
+	}
 
 	s := opt.Shards
 	b := opt.Batch
@@ -117,20 +144,14 @@ func NewEngine(in *model.Instance, opt Options) (*Engine, error) {
 	wc := in.Weights()
 	conf := conflict.FromFunc(nv, in.Conflicts)
 
-	// Initial leases: even split, remainder rotated by event index.
-	budgets := make([][]int, s)
-	for si := range budgets {
-		budgets[si] = make([]int, nv)
-	}
-	for v := 0; v < nv; v++ {
-		cv := in.Events[v].Capacity
-		base, rem := cv/s, cv%s
-		for si := 0; si < s; si++ {
-			budgets[si][v] = base
-		}
-		for k := 0; k < rem; k++ {
-			budgets[(v+k)%s][v]++
-		}
+	var budgets [][]int
+	if opt.ClusterShards > 0 {
+		// This process leases exactly the slice a single-process S-shard
+		// engine would hand shard ClusterIndex — the root of the cluster's
+		// bit-identity to ServeSharded.
+		budgets = [][]int{initialBudgets(in, opt.ClusterShards)[opt.ClusterIndex]}
+	} else {
+		budgets = initialBudgets(in, s)
 	}
 
 	e := &Engine{
@@ -142,6 +163,12 @@ func NewEngine(in *model.Instance, opt Options) (*Engine, error) {
 		arrivals:  make([]int, s),
 		shardUtil: make([]float64, s),
 		batches:   make([][]int, s),
+
+		clusterS:   opt.ClusterShards,
+		clusterIdx: opt.ClusterIndex,
+	}
+	if e.clusterS > 0 {
+		e.ownsOverride = make(map[int]bool)
 	}
 	if opt.CacheSize > 0 {
 		e.caches = make([]*admissible.Cache, s)
@@ -287,6 +314,13 @@ func (e *Engine) CancelOn(si, u int) []int {
 // historical epoch argument — while also advancing for live drivers that
 // renew on arrival counts without ever calling DispatchBatch.
 func (e *Engine) RenewLeases(next []int) (int, error) {
+	if e.clusterS > 0 {
+		// A cluster shard never renews itself: it holds one slice of the
+		// lease table, and re-splitting needs every shard's loads. The
+		// router-side Coordinator computes the split and installs it here
+		// via InstallLease.
+		return 0, &ConfigError{Field: "ClusterShards", Reason: "a cluster shard renews via InstallLease, not RenewLeases"}
+	}
 	moved := e.renewer.renew(e.renewals+1, next)
 	e.moved += moved
 	e.renewals++

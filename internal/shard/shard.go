@@ -165,6 +165,17 @@ type Options struct {
 	// enabling the cache may resolve exact weight ties differently than the
 	// uncached scorer.
 	CacheSize int
+	// ClusterShards, when positive, puts the engine in cluster mode: this
+	// process hosts exactly one shard (Shards must be 1) of a
+	// ClusterShards-wide multi-process deployment, holding the lease slice a
+	// single-process ClusterShards-shard engine would give shard
+	// ClusterIndex. Renewal arrives over the wire via InstallLease (driven
+	// by a router-side Coordinator); RenewLeases is disabled. Seed must
+	// match across the cluster and the router — it drives the user→shard
+	// hash.
+	ClusterShards int
+	// ClusterIndex is this process's shard index in [0, ClusterShards).
+	ClusterIndex int
 	// LiveBound, when set, keeps an incremental LP planner (core.Planner)
 	// over a shadow copy of the instance, updated after every dispatched
 	// batch: served users leave the shadow problem and consumed seats leave

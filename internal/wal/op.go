@@ -24,6 +24,16 @@ const (
 	OpCancel = "cancel"
 	// OpSetBids replaces the user's bid set before their decision.
 	OpSetBids = "set_bids"
+	// OpLease installs a coordinator-computed budget vector on a cluster
+	// shard (Engine.InstallLease) — the durable record of one wire renewal.
+	OpLease = "lease"
+	// OpExport removes Users from a cluster shard for migration
+	// (Engine.ExportUsers).
+	OpExport = "export"
+	// OpAdopt installs a migrated user range on a cluster shard
+	// (Engine.AdoptUsers): Users with their Sets, plus the serving layer's
+	// lifecycle States so recovery reproduces the handoff exactly.
+	OpAdopt = "adopt"
 )
 
 // Op is one logical serving operation — the unit of WAL replay.
@@ -36,6 +46,13 @@ type Op struct {
 	Users []int `json:"users,omitempty"`
 	// Bids is the replacement bid set (OpSetBids).
 	Bids []int `json:"bids,omitempty"`
+	// Budget is the installed lease vector (OpLease).
+	Budget []int `json:"budget,omitempty"`
+	// Sets[i] is Users[i]'s migrated assignment (OpAdopt).
+	Sets [][]int `json:"sets,omitempty"`
+	// States[i] is Users[i]'s serving-layer lifecycle state (OpAdopt); the
+	// shard layer ignores it.
+	States []uint8 `json:"states,omitempty"`
 }
 
 // Encode returns the op's JSON payload.
@@ -60,10 +77,33 @@ func DecodeOp(payload []byte) (Op, error) {
 		if op.User < 0 {
 			return op, fmt.Errorf("wal: %s op with negative user %d", op.Kind, op.User)
 		}
-	case OpBatch, OpRenew:
+	case OpBatch, OpRenew, OpExport:
 		for _, u := range op.Users {
 			if u < 0 {
 				return op, fmt.Errorf("wal: %s op with negative user %d", op.Kind, u)
+			}
+		}
+	case OpLease:
+		for _, b := range op.Budget {
+			if b < 0 {
+				return op, fmt.Errorf("wal: lease op with negative budget %d", b)
+			}
+		}
+	case OpAdopt:
+		if len(op.Sets) != len(op.Users) || (op.States != nil && len(op.States) != len(op.Users)) {
+			return op, fmt.Errorf("wal: adopt op with %d users, %d sets, %d states",
+				len(op.Users), len(op.Sets), len(op.States))
+		}
+		for _, u := range op.Users {
+			if u < 0 {
+				return op, fmt.Errorf("wal: adopt op with negative user %d", u)
+			}
+		}
+		for _, set := range op.Sets {
+			for _, v := range set {
+				if v < 0 {
+					return op, fmt.Errorf("wal: adopt op with negative event %d", v)
+				}
 			}
 		}
 	case OpSetBids:
