@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,10 +36,39 @@ func main() {
 		chart = flag.Bool("chart", false, "also draw each experiment as an ASCII line chart")
 		par   = flag.Int("parallel", 0, "max concurrent repetitions (0 = all cores)")
 		q     = flag.Bool("quiet", false, "suppress progress lines")
+		cpup  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memp  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*exp, *reps, *seed, *csv, *par, *q, *chart); err != nil {
+	if *cpup != "" {
+		f, err := os.Create(*cpup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "igepa-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "igepa-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*exp, *reps, *seed, *csv, *par, *q, *chart)
+	if *memp != "" {
+		f, ferr := os.Create(*memp)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "igepa-bench:", ferr)
+		} else {
+			runtime.GC() // settle live heap before the snapshot
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "igepa-bench:", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "igepa-bench:", err)
+		pprof.StopCPUProfile() // flush the profile even on the error path
 		os.Exit(1)
 	}
 }

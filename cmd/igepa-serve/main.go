@@ -62,6 +62,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -103,6 +104,7 @@ type config struct {
 	flush      time.Duration
 	queueDepth int
 	replay     bool
+	pprof      bool
 
 	// durability (-listen mode)
 	wal             string
@@ -137,6 +139,7 @@ func main() {
 	flag.DurationVar(&cfg.flush, "flush", 0, "listen: micro-batch flush deadline (0 = default)")
 	flag.IntVar(&cfg.queueDepth, "queue", 0, "listen: bounded queue depth (0 = default)")
 	flag.BoolVar(&cfg.replay, "replay", false, "listen: deterministic replay dispatcher (batch-by-count, no deadlines)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "listen: expose net/http/pprof handlers under /debug/pprof/")
 	flag.BoolVar(&cfg.arrivalsPartial, "arrivals-partial", false, "tolerate a truncated arrival log: replay the valid prefix and warn")
 	flag.StringVar(&cfg.wal, "wal", "", "listen: write-ahead log path (crash-safe serving + warm boot)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "interval", "listen: WAL fsync policy: always, interval or off")
@@ -252,7 +255,7 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 	}
 	fmt.Fprintf(w, "igepa-serve: %s mode on %s%s — |V|=%d |U|=%d S=%d (POST /v1/bid, /v1/cancel; GET /v1/assignment, /v1/load, /healthz, /readyz, /statsz)\n",
 		mode, ln.Addr(), role, in.NumEvents(), in.NumUsers(), s)
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: withPprof(srv, cfg.pprof)}
 	served := make(chan struct{})
 	shutdownDone := make(chan struct{})
 	go func() {
@@ -281,6 +284,24 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 		return err
 	}
 	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in front
+// of the serving handler when enabled. Registered explicitly on a private
+// mux (not the import side effect on http.DefaultServeMux) so profiling is
+// opt-in per process and never leaks onto other servers in tests.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func parseShards(list string) ([]int, error) {

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +58,7 @@ type config struct {
 	flush      time.Duration
 	queueDepth int
 	freeze     time.Duration
+	pprof      bool
 
 	wal             string
 	walSync         string
@@ -82,6 +84,7 @@ func main() {
 	flag.DurationVar(&cfg.flush, "flush", 0, "micro-batch flush deadline (0 = default)")
 	flag.IntVar(&cfg.queueDepth, "queue", 0, "bounded queue depth (0 = default)")
 	flag.DurationVar(&cfg.freeze, "freeze-timeout", 0, "wire-renewal freeze watchdog (0 = default)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	flag.StringVar(&cfg.wal, "wal", "", "write-ahead log path (crash-safe serving + warm boot)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "interval", "WAL fsync policy: always, interval or off")
 	flag.DurationVar(&cfg.walSyncInterval, "wal-sync-interval", 0, "background fsync period under -wal-sync interval (0 = default)")
@@ -144,7 +147,7 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 	defer srv.Close()
 	fmt.Fprintf(w, "igepa-shardd: shard %d/%d on %s — |V|=%d |U|=%d (router drives /cluster/*; /v1 serves owned users)\n",
 		cfg.index, cfg.cluster, ln.Addr(), in.NumEvents(), in.NumUsers())
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: withPprof(srv, cfg.pprof)}
 	served := make(chan struct{})
 	shutdownDone := make(chan struct{})
 	go func() {
@@ -173,6 +176,23 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 		return err
 	}
 	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in front
+// of the shard handler when enabled (explicit registration on a private mux,
+// not the DefaultServeMux import side effect).
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func makeInstance(cfg config) (*igepa.Instance, error) {

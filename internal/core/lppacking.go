@@ -95,6 +95,23 @@ type Options struct {
 	// randomness comes from xrand.NewStream(Seed, u), never from a shared
 	// stream, and all parallel writes go to caller-owned per-user slots.
 	Workers int
+	// LP carries the revised-simplex tuning knobs (pricing rules, cadence,
+	// parallel thresholds, phase timers) for every solver this package
+	// creates: the auto-selected LPPacking backend and the incremental
+	// Planner's persistent solver. The zero value keeps all defaults, and
+	// LP.Workers == 0 inherits Options.Workers, so existing callers are
+	// unaffected. Ignored when Options.Solver overrides the backend.
+	LP lp.Revised
+}
+
+// lpConfig resolves the solver configuration: the LP knobs with the
+// top-level Workers bound as the pool default.
+func (opt *Options) lpConfig() lp.Revised {
+	cfg := opt.LP
+	if cfg.Workers == 0 {
+		cfg.Workers = opt.Workers
+	}
+	return cfg
 }
 
 // Result carries the arrangement plus the diagnostics a downstream user
@@ -150,7 +167,7 @@ func LPPacking(in *model.Instance, opt Options) (*Result, error) {
 	if opt.Presolve {
 		sol, pre, err = solvePresolved(prob, opt)
 	} else if opt.Solver == nil {
-		sol, err = lp.SolveWorkers(prob, opt.Workers)
+		sol, err = lp.SolveConfig(prob, opt.lpConfig())
 	} else {
 		sol, err = opt.Solver.Solve(prob)
 	}
@@ -193,7 +210,7 @@ func solvePresolved(prob *lp.Problem, opt Options) (*lp.Solution, presolveInfo, 
 	}
 	var sol *lp.Solution
 	if opt.Solver == nil {
-		sol, err = lp.SolveWorkers(ps.Problem, opt.Workers)
+		sol, err = lp.SolveConfig(ps.Problem, opt.lpConfig())
 	} else {
 		sol, err = opt.Solver.Solve(ps.Problem)
 	}

@@ -133,7 +133,7 @@ func NewPlanner(in *model.Instance, opt Options) (*Planner, error) {
 		opt:       opt,
 		conf:      conflict.FromFunc(in.NumEvents(), in.Conflicts),
 		truncated: make([]bool, in.NumUsers()),
-		solver:    lp.NewSolver(lp.Revised{Workers: opt.Workers}),
+		solver:    lp.NewSolver(opt.lpConfig()),
 	}
 	if opt.Repair == RepairByIndex {
 		// the incremental rounding path re-samples exactly the users whose

@@ -43,6 +43,9 @@ func releaseState(st *revisedState) {
 		st.basisCols[i] = spCol{}
 	}
 	st.xOut, st.yOut = nil, nil
+	// The timer sink belongs to the releasing Solver's config; a recycled
+	// state must not keep accumulating into (or pinning) it.
+	st.timers = nil
 	v, _ := statePools.LoadOrStore(st.m, &sync.Pool{})
 	v.(*sync.Pool).Put(st)
 }

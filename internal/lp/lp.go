@@ -261,10 +261,22 @@ func Solve(p *Problem) (*Solution, error) {
 // it). The solver-selection rule lives only here, so every caller — with or
 // without a worker preference — picks the same solver for the same problem.
 func SolveWorkers(p *Problem, workers int) (*Solution, error) {
+	return SolveConfig(p, Revised{Workers: workers})
+}
+
+// SolveConfig is Solve with the full set of revised-simplex tuning knobs,
+// for callers that thread a solver configuration through their own options
+// (internal/core, internal/shard). The dense-tableau shortcut for small
+// problems still applies — cfg only shapes the revised solver — so the
+// selection rule stays in one place.
+func SolveConfig(p *Problem, cfg Revised) (*Solution, error) {
 	if p.NumRows <= denseRowLimit && p.NumCols() <= 4*denseRowLimit {
+		if err := cfg.validate(); err != nil {
+			return nil, err // knobs are checked even when the dense path runs
+		}
 		return (&Dense{}).Solve(p)
 	}
-	return (&Revised{Workers: workers}).Solve(p)
+	return cfg.Solve(p)
 }
 
 // Verify certifies that sol is an optimal solution of p within tolerance

@@ -3,6 +3,7 @@ package lp
 import (
 	"math"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"github.com/ebsn/igepa/internal/xrand"
@@ -359,14 +360,31 @@ func TestRevisedDevexWorkerInvariance(t *testing.T) {
 		return sol
 	}
 	ref := solve(1)
-	for _, workers := range []int{2, 4, 7} {
-		got := solve(workers)
+	check := func(label string, workers int, got *Solution) {
+		t.Helper()
 		if got.Objective != ref.Objective || got.Iterations != ref.Iterations {
-			t.Fatalf("workers=%d: objective/iterations %v/%d, want %v/%d",
-				workers, got.Objective, got.Iterations, ref.Objective, ref.Iterations)
+			t.Fatalf("%s workers=%d: objective/iterations %v/%d, want %v/%d",
+				label, workers, got.Objective, got.Iterations, ref.Objective, ref.Iterations)
 		}
 		if !reflect.DeepEqual(got.X, ref.X) || !reflect.DeepEqual(got.Y, ref.Y) {
-			t.Fatalf("workers=%d: solution vectors differ", workers)
+			t.Fatalf("%s workers=%d: solution vectors differ", label, workers)
 		}
+	}
+	for _, workers := range []int{2, 4, 7, runtime.GOMAXPROCS(0)} {
+		check("pooled-devex", workers, solve(workers))
+	}
+
+	// Force the level-scheduled LU solves on this tiny basis as well (the
+	// default thresholds keep them sequential here) and require the same
+	// solutions: the sequential reference above sits on the other side of
+	// the parallel/sequential threshold boundary, so this pins both the
+	// worker invariance of the level solves and the boundary itself.
+	oldRows, oldRHS, oldGrain := luParallelMinRows, luParallelMinRHS, luLevelGrain
+	luParallelMinRows, luParallelMinRHS, luLevelGrain = 1, 1, 1
+	defer func() {
+		luParallelMinRows, luParallelMinRHS, luLevelGrain = oldRows, oldRHS, oldGrain
+	}()
+	for _, workers := range []int{1, 2, 4, 7, runtime.GOMAXPROCS(0)} {
+		check("level-lu", workers, solve(workers))
 	}
 }

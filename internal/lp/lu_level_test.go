@@ -1,0 +1,272 @@
+package lp
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/ebsn/igepa/internal/xrand"
+)
+
+// forceLevelGrain shrinks the level-solve chunk grain so tiny bases split
+// into many chunks per level, exercising the pooled path where the default
+// grain would keep everything inline. Restored via t.Cleanup.
+func forceLevelGrain(t *testing.T, grain int) {
+	t.Helper()
+	old := luLevelGrain
+	luLevelGrain = grain
+	t.Cleanup(func() { luLevelGrain = old })
+}
+
+// bitEq fails unless got and want are bitwise identical (NaN-free data, so
+// plain == is the right comparison — the level solves promise bit-identity,
+// not just small error).
+func bitEq(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: index %d: got %v (bits %x) want %v (bits %x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// checkLevelAgainstSequential factorizes cols once and verifies that the
+// level-scheduled solves reproduce the sequential solves bit-for-bit on the
+// given right-hand sides, for several worker counts, and that the shared
+// work vector comes back zeroed.
+func checkLevelAgainstSequential(t *testing.T, m int, cols []Column, rhsRows []int32, rhsVals []float64, c []float64) {
+	t.Helper()
+	f, err := luFactorize(m, cols)
+	if err != nil {
+		t.Fatalf("factorize: %v", err)
+	}
+	work := make([]float64, m)
+	wantB := make([]float64, m)
+	f.solveB(rhsRows, rhsVals, wantB, work)
+	wantBT := make([]float64, m)
+	f.solveBT(c, wantBT, work)
+	for _, workers := range []int{1, 2, 4, 7, runtime.GOMAXPROCS(0)} {
+		gotB := make([]float64, m)
+		f.solveBLevel(rhsRows, rhsVals, gotB, work, workers)
+		bitEq(t, "solveBLevel", gotB, wantB)
+		gotBT := make([]float64, m)
+		f.solveBTLevel(c, gotBT, work, workers)
+		bitEq(t, "solveBTLevel", gotBT, wantBT)
+		for i, v := range work {
+			if v != 0 {
+				t.Fatalf("workers=%d: work vector not restored to zero at %d: %v", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestLULevelSolveMatchesSequentialRandom(t *testing.T) {
+	forceLevelGrain(t, 1)
+	rng := xrand.New(4242)
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(80)
+		cols := randomBasisLike(rng, m)
+		if _, err := luFactorize(m, cols); err != nil {
+			continue // rare singular draw; skip
+		}
+		// dense RHS (the recomputeXB/refactorize shape) …
+		rows := make([]int32, m)
+		vals := make([]float64, m)
+		c := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = int32(i)
+			vals[i] = rng.Float64()*4 - 2
+			c[i] = rng.Float64()*4 - 2
+		}
+		checkLevelAgainstSequential(t, m, cols, rows, vals, c)
+		// … and a sparse RHS with duplicate rows (the ftran shape; the
+		// scatter must accumulate duplicates in input order on both paths).
+		k := 1 + rng.Intn(4)
+		sRows := make([]int32, k+1)
+		sVals := make([]float64, k+1)
+		for i := 0; i < k; i++ {
+			sRows[i] = int32(rng.Intn(m))
+			sVals[i] = rng.Float64()*2 - 1
+		}
+		sRows[k] = sRows[0] // deliberate duplicate
+		sVals[k] = 0.25
+		checkLevelAgainstSequential(t, m, cols, sRows, sVals, c)
+	}
+}
+
+// TestLULevelSolveDegenerateSchedules pins the schedule's extreme shapes:
+// one wide level (identity: every step is independent), m singleton levels
+// (a dense chain: every step depends on the previous), and fully dense
+// columns (maximum fill: the factors carry ~m²/2 nonzeros).
+func TestLULevelSolveDegenerateSchedules(t *testing.T) {
+	forceLevelGrain(t, 1)
+	rng := xrand.New(7)
+
+	t.Run("identity_one_wide_level", func(t *testing.T) {
+		m := 37
+		cols := make([]Column, m)
+		for j := range cols {
+			cols[j] = Column{Rows: []int{j}, Vals: []float64{1 + rng.Float64()}}
+		}
+		rows, vals, c := denseRHS(rng, m)
+		checkLevelAgainstSequential(t, m, cols, rows, vals, c)
+		f, _ := luFactorize(m, cols)
+		f.buildSchedule()
+		if levels := len(f.levLPtr) - 1; levels != 1 {
+			t.Fatalf("identity L schedule has %d levels, want 1", levels)
+		}
+	})
+
+	t.Run("chain_singleton_levels", func(t *testing.T) {
+		// lower bidiagonal: column j covers rows j and j+1 → L is a chain,
+		// every forward level has exactly one step.
+		m := 33
+		cols := make([]Column, m)
+		for j := 0; j < m; j++ {
+			if j == m-1 {
+				cols[j] = Column{Rows: []int{j}, Vals: []float64{2}}
+				continue
+			}
+			cols[j] = Column{Rows: []int{j, j + 1}, Vals: []float64{2, -1}}
+		}
+		rows, vals, c := denseRHS(rng, m)
+		checkLevelAgainstSequential(t, m, cols, rows, vals, c)
+		// The fill-reducing column order eliminates the trailing singleton
+		// first, so the chain factors into m−1 dependent steps: the schedule
+		// must be deeply serial (≥ m−1 levels) with near-singleton widths.
+		f, _ := luFactorize(m, cols)
+		f.buildSchedule()
+		levels := len(f.levLPtr) - 1
+		if levels < m-1 {
+			t.Fatalf("chain L schedule has %d levels, want ≥ %d (serial chain)", levels, m-1)
+		}
+		for l := 0; l < levels; l++ {
+			if w := f.levLPtr[l+1] - f.levLPtr[l]; w > 2 {
+				t.Fatalf("chain level %d has width %d, want ≤ 2", l, w)
+			}
+		}
+	})
+
+	t.Run("fully_dense_columns", func(t *testing.T) {
+		m := 24
+		cols := make([]Column, m)
+		for j := range cols {
+			col := Column{Rows: make([]int, m), Vals: make([]float64, m)}
+			for i := 0; i < m; i++ {
+				col.Rows[i] = i
+				col.Vals[i] = rng.Float64()*2 - 1
+				if i == j {
+					col.Vals[i] += float64(m) // diagonal dominance: nonsingular
+				}
+			}
+			cols[j] = col
+		}
+		rows, vals, c := denseRHS(rng, m)
+		checkLevelAgainstSequential(t, m, cols, rows, vals, c)
+	})
+
+	t.Run("m_equals_1", func(t *testing.T) {
+		cols := []Column{{Rows: []int{0}, Vals: []float64{3}}}
+		checkLevelAgainstSequential(t, 1, cols, []int32{0}, []float64{5}, []float64{2})
+	})
+}
+
+func denseRHS(rng *xrand.RNG, m int) ([]int32, []float64, []float64) {
+	rows := make([]int32, m)
+	vals := make([]float64, m)
+	c := make([]float64, m)
+	for i := 0; i < m; i++ {
+		rows[i] = int32(i)
+		vals[i] = rng.Float64()*4 - 2
+		c[i] = rng.Float64()*4 - 2
+	}
+	return rows, vals, c
+}
+
+// TestLUScheduleRebuiltAfterRefactorize guards the staleness contract:
+// factorize invalidates the lazily built schedule, so a level solve after an
+// in-place refactorization must match the fresh sequential solve, not the
+// old factors'.
+func TestLUScheduleRebuiltAfterRefactorize(t *testing.T) {
+	forceLevelGrain(t, 1)
+	rng := xrand.New(11)
+	m := 40
+	colsA := randomBasisLike(rng, m)
+	f, err := luFactorize(m, colsA)
+	if err != nil {
+		t.Fatalf("factorize A: %v", err)
+	}
+	rows, vals, c := denseRHS(rng, m)
+	work := make([]float64, m)
+	out := make([]float64, m)
+	f.solveBLevel(rows, vals, out, work, 4) // builds the schedule for A
+
+	// refactorize the same struct with a different matrix
+	var colsB []Column
+	for {
+		colsB = randomBasisLike(rng, m)
+		sp := make([]spCol, m)
+		for j := range colsB {
+			r32 := make([]int32, len(colsB[j].Rows))
+			for k, r := range colsB[j].Rows {
+				r32[k] = int32(r)
+			}
+			sp[j] = spCol{rows: r32, vals: colsB[j].Vals}
+		}
+		if f.factorize(m, sp) == nil {
+			break
+		}
+	}
+	want := make([]float64, m)
+	f.solveB(rows, vals, want, work)
+	got := make([]float64, m)
+	f.solveBLevel(rows, vals, got, work, 4)
+	bitEq(t, "post-refactorize solveBLevel", got, want)
+
+	wantT := make([]float64, m)
+	f.solveBT(c, wantT, work)
+	gotT := make([]float64, m)
+	f.solveBTLevel(c, gotT, work, 4)
+	bitEq(t, "post-refactorize solveBTLevel", gotT, wantT)
+}
+
+// BenchmarkLULevelSolve compares the sequential and level-scheduled
+// triangular solve pairs on a basis-like matrix with a dense RHS — the
+// BTRAN/recomputeXB shape that dominates the solver's solve time share.
+func BenchmarkLULevelSolve(b *testing.B) {
+	rng := xrand.New(123)
+	m := 4096
+	var f *luFactors
+	var cols []Column
+	for {
+		cols = randomBasisLike(rng, m)
+		var err error
+		if f, err = luFactorize(m, cols); err == nil {
+			break
+		}
+	}
+	rows := make([]int32, m)
+	vals := make([]float64, m)
+	c := make([]float64, m)
+	for i := 0; i < m; i++ {
+		rows[i] = int32(i)
+		vals[i] = rng.Float64()*4 - 2
+		c[i] = rng.Float64()*4 - 2
+	}
+	work := make([]float64, m)
+	out := make([]float64, m)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.solveB(rows, vals, out, work)
+			f.solveBT(c, out, work)
+		}
+	})
+	b.Run("level", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			f.solveBLevel(rows, vals, out, work, workers)
+			f.solveBTLevel(c, out, work, workers)
+		}
+	})
+}

@@ -288,7 +288,10 @@ func TestResolveValidation(t *testing.T) {
 
 // TestResolveWorkerInvariance pins that the warm path, like the cold one, is
 // bit-identical for every worker count (forced Devex so the pooled pricing
-// passes really run).
+// passes really run). The whole test also runs with the level-scheduled LU
+// solves and a tiny dual-pricing block width forced on, so the dual repair's
+// pooled ratio test must merge winners across many blocks identically for
+// every pool size, under both leaving rules.
 func TestResolveWorkerInvariance(t *testing.T) {
 	rng := xrand.New(61)
 	p := randomPacking(rng, 200, 40, 6)
@@ -302,26 +305,73 @@ func TestResolveWorkerInvariance(t *testing.T) {
 		d.AddC = append(d.AddC, rng.Float64())
 	}
 	d.SetB = append(d.SetB, BoundChange{Row: 205, B: p.B[205] + 1})
+	// shrink a few capacities so dual repair really pivots
+	d.SetB = append(d.SetB,
+		BoundChange{Row: 210, B: 0},
+		BoundChange{Row: 215, B: math.Max(0, p.B[215]-2)})
 
-	run := func(workers int) *Solution {
-		s := NewSolver(Revised{Pricing: "devex", Workers: workers, ParallelThreshold: 1})
+	run := func(workers int, dual string) *Solution {
+		s := NewSolver(Revised{
+			Pricing: "devex", DualPricing: dual,
+			Workers: workers, ParallelThreshold: 1,
+		})
 		if _, err := s.Solve(p); err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d dual=%s: %v", workers, dual, err)
 		}
 		sol, err := s.Resolve(d)
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d dual=%s: %v", workers, dual, err)
 		}
 		s.Release()
 		return sol
 	}
-	ref := run(1)
-	for _, workers := range []int{2, 4, 7} {
-		got := run(workers)
-		if got.Objective != ref.Objective || got.Iterations != ref.Iterations ||
-			!reflect.DeepEqual(got.X, ref.X) || !reflect.DeepEqual(got.Y, ref.Y) {
-			t.Fatalf("workers=%d: warm resolve differs from workers=1", workers)
+	suite := func(t *testing.T) {
+		for _, dual := range []string{"dse", "maxinfeas"} {
+			ref := run(1, dual)
+			for _, workers := range []int{2, 4, 7} {
+				got := run(workers, dual)
+				if got.Objective != ref.Objective || got.Iterations != ref.Iterations ||
+					!reflect.DeepEqual(got.X, ref.X) || !reflect.DeepEqual(got.Y, ref.Y) {
+					t.Fatalf("workers=%d dual=%s: warm resolve differs from workers=1", workers, dual)
+				}
+			}
 		}
+	}
+	t.Run("default_thresholds", suite)
+	t.Run("forced_parallel_kernels", func(t *testing.T) {
+		oldRows, oldRHS, oldGrain, oldBlock := luParallelMinRows, luParallelMinRHS, luLevelGrain, dualPriceBlock
+		luParallelMinRows, luParallelMinRHS, luLevelGrain, dualPriceBlock = 1, 1, 1, 16
+		defer func() {
+			luParallelMinRows, luParallelMinRHS, luLevelGrain, dualPriceBlock = oldRows, oldRHS, oldGrain, oldBlock
+		}()
+		suite(t)
+	})
+}
+
+// TestResolveRefactorEveryOne drives a warm-resolve chain at the degenerate
+// refactorization cadence — a fresh LU (and, under dse, a fresh steepest-
+// edge reference framework) after every single pivot — so the level
+// schedule's rebuild-after-factorize path and the repair's mid-loop reset
+// run constantly. Correctness must be unaffected.
+func TestResolveRefactorEveryOne(t *testing.T) {
+	rng := xrand.New(53)
+	p := randomPacking(rng, 60, 15, 5)
+	for _, dual := range []string{"dse", "maxinfeas"} {
+		s := NewSolver(Revised{RefactorEvery: 1, Pricing: "devex", DualPricing: dual})
+		if _, err := s.Solve(p); err != nil {
+			t.Fatalf("dual=%s: %v", dual, err)
+		}
+		for round := 0; round < 4; round++ {
+			n := s.Problem().NumCols()
+			d := ProblemDelta{
+				SetB:       []BoundChange{{Row: 60 + rng.Intn(15), B: float64(rng.Intn(4))}},
+				RemoveCols: []int{rng.Intn(n)},
+			}
+			d.AddCols = []Column{{Rows: []int{rng.Intn(60), 60 + rng.Intn(15)}, Vals: []float64{1, 1}}}
+			d.AddC = []float64{rng.Float64()}
+			requireResolveMatchesCold(t, "refactor-every-1/"+dual, s, d, resolveTol)
+		}
+		s.Release()
 	}
 }
 
@@ -336,7 +386,19 @@ func FuzzResolve(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, steps uint8) {
 		rng := xrand.New(seed)
 		p := randomPacking(rng, 3+rng.Intn(25), 2+rng.Intn(8), 4)
-		s := NewSolver(Revised{})
+		// Rotate the solver knobs through the fuzzed space too: legacy dual
+		// pricing, per-pivot refactorization, and the pooled kernels.
+		var cfg Revised
+		switch rng.Intn(4) {
+		case 1:
+			cfg.DualPricing = "maxinfeas"
+		case 2:
+			cfg.RefactorEvery = 1
+		case 3:
+			cfg.Workers = 2
+			cfg.ParallelThreshold = 1
+		}
+		s := NewSolver(cfg)
 		if _, err := s.Solve(p); err != nil {
 			t.Fatal(err)
 		}

@@ -36,6 +36,12 @@ type Revised struct {
 	// Pricing selects the pricing rule: "devex", "dantzig", or ""/"auto"
 	// (Devex up to DevexColumnLimit columns, Dantzig beyond).
 	Pricing string
+	// DualPricing selects the leaving-row rule for the warm-start dual
+	// repair phase: "dse" (dual steepest-edge — positional norms steer
+	// repair away from degenerate zigzags, usually far fewer pivots) or
+	// "maxinfeas" (most negative basic value, the classic Dantzig-style
+	// rule). ""/"auto" means "dse".
+	DualPricing string
 	// PricingWindow is the number of columns scanned per iteration under
 	// partial Dantzig pricing before falling back to a full pass.
 	// 0 means 4096.
@@ -54,6 +60,13 @@ type Revised struct {
 	Trace io.Writer
 	// TraceEvery sets the trace granularity; 0 means 5000.
 	TraceEvery int
+	// Timers, when non-nil, accumulates per-phase wall time (FTRAN, BTRAN,
+	// pricing, Devex update, refactorization) and pivot counts across every
+	// solve run with this config. Timing is sampled at the kernel leaves so
+	// the phases are disjoint; a nil Timers costs a predicted-not-taken
+	// branch per kernel call. Not synchronized: meaningful only when the
+	// config drives one solve at a time.
+	Timers *PhaseTimers
 	// NoPerturb disables the default anti-degeneracy RHS perturbation.
 	//
 	// The benchmark LP is massively degenerate (thousands of identical
@@ -113,6 +126,9 @@ type eta struct {
 
 // Solve runs the revised primal simplex on p from the all-slack basis.
 func (s *Revised) Solve(p *Problem) (*Solution, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
@@ -172,6 +188,23 @@ func (s *Revised) selectDevex(m, n int) (bool, error) {
 	}
 }
 
+// configure binds the config-derived per-solve state: the worker-pool bound
+// and the phase-timer sink. Shared by the pivot loop and Solver.Resolve's
+// dual-repair prologue, which runs before pivot and must see the same pool
+// — a repair on stale workers would take different (still correct, but not
+// the configured) parallel paths.
+func (s *Revised) configure(st *revisedState) {
+	st.timers = s.Timers
+	st.workers = par.Workers(s.Workers)
+	parallelThreshold := s.ParallelThreshold
+	if parallelThreshold <= 0 {
+		parallelThreshold = devexParallelThreshold
+	}
+	if st.workers > 1 && st.n+st.m < parallelThreshold {
+		st.workers = 1
+	}
+}
+
 // pivot runs the simplex loop from st's current basis, which must already be
 // factorized and primal feasible. With warm == false the Devex reference
 // framework is reset (the cold, all-slack start); with warm == true any
@@ -196,14 +229,7 @@ func (s *Revised) pivot(st *revisedState, warm bool) (*Solution, error) {
 		return nil, err
 	}
 
-	st.workers = par.Workers(s.Workers)
-	parallelThreshold := s.ParallelThreshold
-	if parallelThreshold <= 0 {
-		parallelThreshold = devexParallelThreshold
-	}
-	if st.workers > 1 && n+m < parallelThreshold {
-		st.workers = 1
-	}
+	s.configure(st)
 	if devex {
 		st.initDevex(warm)
 	}
@@ -310,6 +336,7 @@ func (s *Revised) pivot(st *revisedState, warm bool) (*Solution, error) {
 		st.posOf[q] = r
 		st.cB[r] = st.objCoef(q)
 		st.pushEta(r)
+		st.timers.pivotDone()
 
 		if len(st.etas) >= refactorEvery {
 			if err := st.refactorize(); err != nil {
@@ -357,6 +384,17 @@ type revisedState struct {
 	// chunk-argmax scratch for the parallel pricing pass
 	chunkBest  []int
 	chunkScore []float64
+
+	// dual-repair state: steepest-edge row norms (positional, reset to the
+	// unit reference framework at repair entry and on mid-repair
+	// refactorization) and per-block winner scratch for the pooled,
+	// cache-blocked dual pricing pass.
+	dseW      []float64
+	dualBest  []int
+	dualRatio []float64
+	dualAlpha []float64
+
+	timers *PhaseTimers // nil unless the config requests phase profiling
 
 	rowSeq []int32   // rowSeq[i] = i: slack column indices and full-rhs rows
 	ones   []float64 // all ones: slack column values
@@ -486,20 +524,58 @@ func (st *revisedState) refactorize() error {
 		rows, vals := st.columnOf(v)
 		st.basisCols[i] = spCol{rows: rows, vals: vals}
 	}
+	t0 := tick(st.timers)
 	if err := st.lu.factorize(st.m, st.basisCols); err != nil {
 		return err
 	}
 	st.etas = st.etas[:0]
 	st.etaIdx = st.etaIdx[:0]
 	st.etaVal = st.etaVal[:0]
-	st.lu.solveB(st.rowSeq, st.b, st.xB, st.work)
+	st.solveB(st.rowSeq, st.b, st.xB)
 	for i := range st.xB {
 		if st.xB[i] < 0 && st.xB[i] > -1e-9 {
 			st.xB[i] = 0
 		}
 		st.cB[i] = st.objCoef(st.basis[i])
 	}
+	st.timers.add(phFactor, t0)
 	return nil
+}
+
+// luParallelMinRows and luParallelMinRHS gate the level-scheduled triangular
+// solves: below luParallelMinRows steps the levels are too thin to amortize
+// handing chunks to the pool, and a right-hand side sparser than
+// luParallelMinRHS nonzeros keeps the sequential push solve, whose work is
+// bounded by the (small) reachable set rather than by m — the pull-form
+// level sweep always touches every factor nonzero. Package variables so the
+// invariance tests can force the parallel paths on tiny bases; the solver
+// never mutates them.
+var (
+	luParallelMinRows = 1024
+	luParallelMinRHS  = 192
+)
+
+// solveB routes d = B⁻¹a through the level-scheduled parallel kernel when
+// the pool and the problem shape warrant it, else the sequential solve. Both
+// paths are bit-identical by construction (see solveBLevel), so crossing the
+// threshold never changes a pivot sequence.
+func (st *revisedState) solveB(rows []int32, vals []float64, out []float64) {
+	if st.workers > 1 && st.m >= luParallelMinRows && len(rows) >= luParallelMinRHS {
+		st.lu.solveBLevel(rows, vals, out, st.work, st.workers)
+	} else {
+		st.lu.solveB(rows, vals, out, st.work)
+	}
+}
+
+// solveBT routes Bᵀy = c like solveB. No RHS-sparsity gate: the transposed
+// sequential solve already sweeps all m steps, so the level version does the
+// same work in parallel.
+func (st *revisedState) solveBT(c, out []float64) {
+	if st.workers > 1 && st.m >= luParallelMinRows {
+		st.lu.solveBTLevel(c, out, st.work, st.workers)
+	} else {
+		st.lu.solveBT(c, out, st.work)
+	}
 }
 
 // recomputeXB refreshes x_B = B⁻¹b and c_B through the existing
@@ -510,7 +586,7 @@ func (st *revisedState) refactorize() error {
 // The round-off hygiene matches refactorize: tiny negative basics clamp to
 // zero.
 func (st *revisedState) recomputeXB() {
-	st.lu.solveB(st.rowSeq, st.b, st.d, st.work)
+	st.solveB(st.rowSeq, st.b, st.d)
 	for _, e := range st.etas {
 		xr := st.d[e.r] / e.dr
 		st.d[e.r] = xr
@@ -533,8 +609,9 @@ func (st *revisedState) recomputeXB() {
 
 // ftran computes d = B⁻¹ a_q into st.d.
 func (st *revisedState) ftran(q int) {
+	t0 := tick(st.timers)
 	rows, vals := st.columnOf(q)
-	st.lu.solveB(rows, vals, st.d, st.work)
+	st.solveB(rows, vals, st.d)
 	for _, e := range st.etas {
 		xr := st.d[e.r] / e.dr
 		st.d[e.r] = xr
@@ -546,28 +623,33 @@ func (st *revisedState) ftran(q int) {
 			}
 		}
 	}
+	st.timers.add(phFtran, t0)
 }
 
 // btran computes y = B⁻ᵀ c_B into st.y.
 func (st *revisedState) btran() {
+	t0 := tick(st.timers)
 	z := st.d // reuse as scratch; overwritten by the next ftran
 	copy(z, st.cB)
 	st.applyEtasT(z)
-	st.lu.solveBT(z, st.y, st.work)
+	st.solveBT(z, st.y)
+	st.timers.add(phBtran, t0)
 }
 
 // btranUnit computes β = B⁻ᵀ e_r (row r of the basis inverse) into st.beta.
 func (st *revisedState) btranUnit(r int) {
+	t0 := tick(st.timers)
 	if st.beta == nil {
 		st.beta = make([]float64, st.m)
 	}
 	z := st.work2()
 	z[r] = 1
 	st.applyEtasT(z)
-	st.lu.solveBT(z, st.beta, st.work)
+	st.solveBT(z, st.beta)
 	for i := range z {
 		z[i] = 0
 	}
+	st.timers.add(phBtran, t0)
 }
 
 // work2 returns a second zeroed scratch vector of length m.
@@ -652,6 +734,7 @@ func (st *revisedState) refreshReducedCosts() {
 		}
 	}
 	reset := maxW > 1e8 || maxW == 0
+	t0 := tick(st.timers)
 	par.Ranges(st.workers, st.n+st.m, devexGrain, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			if st.posOf[j] >= 0 {
@@ -664,6 +747,7 @@ func (st *revisedState) refreshReducedCosts() {
 			}
 		}
 	})
+	st.timers.add(phPricing, t0)
 }
 
 // priceDevex selects the entering variable maximizing r²/weight over
@@ -672,6 +756,8 @@ func (st *revisedState) refreshReducedCosts() {
 // chunk results combine to exactly the sequential first-strict-maximum, so
 // the selected column does not depend on the worker count.
 func (st *revisedState) priceDevex() int {
+	t0 := tick(st.timers)
+	defer st.timers.add(phPricing, t0)
 	total := st.n + st.m
 	// Solve already forces workers to 1 below the parallel threshold.
 	if st.workers <= 1 {
@@ -735,7 +821,9 @@ func (st *revisedState) priceDevex() int {
 // over the worker pool; each column's arithmetic is self-contained, so the
 // result is identical for every worker count.
 func (st *revisedState) updateDevex(q, r int) {
-	st.btranUnit(r)
+	st.btranUnit(r) // times itself as phBtran; the column pass below is phUpdate
+	t0 := tick(st.timers)
+	defer st.timers.add(phUpdate, t0)
 	alphaQ := st.d[r] // pivot element
 	if alphaQ == 0 {
 		return // cannot happen for a legal pivot; guard anyway
@@ -798,26 +886,65 @@ const (
 	repairSingular
 )
 
+// dualPriceBlock is the fixed column-block width of the pooled dual pricing
+// pass. The dual ratio test's tolerance-band comparisons are not
+// associative, so the block decomposition is part of the deterministic
+// spec: per-block winners (computed by the sequential fold within each
+// block) merge in ascending block order under the same comparison, and both
+// the 1-worker and pooled paths run exactly this structure — the selected
+// column depends on the block width but never on the worker count. A
+// package variable so tests can shrink it to force multi-block merges on
+// small problems; the solver never mutates it.
+var dualPriceBlock = 8192
+
 // dualRepair restores primal feasibility after a warm-start delta changed
 // the right-hand side (or a removed basic column was substituted by a
-// slack), using dual simplex pivots: pick the most negative basic value,
-// price its pivot row, and bring in the entering variable that keeps the
-// reduced costs non-positive. Starting from a (near-)optimal basis the dual
-// values are feasible, so each pivot strictly improves the dual objective
-// and the loop converges in a handful of pivots for a small delta — the
-// reason warm re-solves beat cold ones. Returns the pivot count and how the
-// phase ended; on anything but repairOK the caller falls back to a cold
-// solve, so repair failure costs correctness nothing.
-func (st *revisedState) dualRepair(maxPivots, refactorEvery int) (int, dualRepairResult) {
+// slack), using dual simplex pivots: pick a primal-infeasible row, price its
+// pivot row, and bring in the entering variable that keeps the reduced costs
+// non-positive. Starting from a (near-)optimal basis the dual values are
+// feasible, so each pivot strictly improves the dual objective and the loop
+// converges in a handful of pivots for a small delta — the reason warm
+// re-solves beat cold ones.
+//
+// The leaving rule is dual steepest-edge when dse is set: maximize
+// xB[r]²/w[r] where w[r] approximates ‖B⁻ᵀe_r‖², maintained by a
+// Forrest–Goldfarb-style update from the FTRAN column each pivot and reset
+// to the unit reference framework at entry and on mid-repair
+// refactorization. Normalizing by the row norm picks the row whose
+// infeasibility is large in the geometry of the dual step, not merely in
+// raw units — on degenerate bases the un-normalized most-negative rule
+// (dse == false, kept as the "maxinfeas" knob) repeatedly drains
+// near-parallel rows and needs far more pivots for large deltas.
+//
+// Returns the pivot count and how the phase ended; on anything but repairOK
+// the caller falls back to a cold solve, so repair failure costs
+// correctness nothing.
+func (st *revisedState) dualRepair(maxPivots, refactorEvery int, dse bool) (int, dualRepairResult) {
+	if dse {
+		st.dseW = resizeF(st.dseW, st.m)
+		for i := range st.dseW {
+			st.dseW[i] = 1
+		}
+	}
 	for pivots := 0; ; pivots++ {
-		// leaving row: most negative basic value (deterministic tie-break on
-		// basis position)
+		// Leaving row. Both rules break ties on the lowest basis position
+		// (strict improvement required), so the choice is deterministic.
 		r := -1
-		worst := -warmFeasTol
-		for i, x := range st.xB {
-			if x < worst {
-				worst = x
-				r = i
+		if dse {
+			best := 0.0
+			for i, x := range st.xB {
+				if x < -warmFeasTol {
+					if score := x * x / st.dseW[i]; score > best {
+						best, r = score, i
+					}
+				}
+			}
+		} else {
+			worst := -warmFeasTol
+			for i, x := range st.xB {
+				if x < worst {
+					worst, r = x, i
+				}
 			}
 		}
 		if r < 0 {
@@ -838,36 +965,7 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int) (int, dualRepai
 		// reduced costs via one BTRAN
 		st.btran() // y = B⁻ᵀc_B (st.d is scratch here, reloaded below)
 		st.btranUnit(r)
-		beta := st.beta
-		q := -1
-		var bestRatio, bestAlpha float64
-		total := st.n + st.m
-		for j := 0; j < total; j++ {
-			if st.posOf[j] >= 0 {
-				continue
-			}
-			var alpha float64
-			if j < st.n {
-				lo, hi := st.p.ColPtr[j], st.p.ColPtr[j+1]
-				for k := lo; k < hi; k++ {
-					alpha += beta[st.p.Rows[k]] * st.p.Vals[k]
-				}
-			} else {
-				alpha = beta[j-st.n]
-			}
-			if alpha >= -pivotTol {
-				continue
-			}
-			red := st.reducedCost(j)
-			if red > 0 {
-				red = 0 // dual-infeasible stragglers: treat as boundary
-			}
-			ratio := red / alpha // ≥ 0
-			if q < 0 || ratio < bestRatio-pivotTol ||
-				(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
-				q, bestRatio, bestAlpha = j, ratio, alpha
-			}
-		}
+		q := st.priceDual()
 		if q < 0 {
 			return pivots, repairStalled
 		}
@@ -877,6 +975,29 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int) (int, dualRepai
 		if dr > -pivotTol {
 			// pivot row disagrees with its priced α: bail out
 			return pivots, repairStalled
+		}
+		if dse {
+			// Forrest–Goldfarb-style steepest-edge update from the FTRAN
+			// column d = B⁻¹a_q, before the basis changes: position i's norm
+			// grows by its share of the pivot row, and the pivot row's norm
+			// rescales by 1/dr². The max() guards keep the approximation a
+			// valid upper-bound reference (weights never collapse below the
+			// framework), the standard safeguard for Devex-style updates.
+			wr := st.dseW[r]
+			invDr := 1 / dr
+			for i, v := range st.d {
+				if v != 0 && i != r {
+					t := v * invDr
+					if w := t * t * wr; w > st.dseW[i] {
+						st.dseW[i] = w
+					}
+				}
+			}
+			wNew := wr * invDr * invDr
+			if wNew < 1 {
+				wNew = 1
+			}
+			st.dseW[r] = wNew
 		}
 		theta := st.xB[r] / dr // xB[r] < 0, dr < 0 ⇒ θ > 0
 		for i := 0; i < st.m; i++ {
@@ -891,18 +1012,103 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int) (int, dualRepai
 		st.posOf[q] = r
 		st.cB[r] = st.objCoef(q)
 		st.pushEta(r)
+		st.timers.repairPivotDone()
 		if len(st.etas) >= refactorEvery {
 			if st.refactorize() != nil {
 				return pivots, repairSingular
 			}
+			if dse {
+				// fresh reference framework: the norms tracked the old
+				// product-form basis representation
+				for i := range st.dseW {
+					st.dseW[i] = 1
+				}
+			}
 		}
 	}
+}
+
+// priceDual runs the dual ratio test over all nonbasic columns: among
+// columns with pivot-row entry α_j < -pivotTol (computed against st.beta,
+// the BTRAN'd pivot row), pick the one minimizing reducedCost_j/α_j, with a
+// pivotTol tolerance band broken toward the steepest α. The scan is
+// cache-blocked — α_j and the reduced cost come out of one fused pass over
+// the column's nonzeros, so each column's CSC slice is streamed through the
+// cache exactly once per pivot instead of twice — and the fixed-width
+// blocks go to the worker pool; see dualPriceBlock for why the result is
+// worker-count invariant.
+func (st *revisedState) priceDual() int {
+	t0 := tick(st.timers)
+	defer st.timers.add(phPricing, t0)
+	beta, y := st.beta, st.y
+	total := st.n + st.m
+	nBlocks := (total + dualPriceBlock - 1) / dualPriceBlock
+	if cap(st.dualBest) < nBlocks {
+		st.dualBest = make([]int, nBlocks)
+		st.dualRatio = make([]float64, nBlocks)
+		st.dualAlpha = make([]float64, nBlocks)
+	}
+	blockBest := st.dualBest[:nBlocks]
+	blockRatio := st.dualRatio[:nBlocks]
+	blockAlpha := st.dualAlpha[:nBlocks]
+	par.For(st.workers, nBlocks, 1, func(c int) {
+		lo, hi := c*dualPriceBlock, (c+1)*dualPriceBlock
+		if hi > total {
+			hi = total
+		}
+		q := -1
+		var bestRatio, bestAlpha float64
+		for j := lo; j < hi; j++ {
+			if st.posOf[j] >= 0 {
+				continue
+			}
+			var alpha, red float64
+			if j < st.n {
+				red = st.p.C[j]
+				for k := st.p.ColPtr[j]; k < st.p.ColPtr[j+1]; k++ {
+					row, v := st.p.Rows[k], st.p.Vals[k]
+					alpha += beta[row] * v
+					red -= y[row] * v
+				}
+			} else {
+				alpha = beta[j-st.n]
+				red = -y[j-st.n]
+			}
+			if alpha >= -pivotTol {
+				continue
+			}
+			if red > 0 {
+				red = 0 // dual-infeasible stragglers: treat as boundary
+			}
+			ratio := red / alpha // ≥ 0
+			if q < 0 || ratio < bestRatio-pivotTol ||
+				(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
+				q, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		blockBest[c], blockRatio[c], blockAlpha[c] = q, bestRatio, bestAlpha
+	})
+	q := -1
+	var bestRatio, bestAlpha float64
+	for c := 0; c < nBlocks; c++ {
+		if blockBest[c] < 0 {
+			continue
+		}
+		ratio, alpha := blockRatio[c], blockAlpha[c]
+		if q < 0 || ratio < bestRatio-pivotTol ||
+			(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
+			q, bestRatio, bestAlpha = blockBest[c], ratio, alpha
+		}
+	}
+	return q
 }
 
 // pricePartial scans a window of variables starting at cursor and returns
 // the best improving one; if the window has none it widens to a full pass,
 // which also certifies optimality (return -1).
 func (st *revisedState) pricePartial(cursor, window int) (q, next int) {
+	t0 := tick(st.timers)
+	defer st.timers.add(phPricing, t0)
 	total := st.n + st.m
 	best, bestRed := -1, reducedTol
 	scanned := 0
@@ -928,6 +1134,8 @@ func (st *revisedState) pricePartial(cursor, window int) (q, next int) {
 // priceBland returns the lowest-index variable with positive reduced cost
 // (used during anti-cycling episodes).
 func (st *revisedState) priceBland() int {
+	t0 := tick(st.timers)
+	defer st.timers.add(phPricing, t0)
 	for q := 0; q < st.n+st.m; q++ {
 		if st.posOf[q] >= 0 {
 			continue

@@ -204,6 +204,9 @@ func (s *Solver) Problem() *Problem { return s.prob }
 // cold (all-slack basis). The state arena is acquired from the dimension
 // pool on first use and reused afterwards.
 func (s *Solver) Solve(p *Problem) (*Solution, error) {
+	if err := s.Config.validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
@@ -230,6 +233,9 @@ func (s *Solver) Release() {
 func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	if s.prob == nil {
 		return nil, ErrNoProblem
+	}
+	if err := s.Config.validate(); err != nil {
+		return nil, err
 	}
 	s.changedAll = true // cleared only by a successful warm diff
 	oldN := s.prob.NumCols()
@@ -266,6 +272,10 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	newN := s.prob.NumCols()
 	s.remapState(oldN, newN)
 	st.loadRHS(!s.Config.NoPerturb)
+	// Bind the worker pool and timer sink before the repair phase: pivot()
+	// does the same later, but dual repair's solves and pricing pass run
+	// first and must see the configured pool, not the previous solve's.
+	s.Config.configure(st)
 
 	refactorEvery := s.Config.RefactorEvery
 	if refactorEvery <= 0 {
@@ -288,7 +298,7 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	// or basic-column removals; a short dual-simplex phase repairs it in a
 	// few pivots. If the repair stalls, solve cold — correctness never
 	// depends on the warm path.
-	repairPivots, repair := st.dualRepair(4*st.m+16, refactorEvery)
+	repairPivots, repair := st.dualRepair(4*st.m+16, refactorEvery, s.Config.dualDSE())
 	switch repair {
 	case repairSingular:
 		s.stats.FallbackSingular++

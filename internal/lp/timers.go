@@ -1,0 +1,82 @@
+package lp
+
+import "time"
+
+// PhaseTimers accumulates where a solve spends its time, sampled at the
+// kernel leaves so the phases are disjoint: Ftran covers the forward solves
+// (B⁻¹a, including the eta sweep), Btran the transposed solves (duals and
+// pivot rows, including btranUnit), Pricing every entering/leaving scan
+// (Devex, partial Dantzig, Bland and the dual-repair ratio test), Update the
+// Devex reference-weight column pass, and Factor the LU (re)factorizations
+// plus their xB refresh. Pivots counts primal pivots, RepairPivots the dual
+// pivots of warm-start repair.
+//
+// Attach one via Revised.Timers; it keeps accumulating across solves until
+// Reset. Not synchronized — drive one solve at a time per struct. A nil
+// *PhaseTimers is valid everywhere and costs one branch per kernel call.
+type PhaseTimers struct {
+	Ftran, Btran, Pricing, Update, Factor time.Duration
+	Pivots, RepairPivots                  int64
+}
+
+// Reset zeroes all accumulators.
+func (tm *PhaseTimers) Reset() {
+	*tm = PhaseTimers{}
+}
+
+// Total returns the summed phase time (excluding untimed glue such as the
+// ratio test and basis bookkeeping, which are O(m) per pivot and small).
+func (tm *PhaseTimers) Total() time.Duration {
+	return tm.Ftran + tm.Btran + tm.Pricing + tm.Update + tm.Factor
+}
+
+type phase int
+
+const (
+	phFtran phase = iota
+	phBtran
+	phPricing
+	phUpdate
+	phFactor
+)
+
+// tick returns a start timestamp when tm is non-nil, else the zero time —
+// paired with PhaseTimers.add so untimed solves skip the clock read.
+func tick(tm *PhaseTimers) (t0 time.Time) {
+	if tm != nil {
+		t0 = time.Now()
+	}
+	return
+}
+
+// add accumulates the time since t0 into phase p. Valid on a nil receiver.
+func (tm *PhaseTimers) add(p phase, t0 time.Time) {
+	if tm == nil {
+		return
+	}
+	d := time.Since(t0)
+	switch p {
+	case phFtran:
+		tm.Ftran += d
+	case phBtran:
+		tm.Btran += d
+	case phPricing:
+		tm.Pricing += d
+	case phUpdate:
+		tm.Update += d
+	case phFactor:
+		tm.Factor += d
+	}
+}
+
+func (tm *PhaseTimers) pivotDone() {
+	if tm != nil {
+		tm.Pivots++
+	}
+}
+
+func (tm *PhaseTimers) repairPivotDone() {
+	if tm != nil {
+		tm.RepairPivots++
+	}
+}

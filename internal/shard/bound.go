@@ -89,7 +89,10 @@ type BoundStats struct {
 // newBoundTracker clones the instance and cold-solves the initial bound.
 func newBoundTracker(in *model.Instance, s int, opt Options) (*boundTracker, error) {
 	shadow := in.Clone()
-	pl, err := core.NewPlanner(shadow, core.Options{Seed: opt.Seed, Workers: opt.Workers, MaxSetsPerUser: opt.MaxSetsPerUser})
+	pl, err := core.NewPlanner(shadow, core.Options{
+		Seed: opt.Seed, Workers: opt.Workers,
+		MaxSetsPerUser: opt.MaxSetsPerUser, LP: opt.LP,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("shard: live-bound planner: %w", err)
 	}

@@ -185,6 +185,23 @@ type Options struct {
 	// Result.Bound and behind Engine.LiveBound/BoundStats. Costs one warm
 	// LP re-solve plus a delta-scoped re-round per batch.
 	LiveBound bool
+	// LP carries the revised-simplex tuning knobs for the solvers this
+	// engine creates: the LeaseLP split solver and the LiveBound planner's
+	// persistent solver. The zero value keeps the defaults, and LP.Workers
+	// == 0 inherits Options.Workers — existing callers see bit-identical
+	// behavior. Invalid knobs surface as *lp.OptionError from the first
+	// solve they would configure.
+	LP lp.Revised
+}
+
+// lpConfig resolves the engine's LP solver configuration: the LP knobs with
+// the engine's Workers bound as the pool default.
+func (o *Options) lpConfig() lp.Revised {
+	cfg := o.LP
+	if cfg.Workers == 0 {
+		cfg.Workers = o.Workers
+	}
+	return cfg
 }
 
 // Result carries the merged arrangement plus the serving diagnostics.
@@ -542,7 +559,7 @@ func (r *leaseRenewer) renewLP(epoch int) (int, bool) {
 	var err error
 	if !r.lpReady {
 		if r.solver == nil {
-			r.solver = lp.NewSolver(lp.Revised{Workers: r.opt.Workers})
+			r.solver = lp.NewSolver(r.opt.lpConfig())
 		}
 		sol, err = r.solver.Solve(r.buildSplitLP(pool))
 		if err == nil {

@@ -61,17 +61,25 @@ func setColumns(u, numUsers int, sets []admissible.Set, d *lp.ProblemDelta) {
 }
 
 func buildWarmFixture(tb testing.TB) *warmFixture {
+	return buildWarmFixtureAt(tb, 500, 100, 20)
+}
+
+// buildWarmFixtureAt builds the toggle fixture for an arbitrary instance
+// size: users/events set the synthetic workload's dimensions, and every
+// stride-th user is re-bid by the delta (stride 20 → 5% of users, stride
+// 10 → 10%).
+func buildWarmFixtureAt(tb testing.TB, users, events, stride int) *warmFixture {
 	tb.Helper()
-	in, err := workload.Synthetic(workload.SyntheticConfig{Seed: 1, NumUsers: 500, NumEvents: 100})
+	in, err := workload.Synthetic(workload.SyntheticConfig{Seed: 1, NumUsers: users, NumEvents: events})
 	if err != nil {
 		tb.Fatal(err)
 	}
 	nu := in.NumUsers()
 	setsA := enumerateSets(in)
 
-	// Variant B: every 20th user (5% of 500) drops their first bid.
+	// Variant B: every stride-th user drops their first bid.
 	var changed []int
-	for u := 0; u < nu; u += 20 {
+	for u := 0; u < nu; u += stride {
 		if len(in.Users[u].Bids) > 1 {
 			changed = append(changed, u)
 		}
