@@ -38,10 +38,13 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/ebsn/igepa/internal/obs"
 	"github.com/ebsn/igepa/internal/stats"
 	"github.com/ebsn/igepa/internal/xrand"
 )
@@ -153,7 +156,131 @@ func run(w io.Writer, cfg config) error {
 	}
 	raw, _ := json.MarshalIndent(serverStats, "", "  ")
 	fmt.Fprintf(w, "\nserver /statsz:\n%s\n", raw)
+	metricsSummary(w, hc, cfg.addr)
 	return nil
+}
+
+// metricsSummary scrapes the server's /metrics exposition at the end of the
+// run and prints the server-side counters the client-side tally cannot see:
+// queue pressure, WAL fsync tail, sheds and slow arrivals. Best-effort — a
+// server without /metrics (old build, -DisableMetrics) just skips it.
+func metricsSummary(w io.Writer, hc *http.Client, addr string) {
+	resp, err := hc.Get(addr + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	fams, err := obs.ParseFamilies(resp.Body)
+	if err != nil {
+		fmt.Fprintf(w, "\nserver /metrics: unparseable: %v\n", err)
+		return
+	}
+	byName := make(map[string]*obs.Family, len(fams))
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	sum := func(name string, match func(s *obs.Sample) bool) (total float64) {
+		f := byName[name]
+		if f == nil {
+			return 0
+		}
+		for i := range f.Samples {
+			s := &f.Samples[i]
+			if match != nil && !match(s) {
+				continue
+			}
+			v, err := s.Float()
+			if err == nil {
+				total += v
+			}
+		}
+		return total
+	}
+	code := func(c string) func(*obs.Sample) bool {
+		return func(s *obs.Sample) bool { return s.Label("code") == c }
+	}
+	fmt.Fprintf(w, "\nserver /metrics summary:\n")
+	fmt.Fprintf(w, "  queue: deepest %.0f of limit %.0f (occupancy %.1f%%)\n",
+		maxSample(byName["igepa_queue_depth"]),
+		sum("igepa_queue_limit", nil),
+		100*sum("igepa_queue_occupancy", nil))
+	fmt.Fprintf(w, "  shed: %.0f × 429 · %.0f × 503 · slow arrivals %.0f\n",
+		sum("igepa_http_errors_total", code("429")),
+		sum("igepa_http_errors_total", code("503")),
+		sum("igepa_slow_arrivals_total", nil))
+	if p99, ok := histQuantile(byName["igepa_wal_fsync_seconds"], 0.99); ok {
+		fmt.Fprintf(w, "  wal: %.0f appends · %.0f fsyncs · fsync p99 ≤ %s\n",
+			sum("igepa_wal_appends_total", nil), sum("igepa_wal_syncs_total", nil),
+			time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+	}
+	if p99, ok := histQuantile(byName["igepa_total_seconds"], 0.99); ok {
+		fmt.Fprintf(w, "  server-side total latency p99 ≤ %s\n",
+			time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+	}
+}
+
+// maxSample returns the largest sample value in a family (0 when absent).
+func maxSample(f *obs.Family) (max float64) {
+	if f == nil {
+		return 0
+	}
+	for i := range f.Samples {
+		if v, err := f.Samples[i].Float(); err == nil && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// histQuantile estimates quantile q from a cumulative Prometheus histogram:
+// the upper bound of the first bucket whose cumulative count reaches
+// q × total. Reported as "≤ bound" — the resolution is the bucket layout's.
+func histQuantile(f *obs.Family, q float64) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	type bucket struct{ le, n float64 }
+	var buckets []bucket
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		le := s.Label("le")
+		if le == "" {
+			continue
+		}
+		var ub float64
+		if le == "+Inf" {
+			ub = math.Inf(1)
+		} else if v, err := strconv.ParseFloat(le, 64); err == nil {
+			ub = v
+		} else {
+			continue
+		}
+		if n, err := s.Float(); err == nil {
+			buckets = append(buckets, bucket{ub, n})
+		}
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].n
+	if total == 0 {
+		return 0, false
+	}
+	want := q * total
+	for _, b := range buckets {
+		if b.n >= want && !math.IsInf(b.le, 1) {
+			return b.le, true
+		}
+	}
+	return buckets[len(buckets)-1].le, !math.IsInf(buckets[len(buckets)-1].le, 1)
 }
 
 // openLoop fires bid submissions at exponentially distributed gaps: an

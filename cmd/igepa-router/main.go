@@ -141,7 +141,7 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 	if cfg.replay {
 		mode = "replay"
 	}
-	fmt.Fprintf(w, "igepa-router: %s mode on %s — |V|=%d |U|=%d S=%d backends=%s\n",
+	fmt.Fprintf(w, "igepa-router: %s mode on %s — |V|=%d |U|=%d S=%d backends=%s (/metrics; /cluster/metrics fans in every shard)\n",
 		mode, ln.Addr(), in.NumEvents(), in.NumUsers(), len(cfg.backends), strings.Join(cfg.backends, ","))
 	hs := &http.Server{Handler: rt}
 	served := make(chan struct{})

@@ -105,6 +105,7 @@ type config struct {
 	queueDepth int
 	replay     bool
 	pprof      bool
+	slowlog    time.Duration
 
 	// durability (-listen mode)
 	wal             string
@@ -140,6 +141,7 @@ func main() {
 	flag.IntVar(&cfg.queueDepth, "queue", 0, "listen: bounded queue depth (0 = default)")
 	flag.BoolVar(&cfg.replay, "replay", false, "listen: deterministic replay dispatcher (batch-by-count, no deadlines)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "listen: expose net/http/pprof handlers under /debug/pprof/")
+	flag.DurationVar(&cfg.slowlog, "slowlog", 0, "listen: log arrivals and renewal rounds slower than this to stderr (0 = off)")
 	flag.BoolVar(&cfg.arrivalsPartial, "arrivals-partial", false, "tolerate a truncated arrival log: replay the valid prefix and warn")
 	flag.StringVar(&cfg.wal, "wal", "", "listen: write-ahead log path (crash-safe serving + warm boot)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "interval", "listen: WAL fsync policy: always, interval or off")
@@ -240,6 +242,7 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 		CheckpointPath:  cfg.checkpoint,
 		Follow:          cfg.follow,
 		LagBytes:        cfg.lagBytes,
+		SlowLog:         cfg.slowlog,
 	})
 	if err != nil {
 		return err
@@ -253,7 +256,7 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 	if cfg.follow {
 		role = " as read follower"
 	}
-	fmt.Fprintf(w, "igepa-serve: %s mode on %s%s — |V|=%d |U|=%d S=%d (POST /v1/bid, /v1/cancel; GET /v1/assignment, /v1/load, /healthz, /readyz, /statsz)\n",
+	fmt.Fprintf(w, "igepa-serve: %s mode on %s%s — |V|=%d |U|=%d S=%d (POST /v1/bid, /v1/cancel; GET /v1/assignment, /v1/load, /healthz, /readyz, /statsz, /metrics)\n",
 		mode, ln.Addr(), role, in.NumEvents(), in.NumUsers(), s)
 	hs := &http.Server{Handler: withPprof(srv, cfg.pprof)}
 	served := make(chan struct{})

@@ -59,6 +59,7 @@ type config struct {
 	queueDepth int
 	freeze     time.Duration
 	pprof      bool
+	slowlog    time.Duration
 
 	wal             string
 	walSync         string
@@ -85,6 +86,7 @@ func main() {
 	flag.IntVar(&cfg.queueDepth, "queue", 0, "bounded queue depth (0 = default)")
 	flag.DurationVar(&cfg.freeze, "freeze-timeout", 0, "wire-renewal freeze watchdog (0 = default)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+	flag.DurationVar(&cfg.slowlog, "slowlog", 0, "log arrivals and renewal rounds slower than this to stderr (0 = off)")
 	flag.StringVar(&cfg.wal, "wal", "", "write-ahead log path (crash-safe serving + warm boot)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "interval", "WAL fsync policy: always, interval or off")
 	flag.DurationVar(&cfg.walSyncInterval, "wal-sync-interval", 0, "background fsync period under -wal-sync interval (0 = default)")
@@ -140,6 +142,7 @@ func serveListenerCtx(ctx context.Context, w *os.File, ln net.Listener, cfg conf
 		WALSync:         sync,
 		WALSyncInterval: cfg.walSyncInterval,
 		CheckpointPath:  cfg.checkpoint,
+		SlowLog:         cfg.slowlog,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ var statePools sync.Map // m (int) -> *sync.Pool of *revisedState
 func acquireState(m int) *revisedState {
 	if v, ok := statePools.Load(m); ok {
 		if st, ok := v.(*sync.Pool).Get().(*revisedState); ok && st != nil {
+			st.refactors = 0
 			return st
 		}
 	}

@@ -396,6 +396,12 @@ type revisedState struct {
 
 	timers *PhaseTimers // nil unless the config requests phase profiling
 
+	// refactors counts LU rebuilds on this state since it was acquired —
+	// the observability counter behind SolverStats.Refactorizations. Reset
+	// by acquireState so a recycled arena never carries a previous solver's
+	// count.
+	refactors int64
+
 	rowSeq []int32   // rowSeq[i] = i: slack column indices and full-rhs rows
 	ones   []float64 // all ones: slack column values
 
@@ -539,6 +545,7 @@ func (st *revisedState) refactorize() error {
 		st.cB[i] = st.objCoef(st.basis[i])
 	}
 	st.timers.add(phFactor, t0)
+	st.refactors++
 	return nil
 }
 

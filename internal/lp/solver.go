@@ -79,6 +79,14 @@ type SolverStats struct {
 	// re-solves (dual-repair pivots plus the primal finish) — the work
 	// metric the ≥5× speedup claim is about.
 	WarmPivots int
+	// Refactorizations counts LU rebuilds on the solver's state (cold
+	// starts, eta-chain hygiene, numerical fallbacks) since the state was
+	// acquired.
+	Refactorizations int64
+	// EtaLen is the current eta-chain length — product-form updates
+	// accumulated since the last refactorization. A point-in-time depth,
+	// not a counter: it shows how far the basis has drifted from its LU.
+	EtaLen int
 }
 
 // NewSolver returns a persistent solver with the given revised-simplex
@@ -131,8 +139,18 @@ func (d *ProblemDelta) Empty() bool {
 // ErrNoProblem is returned by Resolve before any successful Solve.
 var ErrNoProblem = errors.New("lp: Resolve called before Solve installed a problem")
 
-// Stats returns the solve-path counters accumulated so far.
-func (s *Solver) Stats() SolverStats { return s.stats }
+// Stats returns the solve-path counters accumulated so far, plus a
+// point-in-time snapshot of the state's refactorization count and
+// eta-chain depth. Not safe concurrently with Solve/Resolve — read it from
+// the same exclusion the solves run under.
+func (s *Solver) Stats() SolverStats {
+	st := s.stats
+	if s.st != nil {
+		st.Refactorizations = s.st.refactors
+		st.EtaLen = len(s.st.etas)
+	}
+	return st
+}
 
 // TrackChangedColumns enables changed-column tracking: after every solve
 // the Solver snapshots the primal values and, on the next warm Resolve,

@@ -1,0 +1,145 @@
+package obs
+
+// Metric hygiene checks, run two ways: Registry.Lint validates every
+// registered metric in-process (the CI metrics-lint step runs it via
+// TestRegistryLint against each binary's live registry), and
+// LintExposition validates a serialized scrape — the form the router's
+// /cluster/metrics fan-in and external scrapers actually consume.
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// forbiddenLabelKeys are per-entity keys whose cardinality grows with the
+// instance (millions of users, thousands of events) — exactly what the
+// DESIGN.md §12 cardinality rule bans. Bounded dimensions (shard, backend,
+// phase, code, solver) are fine.
+var forbiddenLabelKeys = []string{"user", "user_id", "event", "event_id"}
+
+// maxSeriesPerFamily bounds per-family cardinality: every legitimate
+// dimension in this tree (shard index, backend index, HTTP code, LP phase)
+// is far below it, so crossing it means a label leaked an unbounded value.
+const maxSeriesPerFamily = 256
+
+// Lint returns every hygiene violation among the registered metrics: bad
+// metric/label names, counters without the _total suffix, forbidden
+// per-entity label keys, and families whose series count suggests an
+// unbounded label.
+func (r *Registry) Lint() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var probs []string
+	for _, f := range r.fams {
+		probs = append(probs, lintFamily(f.name, f.kind.String(), f.help == "", len(f.samples))...)
+		for _, s := range f.samples {
+			probs = append(probs, lintLabelBlock(f.name, strings.Trim(s.labels, "{}"))...)
+		}
+	}
+	return probs
+}
+
+// LintExposition validates one serialized scrape: parses it, then applies
+// the same hygiene rules plus exposition-level structure checks (duplicate
+// series, histogram sample consistency, parseable values).
+func LintExposition(r io.Reader) []string {
+	fams, err := ParseFamilies(r)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var probs []string
+	for _, f := range fams {
+		if f.Type == "" {
+			probs = append(probs, fmt.Sprintf("%s: samples without a TYPE line", f.Name))
+		}
+		probs = append(probs, lintFamily(f.Name, f.Type, f.Help == "", len(f.Samples))...)
+		seen := map[string]bool{}
+		var bucketCum, lastCount float64
+		sawCount := false
+		for _, s := range f.Samples {
+			if f.Type == "histogram" {
+				if s.Name != f.Name+"_bucket" && s.Name != f.Name+"_sum" && s.Name != f.Name+"_count" {
+					probs = append(probs, fmt.Sprintf("%s: stray sample %s in histogram family", f.Name, s.Name))
+				}
+			} else if s.Name != f.Name {
+				probs = append(probs, fmt.Sprintf("%s: stray sample %s", f.Name, s.Name))
+			}
+			id := s.Name + "{" + s.Labels + "}"
+			if seen[id] {
+				probs = append(probs, fmt.Sprintf("%s: duplicate series %s", f.Name, id))
+			}
+			seen[id] = true
+			v, err := s.Float()
+			if err != nil {
+				probs = append(probs, fmt.Sprintf("%s: unparseable value %q", s.Name, s.Value))
+				continue
+			}
+			probs = append(probs, lintLabelBlock(f.Name, s.Labels)...)
+			switch {
+			case s.Name == f.Name+"_bucket":
+				if s.Label("le") == "" {
+					probs = append(probs, fmt.Sprintf("%s: bucket without le label", f.Name))
+				}
+				bucketCum = v
+			case s.Name == f.Name+"_count":
+				lastCount, sawCount = v, true
+			}
+		}
+		if f.Type == "histogram" && sawCount && bucketCum != lastCount {
+			probs = append(probs, fmt.Sprintf("%s: +Inf bucket %v != count %v", f.Name, bucketCum, lastCount))
+		}
+	}
+	return probs
+}
+
+func lintFamily(name, typ string, noHelp bool, series int) []string {
+	var probs []string
+	if !metricNameRE.MatchString(name) {
+		probs = append(probs, fmt.Sprintf("%s: invalid metric name", name))
+	}
+	if noHelp {
+		probs = append(probs, fmt.Sprintf("%s: missing HELP text", name))
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		probs = append(probs, fmt.Sprintf("%s: counter without _total suffix", name))
+	}
+	if typ == "gauge" && strings.HasSuffix(name, "_total") {
+		probs = append(probs, fmt.Sprintf("%s: gauge with counter-style _total suffix", name))
+	}
+	if series > maxSeriesPerFamily {
+		probs = append(probs, fmt.Sprintf("%s: %d series (max %d) — unbounded label?", name, series, maxSeriesPerFamily))
+	}
+	return probs
+}
+
+func lintLabelBlock(metric, raw string) []string {
+	var probs []string
+	keys, err := labelKeys(raw)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", metric, err)}
+	}
+	for i, k := range keys {
+		if !labelNameRE.MatchString(k) {
+			probs = append(probs, fmt.Sprintf("%s: invalid label name %q", metric, k))
+		}
+		if strings.HasPrefix(k, "__") {
+			probs = append(probs, fmt.Sprintf("%s: reserved label name %q", metric, k))
+		}
+		if i > 0 && keys[i-1] == k {
+			probs = append(probs, fmt.Sprintf("%s: duplicate label %q", metric, k))
+		}
+		for _, bad := range forbiddenLabelKeys {
+			if k == bad {
+				probs = append(probs, fmt.Sprintf("%s: forbidden per-entity label %q (cardinality rule, DESIGN.md §12)", metric, k))
+			}
+		}
+	}
+	return probs
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryLintClean(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("igepa_arrivals_total", "Accepted bid submissions.")
+	r.Gauge("igepa_queue_depth", "Queued arrivals.", L("shard", "0"))
+	r.Histogram("igepa_decision_seconds", "Planner time per arrival.", LatencyBuckets())
+	if probs := r.Lint(); len(probs) != 0 {
+		t.Fatalf("clean registry flagged: %v", probs)
+	}
+}
+
+func TestRegistryLintCatches(t *testing.T) {
+	cases := []struct {
+		build func(r *Registry)
+		want  string
+	}{
+		{func(r *Registry) { r.Counter("igepa_arrivals", "x") }, "_total suffix"},
+		{func(r *Registry) { r.Gauge("igepa_depth_total", "x") }, "counter-style _total"},
+		{func(r *Registry) { r.Counter("igepa_x_total", "") }, "missing HELP"},
+		{func(r *Registry) { r.Counter("igepa_x_total", "x", L("user", "17")) }, "forbidden per-entity label"},
+		{func(r *Registry) { r.Counter("igepa_x_total", "x", L("event_id", "3")) }, "forbidden per-entity label"},
+		{func(r *Registry) { r.Counter("igepa_x_total", "x", L("__name__", "y")) }, "reserved label"},
+		{func(r *Registry) {
+			for i := 0; i <= maxSeriesPerFamily; i++ {
+				r.Counter("igepa_wide_total", "x", L("k", fmt.Sprint(i)))
+			}
+		}, "unbounded label"},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		tc.build(r)
+		probs := r.Lint()
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lint missed %q; got %v", tc.want, probs)
+		}
+	}
+}
+
+func TestLintExpositionValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "ok")
+	h := r.Histogram("ok_seconds", "ok", []float64{0.001, 1})
+	h.Observe(0.5)
+	h.Observe(2)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if probs := LintExposition(&b); len(probs) != 0 {
+		t.Fatalf("valid exposition flagged: %v", probs)
+	}
+}
+
+func TestLintExpositionCatches(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"x_total 1\n", "without a TYPE"},
+		{"# HELP x_total x\n# TYPE x_total counter\nx_total 1\nx_total 2\n", "duplicate series"},
+		{"# HELP x_total x\n# TYPE x_total counter\nx_total nope\n", "unparseable value"},
+		{"# HELP x_seconds x\n# TYPE x_seconds histogram\nx_seconds_bucket{le=\"+Inf\"} 2\nx_seconds_sum 1\nx_seconds_count 3\n", "!= count"},
+		{"# HELP x_seconds x\n# TYPE x_seconds histogram\nx_seconds_bucket 1\nx_seconds_sum 1\nx_seconds_count 1\n", "without le"},
+	}
+	for _, tc := range cases {
+		probs := LintExposition(strings.NewReader(tc.in))
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("exposition lint missed %q in %q; got %v", tc.want, tc.in, probs)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+// The per-arrival trace is deliberately minimal: the serving loops already
+// measure their span boundaries (queue wait, batch dispatch, planner
+// decide, WAL commit, reply) for /statsz, so the trace layer adds no new
+// clock reads on the fast path — only a threshold compare. Every arrival
+// whose end-to-end latency crosses the -slowlog threshold is emitted as one
+// structured key=value line; everything below it costs one branch and zero
+// allocations (the caller builds the span list only after Slow says yes).
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named segment of an arrival's lifetime.
+type Span struct {
+	Name string
+	D    time.Duration
+}
+
+// SlowLog emits one structured line per arrival slower than Threshold.
+// A nil *SlowLog is a valid, disabled logger: Slow reports false and Note
+// is a no-op, so call sites need no configuration branches.
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	out       io.Writer
+	slow      atomic.Int64
+}
+
+// NewSlowLog returns a logger for arrivals slower than threshold, writing
+// to out. A non-positive threshold (or nil out) disables it: nil is
+// returned and every method degrades to a no-op.
+func NewSlowLog(threshold time.Duration, out io.Writer) *SlowLog {
+	if threshold <= 0 || out == nil {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, out: out}
+}
+
+// Slow reports whether total crosses the threshold. Callers must gate span
+// construction on it — the fast path stays allocation-free because the
+// []Span literal is only built when Slow returns true.
+func (l *SlowLog) Slow(total time.Duration) bool {
+	return l != nil && total >= l.threshold
+}
+
+// Count returns how many slow arrivals have been logged.
+func (l *SlowLog) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.slow.Load()
+}
+
+// Note formats and writes one slow-arrival line:
+//
+//	slowlog op=bid user=17 shard=3 total=12.4ms wait=9.1ms decide=2.2ms ...
+//
+// Spans with zero duration are still printed — an operator reading a slow
+// line wants to see which spans were NOT the problem.
+func (l *SlowLog) Note(op string, user, shard int, total time.Duration, spans []Span) {
+	if l == nil {
+		return
+	}
+	l.slow.Add(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "slowlog op=%s user=%d shard=%d total=%s", op, user, shard, total)
+	for _, s := range spans {
+		fmt.Fprintf(&b, " %s=%s", s.Name, s.D)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.out, b.String())
+	l.mu.Unlock()
+}

@@ -97,6 +97,7 @@ func (rt *Router) migrate(req *MigrateRequest) (int, error) {
 		return 0, &statusError{status: http.StatusServiceUnavailable,
 			msg: fmt.Sprintf("shard %d did not drain; retry", req.From)}
 	}
+	rt.obs.notePhase("drain")
 
 	// 2. Export. Failures here are clean: nothing has moved yet.
 	var mig server.ClusterMigration
@@ -104,12 +105,14 @@ func (rt *Router) migrate(req *MigrateRequest) (int, error) {
 		server.ClusterExportRequest{Users: req.Users}, &mig); err != nil {
 		return 0, fmt.Errorf("export from shard %d: %w", req.From, err)
 	}
+	rt.obs.notePhase("export")
 
 	// 3. Adopt. From here on a failure strands the exported range: degrade.
 	if _, err := rt.postJSON(req.To, "/cluster/adopt", &mig, nil); err != nil {
 		rt.degrade(fmt.Sprintf("migration %d->%d lost %d exported users: %v", req.From, req.To, len(mig.Users), err))
 		return 0, fmt.Errorf("adopt on shard %d: %w", req.To, err)
 	}
+	rt.obs.notePhase("adopt")
 
 	// 4. Mirror in the coordinator and flip the routing table.
 	seats := make([]int, rt.in.NumEvents())
@@ -129,5 +132,8 @@ func (rt *Router) migrate(req *MigrateRequest) (int, error) {
 		rt.override[u] = req.To
 	}
 	rt.routeMu.Unlock()
+	rt.obs.notePhase("commit")
+	rt.obs.noteMigration(len(req.Users), moved)
+	rt.obs.mirrorCoord(rt.coord.Renewals(), rt.coord.MovedSeats())
 	return moved, nil
 }

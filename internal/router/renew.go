@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/ebsn/igepa/internal/server"
 )
@@ -43,11 +44,19 @@ func (rt *Router) tryRenew() {
 	}
 }
 
+// finishRenew records a completed round's wall time and mirrors the
+// coordinator counters; the caller holds renewMu.
+func (rt *Router) finishRenew(start time.Time) {
+	rt.obs.observeRenew(time.Since(start))
+	rt.obs.mirrorCoord(rt.coord.Renewals(), rt.coord.MovedSeats())
+}
+
 // renewOnce executes one two-phase renewal round. next is the demand
 // snapshot to feed the renewer; nil means "use the queued users the
 // backends report" (live mode — the cluster analogue of the in-process
 // coordinator reading its own queues). The caller holds renewMu.
 func (rt *Router) renewOnce(next []int) error {
+	start := time.Now()
 	// Phase 1: freeze everything. Parallel — each prepare holds that
 	// backend's serving locks until install/abort, so sequential prepares
 	// would serialize the freeze windows end to end.
@@ -119,6 +128,7 @@ func (rt *Router) renewOnce(next []int) error {
 			return fmt.Errorf("router: lease install, backend %d: %w", si, err)
 		}
 	}
+	rt.finishRenew(start)
 	return nil
 }
 

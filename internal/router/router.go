@@ -75,6 +75,9 @@ type Config struct {
 	QueueDepth int
 	// RetryAfter is the backpressure hint on 429 (0 = 1s).
 	RetryAfter time.Duration
+	// DisableMetrics turns off the obs registry and the /metrics and
+	// /cluster/metrics endpoints (benchmark baseline only).
+	DisableMetrics bool
 }
 
 // user lifecycle states (replay mode's router-side duplicate detection,
@@ -144,6 +147,11 @@ type Router struct {
 	closed  atomic.Bool
 	started time.Time
 	m       metrics
+
+	// obs is the Prometheus-exposition registry behind /metrics and the
+	// /cluster/metrics fan-in (nil under Config.DisableMetrics; every
+	// method is a nil-safe no-op).
+	obs *routerObs
 }
 
 // New validates the configuration and builds the router (coordinator, per-
@@ -212,6 +220,10 @@ func New(in *model.Instance, cfg Config) (*Router, error) {
 		go rt.dispatchLoop()
 	}
 
+	if !cfg.DisableMetrics {
+		rt.obs = newRouterObs(rt)
+	}
+
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("/v1/bid", rt.handleBid)
 	rt.mux.HandleFunc("/v1/cancel", rt.handleCancel)
@@ -220,6 +232,10 @@ func New(in *model.Instance, cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("/statsz", rt.handleStatsz)
+	if rt.obs != nil {
+		rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+		rt.mux.HandleFunc("/cluster/metrics", rt.handleClusterMetrics)
+	}
 	rt.mux.HandleFunc("/admin/drain", rt.handleDrain)
 	rt.mux.HandleFunc("/admin/migrate", rt.handleMigrate)
 	return rt, nil
@@ -373,17 +389,21 @@ func (rt *Router) roundTrip(si int, method, path string, body []byte, resp any) 
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		t0 := time.Now()
 		res, err := b.client.Do(req)
 		if err != nil {
+			rt.obs.observeBackend(si, 0, true)
 			lastErr = err
 			continue
 		}
 		payload, err := io.ReadAll(res.Body)
 		res.Body.Close()
 		if err != nil {
+			rt.obs.observeBackend(si, 0, true)
 			lastErr = err
 			continue
 		}
+		rt.obs.observeBackend(si, time.Since(t0), res.StatusCode >= 500)
 		if res.StatusCode < 200 || res.StatusCode > 299 {
 			var e struct {
 				Error string `json:"error"`
@@ -419,17 +439,21 @@ func (rt *Router) forward(w http.ResponseWriter, si int, path string, body []byt
 			return http.StatusInternalServerError
 		}
 		req.Header.Set("Content-Type", "application/json")
+		t0 := time.Now()
 		res, err := b.client.Do(req)
 		if err != nil {
+			rt.obs.observeBackend(si, 0, true)
 			lastErr = err
 			continue
 		}
 		payload, err := io.ReadAll(res.Body)
 		res.Body.Close()
 		if err != nil {
+			rt.obs.observeBackend(si, 0, true)
 			lastErr = err
 			continue
 		}
+		rt.obs.observeBackend(si, time.Since(t0), res.StatusCode >= 500)
 		if res.StatusCode == http.StatusMisdirectedRequest {
 			// Caller handles re-resolution; don't write yet.
 			return res.StatusCode

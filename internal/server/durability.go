@@ -119,7 +119,13 @@ func (srv *Server) bootDurable() error {
 }
 
 func (srv *Server) walOptions() wal.Options {
-	return wal.Options{Sync: srv.cfg.WALSync, SyncInterval: srv.cfg.WALSyncInterval}
+	o := wal.Options{Sync: srv.cfg.WALSync, SyncInterval: srv.cfg.WALSyncInterval}
+	if srv.obs != nil {
+		// The hook runs under the writer's mutex; a histogram observation
+		// is a few atomic ops, well inside that budget.
+		o.ObserveSync = srv.obs.observeFsync
+	}
+	return o
 }
 
 // restoreCheckpoint loads and installs the checkpoint, returning the WAL

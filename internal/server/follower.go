@@ -67,6 +67,10 @@ func (f *follower) loop() {
 		return
 	}
 	defer t.Close()
+	// lastReady tracks the /readyz verdict so the igepa_readiness_flips_total
+	// counter sees every 503↔200 transition, not just scrape-time samples.
+	// A follower starts not-ready (unknown lag is not "caught up").
+	lastReady := false
 	for {
 		select {
 		case <-f.stop:
@@ -92,6 +96,7 @@ func (f *follower) loop() {
 			f.applied = t.Offset()
 			f.records++
 			f.mu.Unlock()
+			f.noteReadiness(&lastReady)
 		case errors.Is(err, io.EOF), errors.Is(err, wal.ErrTorn):
 			// Caught up (or racing the leader's buffered write): note how
 			// far the log reaches for the lag bound, then wait for growth.
@@ -100,6 +105,7 @@ func (f *follower) loop() {
 				f.size = size
 				f.mu.Unlock()
 			}
+			f.noteReadiness(&lastReady)
 			select {
 			case <-f.stop:
 				return
@@ -128,6 +134,16 @@ func (f *follower) openTailer() *wal.Tailer {
 			return nil
 		case <-time.After(followPoll):
 		}
+	}
+}
+
+// noteReadiness counts readiness transitions in either direction. Called
+// only from the tailer goroutine; *last is its private state.
+func (f *follower) noteReadiness(last *bool) {
+	ready := f.stats().Ready
+	if ready != *last {
+		*last = ready
+		f.srv.obs.noteReadyFlip()
 	}
 }
 

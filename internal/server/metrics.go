@@ -1,7 +1,6 @@
 package server
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,34 +12,35 @@ import (
 const reservoirSize = 4096
 
 // reservoir is a fixed-size ring of latency samples safe for concurrent
-// writers (shard loops) and readers (/statsz).
+// writers (shard loops) and readers (/statsz). Both sides are lock-free:
+// add is two atomic operations, and a reader snapshots the window with
+// atomic loads before sorting its private copy — a slow scraper holding
+// /statsz open can never stall a shard loop mid-batch. The cost is a
+// benign per-slot race (a reader may catch a sample being overwritten and
+// see the newer value); for a quiesced window the reported percentiles are
+// bit-identical to the mutex version's, same samples, same nearest-rank
+// rule.
 type reservoir struct {
-	mu    sync.Mutex
-	buf   [reservoirSize]int64 // nanoseconds
-	next  int
-	count int64
+	buf   [reservoirSize]atomic.Int64 // nanoseconds
+	count atomic.Int64
 }
 
 func (r *reservoir) add(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.next] = int64(d)
-	r.next = (r.next + 1) % reservoirSize
-	r.count++
-	r.mu.Unlock()
+	i := r.count.Add(1) - 1
+	r.buf[i%reservoirSize].Store(int64(d))
 }
 
 // percentiles returns (p50, p99) over the current window; zeros when empty.
+// The snapshot-and-sort runs entirely on a private copy.
 func (r *reservoir) percentiles() (p50, p99 time.Duration) {
-	r.mu.Lock()
-	n := int(r.count)
+	n := int(r.count.Load())
 	if n > reservoirSize {
 		n = reservoirSize
 	}
 	samples := make([]time.Duration, n)
 	for i := 0; i < n; i++ {
-		samples[i] = time.Duration(r.buf[i])
+		samples[i] = time.Duration(r.buf[i].Load())
 	}
-	r.mu.Unlock()
 	ps := stats.DurationPercentiles(samples, 0.50, 0.99)
 	return ps[0], ps[1]
 }
@@ -56,6 +56,7 @@ type metrics struct {
 	conflicts   atomic.Int64 // 409: duplicate submission / bad state
 	badRequests atomic.Int64 // 400
 	misrouted   atomic.Int64 // 421: cluster shard asked about a user it does not own
+	unavailable atomic.Int64 // 503: read-only follower, broken WAL, closing
 	leaseErrors atomic.Int64
 	walErrors   atomic.Int64 // WAL append/fsync failures (durability lost)
 

@@ -1,0 +1,292 @@
+package server
+
+// The server's /metrics surface: every counter the bespoke /statsz JSON
+// reports, re-exported as Prometheus text exposition via internal/obs,
+// plus the latency histograms, WAL fsync cost, follower lag and the LP
+// solver counters that previously never left the process.
+//
+// Three recording disciplines keep instrumentation from perturbing
+// serving:
+//
+//   - Hot-path samples (decision latencies, grant counts) are recorded
+//     inline by the batching loops — atomic increments only, no locks, no
+//     allocations (pinned by TestArrivalPathAllocs).
+//   - Engine-owned counters (lease renewals, moved seats, LP solver and
+//     phase-timer totals) are mirrored into the registry only at points
+//     that already hold the necessary exclusion (renewal rounds, replay
+//     batches, drain). A /metrics scrape therefore never takes a shard
+//     lock — it reads the last mirrored values.
+//   - Cheap shared-state reads (queue depth, WAL writer stats, follower
+//     lag) are refreshed at scrape time; none of their mutexes are held
+//     across serving work.
+//
+// Every metric here obeys the DESIGN.md §12 cardinality rule: label values
+// are bounded by configuration (shard index, HTTP code, LP phase), never
+// by workload (user, event).
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/ebsn/igepa/internal/lp"
+	"github.com/ebsn/igepa/internal/obs"
+	"github.com/ebsn/igepa/internal/shard"
+)
+
+// serverObs bundles the registry and the handles the serving loops touch.
+// A nil *serverObs (Config.DisableMetrics, benchmark baseline only) turns
+// every method into a cheap no-op.
+type serverObs struct {
+	reg *obs.Registry
+
+	arrivals, decided, granted, cancels *obs.Counter
+	errs400, errs409, errs421           *obs.Counter
+	errs429, errs503                    *obs.Counter
+	leaseErrors, walErrors              *obs.Counter
+	slowArrivals                        *obs.Counter
+
+	queueWait, decide, total *obs.Histogram
+
+	walCommit, walFsync  *obs.Histogram
+	walAppends, walSyncs *obs.Counter
+	walBytes             *obs.Counter
+
+	batches, renewals, movedSeats, epochs *obs.Counter
+	readyFlips                            *obs.Counter
+	replicaRecords                        *obs.Counter
+
+	lease, bound solverObs
+	boundRemain  *obs.Gauge
+	boundUpdates *obs.Counter
+	boundErrors  *obs.Counter
+}
+
+// solverObs is one persistent LP solver's mirrored counter set.
+type solverObs struct {
+	cold, warm, fast, warmPivots  *obs.Counter
+	fallbackSing, fallbackInfeas  *obs.Counter
+	refactorizations              *obs.Counter
+	etaLen                        *obs.Gauge
+	ftran, btran, pricing, update *obs.Counter
+	factor                        *obs.Counter
+}
+
+func newSolverObs(reg *obs.Registry, name string) solverObs {
+	l := obs.L("solver", name)
+	return solverObs{
+		cold:             reg.Counter("igepa_lp_cold_solves_total", "Cold (all-slack) LP solves.", l),
+		warm:             reg.Counter("igepa_lp_warm_solves_total", "Warm-started LP re-solves.", l),
+		fast:             reg.Counter("igepa_lp_fast_finishes_total", "Warm re-solves that skipped the primal pricing loop.", l),
+		warmPivots:       reg.Counter("igepa_lp_warm_pivots_total", "Simplex pivots spent in warm re-solves.", l),
+		fallbackSing:     reg.Counter("igepa_lp_fallback_singular_total", "Warm re-solves that fell back cold on a singular basis.", l),
+		fallbackInfeas:   reg.Counter("igepa_lp_fallback_infeasible_total", "Warm re-solves that fell back cold on primal infeasibility.", l),
+		refactorizations: reg.Counter("igepa_lp_refactorizations_total", "LU rebuilds on the solver state.", l),
+		etaLen:           reg.Gauge("igepa_lp_eta_chain_length", "Product-form updates since the last refactorization.", l),
+		ftran:            reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "ftran")),
+		btran:            reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "btran")),
+		pricing:          reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "pricing")),
+		update:           reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "update")),
+		factor:           reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "factor")),
+	}
+}
+
+// mirror stores the cumulative solver counters (monotonic Store — safe to
+// replay the same snapshot twice).
+func (so *solverObs) mirror(st lp.SolverStats, t lp.PhaseTimers) {
+	so.cold.Store(int64(st.ColdSolves))
+	so.warm.Store(int64(st.WarmSolves))
+	so.fast.Store(int64(st.FastFinishes))
+	so.warmPivots.Store(int64(st.WarmPivots))
+	so.fallbackSing.Store(int64(st.FallbackSingular))
+	so.fallbackInfeas.Store(int64(st.FallbackInfeasible))
+	so.refactorizations.Store(st.Refactorizations)
+	so.etaLen.Set(float64(st.EtaLen))
+	so.ftran.Store(t.Ftran.Nanoseconds())
+	so.btran.Store(t.Btran.Nanoseconds())
+	so.pricing.Store(t.Pricing.Nanoseconds())
+	so.update.Store(t.Update.Nanoseconds())
+	so.factor.Store(t.Factor.Nanoseconds())
+}
+
+// newServerObs registers the server's metric families and scrape-time
+// gauges. Called from New after the queues exist.
+func newServerObs(srv *Server) *serverObs {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg:          reg,
+		arrivals:     reg.Counter("igepa_arrivals_total", "Accepted bid submissions (queued)."),
+		decided:      reg.Counter("igepa_decided_total", "Decisions delivered."),
+		granted:      reg.Counter("igepa_granted_total", "Decisions that granted at least one event."),
+		cancels:      reg.Counter("igepa_cancels_total", "Assignment cancellations."),
+		errs400:      reg.Counter("igepa_http_errors_total", "HTTP error responses by status code.", obs.L("code", "400")),
+		errs409:      reg.Counter("igepa_http_errors_total", "HTTP error responses by status code.", obs.L("code", "409")),
+		errs421:      reg.Counter("igepa_http_errors_total", "HTTP error responses by status code.", obs.L("code", "421")),
+		errs429:      reg.Counter("igepa_http_errors_total", "HTTP error responses by status code.", obs.L("code", "429")),
+		errs503:      reg.Counter("igepa_http_errors_total", "HTTP error responses by status code.", obs.L("code", "503")),
+		leaseErrors:  reg.Counter("igepa_lease_errors_total", "Lease invariant violations."),
+		walErrors:    reg.Counter("igepa_wal_errors_total", "WAL append/fsync failures (durability lost)."),
+		slowArrivals: reg.Counter("igepa_slow_arrivals_total", "Arrivals that crossed the -slowlog threshold."),
+		queueWait:    reg.Histogram("igepa_queue_wait_seconds", "Enqueue to processing start.", obs.LatencyBuckets()),
+		decide:       reg.Histogram("igepa_decision_seconds", "Planner time per arrival.", obs.LatencyBuckets()),
+		total:        reg.Histogram("igepa_total_seconds", "Enqueue to decision delivered.", obs.LatencyBuckets()),
+		walCommit:    reg.Histogram("igepa_wal_commit_seconds", "WAL append+commit per micro-batch, amortized per decision.", obs.LatencyBuckets()),
+		walFsync:     reg.Histogram("igepa_wal_fsync_seconds", "Individual WAL fsync calls.", obs.LatencyBuckets()),
+		walAppends:   reg.Counter("igepa_wal_appends_total", "Records appended to the WAL."),
+		walSyncs:     reg.Counter("igepa_wal_syncs_total", "WAL fsync calls issued."),
+		walBytes:     reg.Counter("igepa_wal_bytes_total", "Frame bytes appended to the WAL."),
+		batches:      reg.Counter("igepa_batches_total", "Micro-batches processed (live) or global batches dispatched (replay)."),
+		renewals:     reg.Counter("igepa_lease_renewals_total", "Lease renewal rounds."),
+		movedSeats:   reg.Counter("igepa_moved_seats_total", "Seats that changed shard owner across renewals."),
+		epochs:       reg.Counter("igepa_epochs_total", "Engine batch epochs (replay mode)."),
+		readyFlips:   reg.Counter("igepa_readiness_flips_total", "Follower readiness transitions (either direction)."),
+		replicaRecords: reg.Counter("igepa_replica_records_total",
+			"WAL records applied by the follower tailer."),
+		lease:        newSolverObs(reg, "lease"),
+		bound:        newSolverObs(reg, "bound"),
+		boundRemain:  reg.Gauge("igepa_lp_bound_remaining", "Latest remaining-opportunity LP bound."),
+		boundUpdates: reg.Counter("igepa_lp_bound_updates_total", "Live-bound planner re-solves."),
+		boundErrors:  reg.Counter("igepa_lp_bound_errors_total", "Live-bound planner failures."),
+	}
+
+	// Scrape-time gauges over shared state whose mutexes are never held
+	// across serving work: per-queue depth, the configured limit, WAL
+	// segment size, follower lag/readiness.
+	limit := srv.qlimit
+	reg.GaugeFunc("igepa_queue_limit", "Configured per-queue depth bound.", func() float64 { return float64(limit) })
+	for qi, q := range srv.queues {
+		q := q
+		reg.GaugeFunc("igepa_queue_depth", "Requests waiting in the shard queue.",
+			func() float64 { return float64(q.depth()) }, obs.L("shard", fmt.Sprint(qi)))
+	}
+	reg.GaugeFunc("igepa_queue_occupancy", "Deepest queue as a fraction of the depth bound.", func() float64 {
+		max := 0
+		for _, q := range srv.queues {
+			if d := q.depth(); d > max {
+				max = d
+			}
+		}
+		return float64(max) / float64(limit)
+	})
+	reg.GaugeFunc("igepa_wal_size_bytes", "Logical WAL end offset.", func() float64 {
+		return float64(srv.walOffset())
+	})
+	reg.GaugeFunc("igepa_replication_lag_bytes", "Unapplied suffix of the leader's log (follower only).", func() float64 {
+		if srv.fol == nil {
+			return 0
+		}
+		return float64(srv.fol.stats().LagBytes)
+	})
+	reg.GaugeFunc("igepa_replication_ready", "1 while the follower is within the lag bound (follower only).", func() float64 {
+		if srv.fol == nil || !srv.follow.Load() {
+			return 0
+		}
+		if srv.fol.stats().Ready {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("igepa_up_seconds", "Process uptime.", func() float64 {
+		return time.Since(srv.started).Seconds()
+	})
+	return o
+}
+
+// handleMetrics is GET /metrics: refresh the mirrored counters whose
+// sources are atomics or short-mutex state, then serve the exposition. No
+// shard lock is taken anywhere on this path.
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	srv.obs.refresh(srv)
+	w.Header().Set("Content-Type", obs.ContentType)
+	srv.obs.reg.WritePrometheus(w)
+}
+
+// refresh mirrors scrape-safe counters: the bespoke atomic set (kept
+// authoritative for /statsz), WAL writer stats, follower records and the
+// slow-arrival count.
+func (o *serverObs) refresh(srv *Server) {
+	o.arrivals.Store(srv.m.arrivals.Load())
+	o.decided.Store(srv.m.decided.Load())
+	o.granted.Store(srv.m.granted.Load())
+	o.cancels.Store(srv.m.cancels.Load())
+	o.errs400.Store(srv.m.badRequests.Load())
+	o.errs409.Store(srv.m.conflicts.Load())
+	o.errs421.Store(srv.m.misrouted.Load())
+	o.errs429.Store(srv.m.rejected.Load())
+	o.errs503.Store(srv.m.unavailable.Load())
+	o.leaseErrors.Store(srv.m.leaseErrors.Load())
+	o.walErrors.Store(srv.m.walErrors.Load())
+	o.batches.Store(srv.batches.Load())
+	o.slowArrivals.Store(srv.slow.Count())
+	if w := srv.walWriter(); w != nil {
+		st := w.Stats()
+		o.walAppends.Store(st.Appends)
+		o.walSyncs.Store(st.Syncs)
+		o.walBytes.Store(st.Bytes)
+	}
+	if srv.fol != nil {
+		o.replicaRecords.Store(srv.fol.stats().Records)
+	}
+}
+
+// observeDecision is the hot-path sample: three histogram observations.
+// Nil-safe and allocation-free.
+func (o *serverObs) observeDecision(wait, decide, total time.Duration) {
+	if o == nil {
+		return
+	}
+	o.queueWait.ObserveDuration(wait)
+	o.decide.ObserveDuration(decide)
+	o.total.ObserveDuration(total)
+}
+
+// observeWALCommit records the per-decision amortized append+commit cost.
+func (o *serverObs) observeWALCommit(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.walCommit.ObserveDuration(d)
+}
+
+// observeFsync feeds wal.Options.ObserveSync.
+func (o *serverObs) observeFsync(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.walFsync.ObserveDuration(d)
+}
+
+// noteReadyFlip counts a follower readiness transition.
+func (o *serverObs) noteReadyFlip() {
+	if o == nil {
+		return
+	}
+	o.readyFlips.Inc()
+}
+
+// mirrorEngine stores the engine-owned cumulative counters. The caller
+// must hold the same exclusion RenewLeases requires; the serving layer
+// calls it from its renewal points (tryRenew, the replay dispatcher,
+// drain), never from a scrape.
+func (o *serverObs) mirrorEngine(eng *shard.Engine, replay bool) {
+	if o == nil {
+		return
+	}
+	o.renewals.Store(int64(eng.Renewals()))
+	o.movedSeats.Store(int64(eng.MovedSeats()))
+	if replay {
+		o.epochs.Store(int64(eng.Epochs()))
+	}
+	st := eng.LPStats()
+	o.lease.mirror(st.Lease, st.LeaseTimers)
+	if eng.BoundEnabled() {
+		o.bound.mirror(st.Bound, st.BoundTimers)
+		o.boundRemain.Set(st.BoundRemaining)
+		o.boundUpdates.Store(int64(st.BoundUpdates))
+		o.boundErrors.Store(int64(st.BoundErrors))
+	}
+}

@@ -41,13 +41,17 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/ebsn/igepa/internal/lp"
 	"github.com/ebsn/igepa/internal/model"
+	"github.com/ebsn/igepa/internal/obs"
 	"github.com/ebsn/igepa/internal/shard"
 	"github.com/ebsn/igepa/internal/stats"
 	"github.com/ebsn/igepa/internal/wal"
@@ -115,6 +119,21 @@ type Config struct {
 	Follow bool
 	// LagBytes is the follower readiness bound (0 = DefaultLagBytes).
 	LagBytes int64
+
+	// DisableMetrics turns off the obs registry and the /metrics endpoint.
+	// It exists so the instrumentation-overhead benchmark (BENCH_obs.json)
+	// has an uninstrumented baseline; production servers keep the default
+	// (metrics on). Decisions are bit-identical either way — that is the
+	// no-perturbation contract, pinned by the replay-equivalence tests.
+	DisableMetrics bool
+	// SlowLog, when positive, logs every arrival whose end-to-end latency
+	// (queue wait + decision + amortized WAL commit) meets the threshold
+	// as one structured line, and every lease-renewal round that crosses
+	// it with its LP phase breakdown. Arrivals below the threshold cost
+	// one comparison and zero allocations.
+	SlowLog time.Duration
+	// SlowLogOutput receives the slow-arrival lines (default os.Stderr).
+	SlowLogOutput io.Writer
 }
 
 // user lifecycle states
@@ -178,6 +197,18 @@ type Server struct {
 	wg      sync.WaitGroup
 	started time.Time
 	m       metrics
+
+	// obs is the Prometheus-exposition registry behind /metrics (nil under
+	// Config.DisableMetrics); slow is the -slowlog structured logger (nil
+	// unless Config.SlowLog > 0). Both are nil-safe no-ops when off.
+	// qlimit is the resolved per-queue depth bound. lastLP holds the LP
+	// snapshot at the previous renewal point (guarded by renewMu in live
+	// mode; replay's single dispatcher goroutine owns it there) so a slow
+	// renewal can log per-phase deltas rather than lifetime totals.
+	obs    *serverObs
+	slow   *obs.SlowLog
+	qlimit int
+	lastLP shard.LPStats
 }
 
 // New validates the configuration, builds the engine and starts the
@@ -223,8 +254,16 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 			depth = 256
 		}
 	}
+	srv.qlimit = depth
 	if cfg.RetryAfter <= 0 {
 		srv.cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.SlowLog > 0 {
+		out := cfg.SlowLogOutput
+		if out == nil {
+			out = os.Stderr
+		}
+		srv.slow = obs.NewSlowLog(cfg.SlowLog, out)
 	}
 
 	if cfg.Replay {
@@ -234,6 +273,9 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 		for si := 0; si < s; si++ {
 			srv.queues[si] = newQueue(depth)
 		}
+	}
+	if !cfg.DisableMetrics {
+		srv.obs = newServerObs(srv)
 	}
 
 	// Durability boot, before any serving goroutine exists: a leader
@@ -270,6 +312,9 @@ func New(in *model.Instance, cfg Config) (*Server, error) {
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("/readyz", srv.handleReadyz)
 	srv.mux.HandleFunc("/statsz", srv.handleStatsz)
+	if srv.obs != nil {
+		srv.mux.HandleFunc("/metrics", srv.handleMetrics)
+	}
 	srv.mux.HandleFunc("/admin/drain", srv.handleDrain)
 	srv.mux.HandleFunc("/admin/checkpoint", srv.handleCheckpoint)
 	srv.mux.HandleFunc("/admin/promote", srv.handlePromote)
@@ -362,6 +407,7 @@ func (srv *Server) Drain(timeout time.Duration) bool {
 			if srv.eng.BoundEnabled() {
 				srv.lockAll()
 				srv.eng.UpdateBound()
+				srv.obs.mirrorEngine(srv.eng, srv.cfg.Replay)
 				srv.unlockAll()
 			}
 			return true
@@ -411,7 +457,7 @@ func (srv *Server) shardLoop(si int) {
 		// hold every shard lock, so the read is serialized)
 		epoch := srv.eng.Renewals() + 1
 		logging := srv.walWriter() != nil
-		var walDur time.Duration
+		var walDur, walShare time.Duration
 		for i := range batch {
 			r := &batch[i]
 			t0 := time.Now()
@@ -430,11 +476,13 @@ func (srv *Server) shardLoop(si int) {
 			c0 := time.Now()
 			srv.walCommit()
 			walDur += time.Since(c0)
-			srv.m.walAppend.add(walDur / time.Duration(len(batch)))
+			walShare = walDur / time.Duration(len(batch))
+			srv.m.walAppend.add(walShare)
+			srv.obs.observeWALCommit(walShare)
 		}
 		for i := range batch {
 			r := &batch[i]
-			srv.finishDecision(r, r.events, epoch, r.wait, r.decide)
+			srv.finishDecision(r, si, r.events, epoch, r.wait, r.decide, walShare)
 		}
 		srv.shardMu[si].Unlock()
 		srv.batches.Add(1)
@@ -461,6 +509,7 @@ func (srv *Server) tryRenew() {
 	for _, q := range srv.queues {
 		pending = q.pendingUsers(pending)
 	}
+	r0 := time.Now()
 	srv.lockAll()
 	var err error
 	if srv.s > 1 {
@@ -477,9 +526,31 @@ func (srv *Server) tryRenew() {
 	if srv.eng.BoundEnabled() {
 		srv.eng.UpdateBound() // failures land in BoundStats.Errors
 	}
+	srv.obs.mirrorEngine(srv.eng, false)
+	var cur shard.LPStats
+	if srv.slow != nil {
+		cur = srv.eng.LPStats() // must be read under the shard locks
+	}
 	srv.unlockAll()
 	if err != nil {
 		srv.m.leaseErrors.Add(1)
+	}
+	renewDur := time.Since(r0)
+	if srv.slow.Slow(renewDur) {
+		// Phase deltas against the previous renewal point, so a slow round
+		// shows where *this* round's time went, not lifetime totals.
+		// lastLP is guarded by renewMu, which we still hold.
+		prev := srv.lastLP
+		srv.slow.Note("renew", len(pending), -1, renewDur, []obs.Span{
+			{Name: "pricing", D: cur.LeaseTimers.Pricing - prev.LeaseTimers.Pricing},
+			{Name: "ftran", D: cur.LeaseTimers.Ftran - prev.LeaseTimers.Ftran},
+			{Name: "btran", D: cur.LeaseTimers.Btran - prev.LeaseTimers.Btran},
+			{Name: "update", D: cur.LeaseTimers.Update - prev.LeaseTimers.Update},
+			{Name: "factor", D: cur.LeaseTimers.Factor - prev.LeaseTimers.Factor},
+		})
+	}
+	if srv.slow != nil {
+		srv.lastLP = cur
 	}
 }
 
@@ -512,27 +583,37 @@ func (srv *Server) replayLoop() {
 		// One batch record stands in for the renewal and every decision:
 		// replay re-derives the renewal from engine state (see
 		// shard.Engine.Apply), exactly as the dispatch above did.
+		var walShare time.Duration
 		if srv.walWriter() != nil {
 			w0 := time.Now()
 			srv.walAppend(wal.Op{Kind: wal.OpBatch, TMillis: nowMillis(), Users: users})
 			srv.walCommit()
-			srv.m.walAppend.add(time.Since(w0) / time.Duration(len(batch)))
+			walShare = time.Since(w0) / time.Duration(len(batch))
+			srv.m.walAppend.add(walShare)
+			srv.obs.observeWALCommit(walShare)
 		}
 		epoch := srv.eng.Epochs()
 		for i := range batch {
 			r := &batch[i]
 			si := srv.eng.ShardOf(r.user)
 			events := srv.eng.Assignment(si, r.user)
-			srv.finishDecision(r, events, epoch, t0.Sub(r.enqueued), srv.eng.LatencyOf(r.user))
+			srv.finishDecision(r, si, events, epoch, t0.Sub(r.enqueued), srv.eng.LatencyOf(r.user), walShare)
 		}
+		// Mirror the engine-owned counters (renewals, moved seats, LP solver
+		// stats) into the registry while the dispatcher still holds every
+		// shard lock — scrapes read the mirrors, never these locks.
+		srv.obs.mirrorEngine(srv.eng, true)
 		srv.unlockAll()
 		srv.queues[0].finish()
 	}
 }
 
 // finishDecision records metrics, advances the user state and delivers the
-// reply (if the submitter is waiting).
-func (srv *Server) finishDecision(r *request, events []int, epoch int, wait, decide time.Duration) {
+// reply (if the submitter is waiting). Everything recorded here is atomic
+// bumps — no locks beyond stateMu, no allocations (pinned by
+// TestArrivalPathAllocs) — and the slow-arrival trace builds its span list
+// only after the threshold comparison says the line will actually print.
+func (srv *Server) finishDecision(r *request, si int, events []int, epoch int, wait, decide, walShare time.Duration) {
 	srv.stateMu.Lock()
 	srv.state[r.user] = stateDecided
 	srv.stateMu.Unlock()
@@ -543,6 +624,15 @@ func (srv *Server) finishDecision(r *request, events []int, epoch int, wait, dec
 	srv.m.queueWait.add(wait)
 	srv.m.decide.add(decide)
 	srv.m.total.add(wait + decide)
+	total := wait + decide + walShare
+	srv.obs.observeDecision(wait, decide, total)
+	if srv.slow.Slow(total) {
+		srv.slow.Note("bid", r.user, si, total, []obs.Span{
+			{Name: "wait", D: wait},
+			{Name: "decide", D: decide},
+			{Name: "wal", D: walShare},
+		})
+	}
 	if r.reply != nil {
 		r.reply <- reply{events: events, epoch: epoch, wait: wait}
 	}
@@ -632,6 +722,7 @@ func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		srv.rollbackQueued(req.User, st)
 		if err == errQueueClosed {
+			srv.m.unavailable.Add(1)
 			httpError(w, http.StatusServiceUnavailable, "server closing")
 			return
 		}
@@ -647,6 +738,7 @@ func (srv *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 	}
 	rep := <-rq.reply
 	if rep.shutdown {
+		srv.m.unavailable.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "server closed before deciding")
 		return
 	}
@@ -686,10 +778,12 @@ func (srv *Server) owned(w http.ResponseWriter, u int) bool {
 // durable. Answers 503 and reports false when writes are off.
 func (srv *Server) writable(w http.ResponseWriter) bool {
 	if srv.follow.Load() {
+		srv.m.unavailable.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "read-only follower; POST /admin/promote to take over")
 		return false
 	}
 	if srv.walBroken() {
+		srv.m.unavailable.Add(1)
 		httpError(w, http.StatusServiceUnavailable, "write-ahead log failed; not accepting writes")
 		return false
 	}
@@ -977,6 +1071,13 @@ type Stats struct {
 	// bound's cost is visible next to the serving tails.
 	Bound *BoundReport `json:"live_bound,omitempty"`
 
+	// LP reports the persistent simplex solvers behind lease renewal and
+	// the live bound: warm-start effectiveness (cold/warm/fast-finish
+	// splits, pivots, fallbacks), factorization churn and where the solve
+	// time goes per phase. The same numbers /metrics exports as
+	// igepa_lp_* series.
+	LP *LPReport `json:"lp,omitempty"`
+
 	// WAL is the durability report (nil without Config.WALPath): append
 	// traffic, fsync counts, the per-decision append+commit percentiles to
 	// hold against Decision, and what the last boot recovered. Follower is
@@ -995,12 +1096,57 @@ type BoundReport struct {
 	ColdSolves  int         `json:"cold_solves"`
 }
 
+// SolverReport is one persistent LP solver's /statsz row.
+type SolverReport struct {
+	ColdSolves         int   `json:"cold_solves"`
+	WarmSolves         int   `json:"warm_solves"`
+	FastFinishes       int   `json:"fast_finishes"`
+	WarmPivots         int   `json:"warm_pivots"`
+	FallbackSingular   int   `json:"fallback_singular"`
+	FallbackInfeasible int   `json:"fallback_infeasible"`
+	Refactorizations   int64 `json:"refactorizations"`
+	EtaChainLength     int   `json:"eta_chain_length"`
+
+	FtranNS   int64 `json:"ftran_ns"`
+	BtranNS   int64 `json:"btran_ns"`
+	PricingNS int64 `json:"pricing_ns"`
+	UpdateNS  int64 `json:"update_ns"`
+	FactorNS  int64 `json:"factor_ns"`
+}
+
+func solverReport(st lp.SolverStats, t lp.PhaseTimers) SolverReport {
+	return SolverReport{
+		ColdSolves:         st.ColdSolves,
+		WarmSolves:         st.WarmSolves,
+		FastFinishes:       st.FastFinishes,
+		WarmPivots:         st.WarmPivots,
+		FallbackSingular:   st.FallbackSingular,
+		FallbackInfeasible: st.FallbackInfeasible,
+		Refactorizations:   st.Refactorizations,
+		EtaChainLength:     st.EtaLen,
+		FtranNS:            t.Ftran.Nanoseconds(),
+		BtranNS:            t.Btran.Nanoseconds(),
+		PricingNS:          t.Pricing.Nanoseconds(),
+		UpdateNS:           t.Update.Nanoseconds(),
+		FactorNS:           t.Factor.Nanoseconds(),
+	}
+}
+
+// LPReport is the /statsz view of the persistent LP solvers (satellite of
+// the unified observability layer): the lease-renewal solver always, the
+// live-bound shadow planner when enabled.
+type LPReport struct {
+	Lease SolverReport  `json:"lease"`
+	Bound *SolverReport `json:"bound,omitempty"`
+}
+
 // Stats assembles the admin snapshot (also served as /statsz).
 func (srv *Server) Stats() Stats {
 	st := Stats{
 		Mode: srv.modeName(), UptimeMS: time.Since(srv.started).Milliseconds(),
 		Shards: srv.s, Batch: srv.b, MicroBatch: srv.micro,
 		FlushMicros: srv.flush.Microseconds(),
+		QueueLimit:  srv.qlimit,
 		Arrivals:    srv.m.arrivals.Load(),
 		Decided:     srv.m.decided.Load(),
 		Granted:     srv.m.granted.Load(),
@@ -1029,6 +1175,7 @@ func (srv *Server) Stats() Stats {
 	st.MovedSeats = srv.eng.MovedSeats()
 	cs := srv.eng.CacheStats()
 	bs := srv.eng.BoundStats()
+	lps := srv.eng.LPStats() // needs the shard locks we hold
 	for si := 0; si < srv.s; si++ {
 		row := ShardStats{Arrivals: srv.eng.ArrivalsOn(si), Utility: srv.eng.ShardUtility(si)}
 		if !srv.cfg.Replay {
@@ -1047,6 +1194,12 @@ func (srv *Server) Stats() Stats {
 		fs := srv.fol.stats()
 		st.Follower = &fs
 	}
+	lr := &LPReport{Lease: solverReport(lps.Lease, lps.LeaseTimers)}
+	if bs != nil {
+		b := solverReport(lps.Bound, lps.BoundTimers)
+		lr.Bound = &b
+	}
+	st.LP = lr
 	if bs != nil {
 		ps := stats.DurationPercentiles(bs.UpdateLatencies, 0.50, 0.99)
 		st.Bound = &BoundReport{

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ebsn/igepa/internal/admissible"
 	"github.com/ebsn/igepa/internal/conflict"
+	"github.com/ebsn/igepa/internal/lp"
 	"github.com/ebsn/igepa/internal/model"
 	"github.com/ebsn/igepa/internal/online"
 	"github.com/ebsn/igepa/internal/par"
@@ -80,6 +81,15 @@ type Engine struct {
 	shardUtil               []float64
 	latencies               []time.Duration
 	batches                 [][]int // DispatchBatch partition scratch
+
+	// Engine-owned LP phase-timer sinks, one per persistent solver: the
+	// lease renewer's split LP and the live-bound planner's solver each
+	// need their own (PhaseTimers is not synchronized, and a renewal and a
+	// bound update may interleave under the caller's exclusion). Nil when
+	// the caller supplied Options.LP.Timers — then the caller owns phase
+	// profiling and LPStats reports zeros for the phases.
+	leaseTimers *lp.PhaseTimers
+	boundTimers *lp.PhaseTimers
 
 	closed bool
 }
@@ -205,14 +215,25 @@ func NewEngine(in *model.Instance, opt Options) (*Engine, error) {
 	if opt.RecordLatency {
 		e.latencies = make([]time.Duration, nu)
 	}
+	// Attach engine-owned phase timers unless the caller brought their own.
+	// The sinks are passive accumulators read back via LPStats — they do
+	// not alter pivoting, pricing or any other solver decision, so the
+	// engine's bit-identity contract is unchanged by profiling.
+	leaseOpt, boundOpt := opt, opt
+	if opt.LP.Timers == nil {
+		e.leaseTimers = &lp.PhaseTimers{}
+		e.boundTimers = &lp.PhaseTimers{}
+		leaseOpt.LP.Timers = e.leaseTimers
+		boundOpt.LP.Timers = e.boundTimers
+	}
 	if opt.LiveBound {
-		bt, err := newBoundTracker(in, s, opt)
+		bt, err := newBoundTracker(in, s, boundOpt)
 		if err != nil {
 			return nil, err
 		}
 		e.bound = bt
 	}
-	e.renewer = newLeaseRenewer(in, budgets, e.planners, opt)
+	e.renewer = newLeaseRenewer(in, budgets, e.planners, leaseOpt)
 	return e, nil
 }
 
@@ -356,6 +377,48 @@ func (e *Engine) ShardUtility(si int) float64 { return e.shardUtil[si] }
 
 // ArrivalsOn returns the number of arrivals shard si has served.
 func (e *Engine) ArrivalsOn(si int) int { return e.arrivals[si] }
+
+// LPStats is an allocation-light snapshot of the engine's two persistent
+// LP solvers — the lease renewer's split LP and the live-bound planner's —
+// for the serving layer's /statsz and /metrics surfaces. Unlike BoundStats
+// it copies no trace slices, so mirroring it into metrics at every renewal
+// point costs a few struct copies.
+type LPStats struct {
+	// Lease is the split-LP solver's counters (zeros unless Lease ==
+	// LeaseLP has solved at least once).
+	Lease lp.SolverStats
+	// LeaseTimers is the accumulated per-phase time of the lease solver.
+	LeaseTimers lp.PhaseTimers
+	// Bound is the live-bound planner's solver counters (zeros unless
+	// Options.LiveBound).
+	Bound lp.SolverStats
+	// BoundTimers is the accumulated per-phase time of the bound solver.
+	BoundTimers lp.PhaseTimers
+	// BoundUpdates / BoundErrors count bound re-solves and their failures.
+	BoundUpdates, BoundErrors int
+	// BoundRemaining is the latest remaining-opportunity bound.
+	BoundRemaining float64
+}
+
+// LPStats snapshots both solvers. The caller must hold the same exclusion
+// RenewLeases requires (the serving layer reads it under its shard locks at
+// renewal points); the snapshot itself takes no engine locks.
+func (e *Engine) LPStats() LPStats {
+	st := LPStats{Lease: e.renewer.solveStats()}
+	if e.leaseTimers != nil {
+		st.LeaseTimers = *e.leaseTimers
+	}
+	if e.bound != nil {
+		st.Bound = e.bound.planner.Stats()
+		st.BoundUpdates = e.bound.updates
+		st.BoundErrors = e.bound.errs
+		st.BoundRemaining = e.bound.bound
+		if e.boundTimers != nil {
+			st.BoundTimers = *e.boundTimers
+		}
+	}
+	return st
+}
 
 // Epochs returns the number of dispatched batches.
 func (e *Engine) Epochs() int { return e.epochs }

@@ -123,6 +123,12 @@ type Options struct {
 	// SyncInterval is the background fsync period under SyncInterval
 	// (0 = DefaultSyncInterval).
 	SyncInterval time.Duration
+	// ObserveSync, when non-nil, receives the wall-clock duration of every
+	// fsync issued (including failed ones) — the serving layer's
+	// fsync-latency histogram hook. Called with the writer's mutex held, so
+	// it must be fast, must not block, and must not call back into the
+	// Writer.
+	ObserveSync func(time.Duration)
 }
 
 // WriterStats counts a writer's traffic.
@@ -266,7 +272,15 @@ func (w *Writer) fsyncLocked() error {
 		return nil
 	}
 	w.st.Syncs++
-	if err := w.f.Sync(); err != nil {
+	var t0 time.Time
+	if w.opt.ObserveSync != nil {
+		t0 = time.Now()
+	}
+	err := w.f.Sync()
+	if w.opt.ObserveSync != nil {
+		w.opt.ObserveSync(time.Since(t0))
+	}
+	if err != nil {
 		w.err = fmt.Errorf("wal: fsync: %w", err)
 		return w.err
 	}
