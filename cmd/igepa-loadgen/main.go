@@ -133,6 +133,12 @@ func run(w io.Writer, cfg config) error {
 	fmt.Fprintf(w, "target %s: %s server, %s mode, |U|=%d |V|=%d S=%d\n",
 		cfg.addr, h.Status, h.Mode, h.NumUsers, h.NumEvents, h.Shards)
 
+	// Snapshot /metrics before generating load: the exposition's counters
+	// are cumulative over the server's lifetime, so against a long-running
+	// server only the before/after delta describes THIS run. Best-effort —
+	// nil against a server without /metrics.
+	before := scrapeFamilies(hc, cfg.addr)
+
 	var t tally
 	start := time.Now()
 	var err error
@@ -156,70 +162,128 @@ func run(w io.Writer, cfg config) error {
 	}
 	raw, _ := json.MarshalIndent(serverStats, "", "  ")
 	fmt.Fprintf(w, "\nserver /statsz:\n%s\n", raw)
-	metricsSummary(w, hc, cfg.addr)
+	metricsSummary(w, hc, cfg.addr, before)
 	return nil
 }
 
-// metricsSummary scrapes the server's /metrics exposition at the end of the
-// run and prints the server-side counters the client-side tally cannot see:
-// queue pressure, WAL fsync tail, sheds and slow arrivals. Best-effort — a
-// server without /metrics (old build, -DisableMetrics) just skips it.
-func metricsSummary(w io.Writer, hc *http.Client, addr string) {
+// scrapeFamilies fetches and parses the /metrics exposition, indexed by
+// family name. Returns nil on any failure (old build, -DisableMetrics).
+func scrapeFamilies(hc *http.Client, addr string) map[string]*obs.Family {
 	resp, err := hc.Get(addr + "/metrics")
 	if err != nil {
-		return
+		return nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return
+		return nil
 	}
 	fams, err := obs.ParseFamilies(resp.Body)
 	if err != nil {
-		fmt.Fprintf(w, "\nserver /metrics: unparseable: %v\n", err)
-		return
+		return nil
 	}
 	byName := make(map[string]*obs.Family, len(fams))
 	for i := range fams {
 		byName[fams[i].Name] = &fams[i]
 	}
-	sum := func(name string, match func(s *obs.Sample) bool) (total float64) {
-		f := byName[name]
-		if f == nil {
-			return 0
+	return byName
+}
+
+// sumFamily totals the matching samples of one family (0 when absent).
+func sumFamily(byName map[string]*obs.Family, name string, match func(s *obs.Sample) bool) (total float64) {
+	f := byName[name]
+	if f == nil {
+		return 0
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if match != nil && !match(s) {
+			continue
 		}
-		for i := range f.Samples {
-			s := &f.Samples[i]
-			if match != nil && !match(s) {
-				continue
-			}
-			v, err := s.Float()
-			if err == nil {
-				total += v
-			}
+		v, err := s.Float()
+		if err == nil {
+			total += v
 		}
-		return total
+	}
+	return total
+}
+
+// metricsSummary scrapes the server's /metrics exposition at the end of the
+// run and prints the server-side counters the client-side tally cannot see:
+// queue pressure, WAL fsync tail, sheds, slow arrivals and the LP solver's
+// warm-path health. Monotonic counters are reported as deltas against the
+// pre-run snapshot (falling back to absolute totals when that scrape
+// failed); gauges and histogram quantiles are point-in-time. Best-effort — a
+// server without /metrics (old build, -DisableMetrics) just skips it.
+func metricsSummary(w io.Writer, hc *http.Client, addr string, before map[string]*obs.Family) {
+	byName := scrapeFamilies(hc, addr)
+	if byName == nil {
+		fmt.Fprintf(w, "\nserver /metrics: unavailable\n")
+		return
+	}
+	sum := func(name string, match func(s *obs.Sample) bool) float64 {
+		return sumFamily(byName, name, match)
+	}
+	// delta is the per-run increment of a monotonic counter family. Clamped
+	// at 0: a server restart mid-run resets the sources, and a stale
+	// pre-run snapshot must not produce negative traffic.
+	delta := func(name string, match func(s *obs.Sample) bool) float64 {
+		d := sumFamily(byName, name, match)
+		if before != nil {
+			d -= sumFamily(before, name, match)
+		}
+		if d < 0 {
+			d = 0
+		}
+		return d
 	}
 	code := func(c string) func(*obs.Sample) bool {
 		return func(s *obs.Sample) bool { return s.Label("code") == c }
 	}
-	fmt.Fprintf(w, "\nserver /metrics summary:\n")
+	label := func(k, v string) func(*obs.Sample) bool {
+		return func(s *obs.Sample) bool { return s.Label(k) == v }
+	}
+	scope := "this run"
+	if before == nil {
+		scope = "server lifetime — pre-run scrape failed"
+	}
+	fmt.Fprintf(w, "\nserver /metrics summary (counters: %s):\n", scope)
 	fmt.Fprintf(w, "  queue: deepest %.0f of limit %.0f (occupancy %.1f%%)\n",
 		maxSample(byName["igepa_queue_depth"]),
 		sum("igepa_queue_limit", nil),
 		100*sum("igepa_queue_occupancy", nil))
 	fmt.Fprintf(w, "  shed: %.0f × 429 · %.0f × 503 · slow arrivals %.0f\n",
-		sum("igepa_http_errors_total", code("429")),
-		sum("igepa_http_errors_total", code("503")),
-		sum("igepa_slow_arrivals_total", nil))
+		delta("igepa_http_errors_total", code("429")),
+		delta("igepa_http_errors_total", code("503")),
+		delta("igepa_slow_arrivals_total", nil))
 	if p99, ok := histQuantile(byName["igepa_wal_fsync_seconds"], 0.99); ok {
 		fmt.Fprintf(w, "  wal: %.0f appends · %.0f fsyncs · fsync p99 ≤ %s\n",
-			sum("igepa_wal_appends_total", nil), sum("igepa_wal_syncs_total", nil),
+			delta("igepa_wal_appends_total", nil), delta("igepa_wal_syncs_total", nil),
 			time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
 	}
 	if p99, ok := histQuantile(byName["igepa_total_seconds"], 0.99); ok {
 		fmt.Fprintf(w, "  server-side total latency p99 ≤ %s\n",
 			time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+	}
+	if warm, cold := delta("igepa_lp_warm_solves_total", nil), delta("igepa_lp_cold_solves_total", nil); warm+cold > 0 {
+		fmt.Fprintf(w, "  lp: %.0f warm · %.0f cold · %.0f fast finishes · %.0f warm pivots\n",
+			warm, cold,
+			delta("igepa_lp_fast_finishes_total", nil),
+			delta("igepa_lp_warm_pivots_total", nil))
+		if fb := delta("igepa_lp_fallbacks_total", nil); fb > 0 {
+			fmt.Fprintf(w, "  lp fallbacks: %.0f (singular %.0f · repair_stall %.0f · bound_infeasible %.0f · error %.0f)\n",
+				fb,
+				delta("igepa_lp_fallbacks_total", label("reason", "singular")),
+				delta("igepa_lp_fallbacks_total", label("reason", "repair_stall")),
+				delta("igepa_lp_fallbacks_total", label("reason", "bound_infeasible")),
+				delta("igepa_lp_fallbacks_total", label("reason", "error")))
+		}
+		fmt.Fprintf(w, "  lp kernels: %.0f hypersparse ftran · %.0f hypersparse btran · %.0f candidate refills · %.0f budget exhaustions · %.0f cutovers\n",
+			delta("igepa_lp_hypersparse_solves_total", label("kernel", "ftran")),
+			delta("igepa_lp_hypersparse_solves_total", label("kernel", "btran")),
+			delta("igepa_lp_candidate_refills_total", nil),
+			delta("igepa_lp_repair_budget_exhausted_total", nil),
+			delta("igepa_lp_partial_warm_cutovers_total", nil))
 	}
 }
 

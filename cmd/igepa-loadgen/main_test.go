@@ -1,9 +1,12 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -84,6 +87,46 @@ func TestClosedLoopHitsCache(t *testing.T) {
 	}
 	if st.Cache.Hits == 0 {
 		t.Fatalf("repeat-bid closed loop produced no cache hits: %+v", st.Cache)
+	}
+}
+
+// TestMetricsSummaryDeltaRule pins the scrape-side per-run accounting:
+// monotonic counters are reported as after−before deltas against the pre-run
+// snapshot, clamp at zero across a counter reset (server restart mid-run),
+// and fall back to labeled lifetime totals when the pre-run scrape failed.
+func TestMetricsSummaryDeltaRule(t *testing.T) {
+	var val atomic.Int64
+	val.Store(100)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# TYPE igepa_slow_arrivals_total counter\nigepa_slow_arrivals_total %d\n", val.Load())
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	hc := &http.Client{Timeout: time.Second}
+
+	before := scrapeFamilies(hc, ts.URL)
+	if before == nil {
+		t.Fatal("pre-run scrape failed")
+	}
+	val.Store(107)
+	var buf strings.Builder
+	metricsSummary(&buf, hc, ts.URL, before)
+	if out := buf.String(); !strings.Contains(out, "counters: this run") || !strings.Contains(out, "slow arrivals 7") {
+		t.Fatalf("want per-run delta 7:\n%s", out)
+	}
+
+	buf.Reset()
+	metricsSummary(&buf, hc, ts.URL, nil)
+	if out := buf.String(); !strings.Contains(out, "server lifetime") || !strings.Contains(out, "slow arrivals 107") {
+		t.Fatalf("want labeled lifetime totals without a snapshot:\n%s", out)
+	}
+
+	val.Store(3) // counter reset below the snapshot: delta clamps at 0
+	buf.Reset()
+	metricsSummary(&buf, hc, ts.URL, before)
+	if out := buf.String(); !strings.Contains(out, "slow arrivals 0") {
+		t.Fatalf("want clamped delta 0 after counter reset:\n%s", out)
 	}
 }
 

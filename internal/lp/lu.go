@@ -58,6 +58,7 @@ type luFactors struct {
 	// level l, ascending step within a level): levL/levU drive solveBLevel's
 	// forward/backward sweeps, levUT/levLT drive solveBTLevel's.
 	schedOK          bool
+	stepOf           []int32 // basis position -> step (inverse colOrder)
 	lRowPtr, uRowPtr []int32
 	lRowIdx, uRowIdx []int32
 	lRowVal, uRowVal []float64
@@ -462,6 +463,10 @@ func (f *luFactors) buildSchedule() {
 	m := f.m
 	f.lev = resize32(f.lev, m)
 	f.cur = resize32(f.cur, m)
+	f.stepOf = resize32(f.stepOf, m)
+	for k := 0; k < m; k++ {
+		f.stepOf[f.colOrder[k]] = int32(k)
+	}
 	f.lRowPtr, f.lRowIdx, f.lRowVal = csrMirror(m, f.lPtr, f.lIdx, f.lVal, f.lRowPtr, f.lRowIdx, f.lRowVal, f.cur, true)
 	f.uRowPtr, f.uRowIdx, f.uRowVal = csrMirror(m, f.uPtr, f.uIdx, f.uVal, f.uRowPtr, f.uRowIdx, f.uRowVal, f.cur, false)
 	// Dependencies per solve sweep: L-forward and U-backward pull along

@@ -30,6 +30,15 @@ func (s *Revised) validate() error {
 	if s.PricingWindow < 0 {
 		return &OptionError{"PricingWindow", s.PricingWindow, "must be ≥ 0 (0 selects the default window)"}
 	}
+	if s.PricingCandidates < 0 {
+		return &OptionError{"PricingCandidates", s.PricingCandidates, "must be ≥ 0 (0 selects the auto window)"}
+	}
+	if s.RepairBudget < 0 {
+		return &OptionError{"RepairBudget", s.RepairBudget, "must be ≥ 0 (0 selects the delta-proportional budget)"}
+	}
+	if s.HypersparseThreshold < 0 || s.HypersparseThreshold > 1 || s.HypersparseThreshold != s.HypersparseThreshold {
+		return &OptionError{"HypersparseThreshold", s.HypersparseThreshold, "must be in [0, 1] (0 selects the default density)"}
+	}
 	if s.ParallelThreshold < 0 {
 		return &OptionError{"ParallelThreshold", s.ParallelThreshold, "must be ≥ 0 (0 selects the package default)"}
 	}

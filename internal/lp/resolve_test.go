@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -339,10 +340,10 @@ func TestResolveWorkerInvariance(t *testing.T) {
 	}
 	t.Run("default_thresholds", suite)
 	t.Run("forced_parallel_kernels", func(t *testing.T) {
-		oldRows, oldRHS, oldGrain, oldBlock := luParallelMinRows, luParallelMinRHS, luLevelGrain, dualPriceBlock
-		luParallelMinRows, luParallelMinRHS, luLevelGrain, dualPriceBlock = 1, 1, 1, 16
+		oldRows, oldRHS, oldGrain := luParallelMinRows, luParallelMinRHS, luLevelGrain
+		luParallelMinRows, luParallelMinRHS, luLevelGrain = 1, 1, 1
 		defer func() {
-			luParallelMinRows, luParallelMinRHS, luLevelGrain, dualPriceBlock = oldRows, oldRHS, oldGrain, oldBlock
+			luParallelMinRows, luParallelMinRHS, luLevelGrain = oldRows, oldRHS, oldGrain
 		}()
 		suite(t)
 	})
@@ -387,9 +388,11 @@ func FuzzResolve(f *testing.F) {
 		rng := xrand.New(seed)
 		p := randomPacking(rng, 3+rng.Intn(25), 2+rng.Intn(8), 4)
 		// Rotate the solver knobs through the fuzzed space too: legacy dual
-		// pricing, per-pivot refactorization, and the pooled kernels.
+		// pricing, per-pivot refactorization, the pooled kernels, and the
+		// warm-resolve tuning surface (candidate window, repair budget,
+		// hypersparse threshold) — the optimum must be knob-invariant.
 		var cfg Revised
-		switch rng.Intn(4) {
+		switch rng.Intn(7) {
 		case 1:
 			cfg.DualPricing = "maxinfeas"
 		case 2:
@@ -397,6 +400,25 @@ func FuzzResolve(f *testing.F) {
 		case 3:
 			cfg.Workers = 2
 			cfg.ParallelThreshold = 1
+		case 4:
+			cfg.PricingCandidates = 1 + rng.Intn(64)
+		case 5:
+			cfg.RepairBudget = 1 + rng.Intn(32)
+		case 6:
+			cfg.HypersparseThreshold = rng.Float64()
+		}
+		// Degenerate knob values must be rejected up front with a typed
+		// *OptionError naming the knob — never a panic or a wrong answer.
+		for _, bad := range []Revised{
+			{PricingCandidates: -1 - rng.Intn(8)},
+			{RepairBudget: -1 - rng.Intn(8)},
+			{HypersparseThreshold: 1 + rng.Float64()},
+			{HypersparseThreshold: math.NaN()},
+		} {
+			var oe *OptionError
+			if _, err := bad.Solve(p); !errors.As(err, &oe) || oe.Option == "" {
+				t.Fatalf("degenerate config %+v: err = %v, want *OptionError", bad, err)
+			}
 		}
 		s := NewSolver(cfg)
 		if _, err := s.Solve(p); err != nil {

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/ebsn/igepa/internal/par"
 )
@@ -46,6 +47,32 @@ type Revised struct {
 	// partial Dantzig pricing before falling back to a full pass.
 	// 0 means 4096.
 	PricingWindow int
+	// PricingCandidates switches the pricing passes (the dual repair's
+	// priceDual and the primal Devex scan) to a rotating candidate window of
+	// that many columns. The window deterministically rotates through the
+	// column range and widens ("refills", counted in PhaseTimers) whenever
+	// it holds no eligible candidate, so the knob trades scan cost per pivot
+	// against pivot quality — a windowed dual ratio test can overshoot the
+	// dual step and leave cleanup work to the primal finish. 0 (the default)
+	// keeps full ratio-test coverage and instead prices through the
+	// support-scatter pass (see priceDual), which is usually faster AND
+	// trajectory-exact; the knob exists for very wide problems where even
+	// the scatter's selection sweep hurts. Results never depend on Workers
+	// or on the hypersparse threshold, only on this knob's value.
+	PricingCandidates int
+	// RepairBudget bounds the dual-repair pivots per attempt before a
+	// partial-warm cutover (and, on the second exhaustion, the cold
+	// fallback). 0 means auto: proportional to the delta size,
+	// min(4m+16, 64 + 32·|Δ|), so a tiny delta that somehow needs thousands
+	// of repair pivots cuts over early instead of burning a warm-start's
+	// entire advantage.
+	RepairBudget int
+	// HypersparseThreshold is the symbolic-reach density (fraction of m) at
+	// which the hypersparse triangular kernels abandon the sparse path and
+	// defer to the dense sweeps. 0 means the default 0.1; must be ≤ 1.
+	// Results are bit-identical across settings — the threshold only moves
+	// work between bit-equal kernels.
+	HypersparseThreshold float64
 	// Workers bounds the pricing worker pool; 0 means GOMAXPROCS. Results
 	// do not depend on it.
 	Workers int
@@ -202,6 +229,21 @@ func (s *Revised) configure(st *revisedState) {
 	}
 	if st.workers > 1 && st.n+st.m < parallelThreshold {
 		st.workers = 1
+	}
+	thr := s.HypersparseThreshold
+	if thr == 0 {
+		thr = defaultHypersparseThreshold
+	}
+	st.hyperCap = int(thr * float64(st.m))
+	// Candidate windows are strictly opt-in (PricingCandidates > 0). A
+	// windowed dual ratio test answers from a column subset, and the
+	// resulting overshot dual steps were measured to explode the primal
+	// cleanup after repair (U1000 capacity shrink: 0 → 4652 finish pivots);
+	// the default path instead keeps full ratio-test coverage and makes the
+	// scan cheap via the support-scatter pass (see priceDual).
+	st.dualWindow, st.primalWindow = 0, 0
+	if w := s.PricingCandidates; w > 0 {
+		st.dualWindow, st.primalWindow = w, w
 	}
 }
 
@@ -387,12 +429,55 @@ type revisedState struct {
 
 	// dual-repair state: steepest-edge row norms (positional, reset to the
 	// unit reference framework at repair entry and on mid-repair
-	// refactorization) and per-block winner scratch for the pooled,
-	// cache-blocked dual pricing pass.
-	dseW      []float64
-	dualBest  []int
-	dualRatio []float64
-	dualAlpha []float64
+	// refactorization), the maintained dual reduced costs, and the
+	// support-scatter pricing scratch. dualRedVec holds red_j = c_j − yᵀa_j
+	// for every nonbasic column (basic slots hold don't-care garbage, never
+	// read), refreshed exactly from the duals at repair entry and at every
+	// refactorization and updated incrementally (red' = red − γ·α) per pivot
+	// in between. alphaVec accumulates the pivot row α: in sparse mode over
+	// the candidate column set candList (epoch-stamped via candStamp, so no
+	// O(n) clearing between pivots), in dense mode (candDense, chosen by β's
+	// nonzero count alone) over every column after a plain clear.
+	dseW       []float64
+	dualRedVec []float64
+	alphaVec   []float64
+	candStamp  []int32
+	candEpoch  int32
+	candList   []int32
+	candDense  bool
+
+	// Row-major mirror of the structural matrix A (row → (column, value)),
+	// built lazily by buildARows for the scatter pricing pass and
+	// invalidated whenever the column structure changes (rebind, structural
+	// deltas). Within a row, columns ascend.
+	aRowPtr, aRowIdx []int32
+	aRowVal          []float64
+	aRowCur          []int32
+	aRowsOK          bool
+	// dualGamma is the dual step length γ = red_q/α_q of the last priceDual
+	// winner, used for the incremental dual update y' = y + γβ.
+	dualGamma float64
+
+	// Hypersparse solve state: hyperCap is the reach cap in steps
+	// (HypersparseThreshold · m, set by configure; 0 disables), hyper the
+	// reusable symbolic scratch, hyperSeeds the RHS-pattern buffer for
+	// btranUnit. When the last btranUnit was served by the sparse kernel,
+	// betaSupportOK is true and betaSupport lists the original-row indices of
+	// st.beta's nonzeros — the key that unlocks reach-pruned dual pricing.
+	hyper         hyperReach
+	hyperCap      int
+	hyperSeeds    []int32
+	betaSupport   []int32
+	betaSupportOK bool
+
+	// Candidate-list pricing state (configure): dualWindow/primalWindow are
+	// the rotating window widths in columns (0 = full scan); the cursors
+	// track each window's current start, advanced deterministically on
+	// refills so barren stretches rotate out of the hot scan.
+	dualWindow   int
+	primalWindow int
+	dualCursor   int
+	primalCursor int
 
 	timers *PhaseTimers // nil unless the config requests phase profiling
 
@@ -444,6 +529,8 @@ func (st *revisedState) rebind(p *Problem, perturb bool) {
 	m, n := p.NumRows, p.NumCols()
 	st.p, st.m, st.n = p, m, n
 	st.workers = 1
+	st.betaSupportOK = false
+	st.aRowsOK = false
 	st.loadRHS(perturb)
 	st.basis = resizeI(st.basis, m)
 	st.posOf = resizeI(st.posOf, n+m)
@@ -562,11 +649,26 @@ var (
 	luParallelMinRHS  = 192
 )
 
-// solveB routes d = B⁻¹a through the level-scheduled parallel kernel when
-// the pool and the problem shape warrant it, else the sequential solve. Both
-// paths are bit-identical by construction (see solveBLevel), so crossing the
+// defaultHypersparseThreshold is the reach-cap density (fraction of m) when
+// Revised.HypersparseThreshold is zero. Warm-resolve FTRANs and repair-pivot
+// BTRANs on the benchmark bases reach a few dozen steps out of thousands;
+// 10% leaves generous headroom while keeping the abandoned-DFS cost of a
+// genuinely dense solve at a tenth of the dense sweep it falls back to.
+const defaultHypersparseThreshold = 0.1
+
+// solveB routes d = B⁻¹a: a right-hand side sparse enough to fit the
+// hypersparse reach cap tries the symbolic-reach kernel first, then the
+// level-scheduled parallel kernel when the pool and the problem shape warrant
+// it, else the sequential solve. All paths are bit-identical by construction
+// (see solveBLevel and the hypersparse.go preamble), so crossing either
 // threshold never changes a pivot sequence.
 func (st *revisedState) solveB(rows []int32, vals []float64, out []float64) {
+	if len(rows) <= st.hyperCap {
+		if st.lu.solveBHyper(&st.hyper, rows, vals, out, st.work, st.hyperCap) {
+			st.timers.hypersparseFtran()
+			return
+		}
+	}
 	if st.workers > 1 && st.m >= luParallelMinRows && len(rows) >= luParallelMinRHS {
 		st.lu.solveBLevel(rows, vals, out, st.work, st.workers)
 	} else {
@@ -644,6 +746,10 @@ func (st *revisedState) btran() {
 }
 
 // btranUnit computes β = B⁻ᵀ e_r (row r of the basis inverse) into st.beta.
+// The right-hand side after the transposed eta sweep is nonzero only at r and
+// the eta pivot positions, so with a short eta file the solve is served by
+// the hypersparse kernel, which also exports β's nonzero pattern into
+// st.betaSupport for the reach-pruned dual pricing pass.
 func (st *revisedState) btranUnit(r int) {
 	t0 := tick(st.timers)
 	if st.beta == nil {
@@ -652,6 +758,23 @@ func (st *revisedState) btranUnit(r int) {
 	z := st.work2()
 	z[r] = 1
 	st.applyEtasT(z)
+	st.betaSupportOK = false
+	if len(st.etas)+1 <= st.hyperCap {
+		st.hyperSeeds = append(st.hyperSeeds[:0], int32(r))
+		for i := range st.etas {
+			st.hyperSeeds = append(st.hyperSeeds, int32(st.etas[i].r))
+		}
+		st.betaSupport = st.betaSupport[:0]
+		if st.lu.solveBTHyper(&st.hyper, z, st.beta, st.work, st.hyperSeeds, &st.betaSupport, st.hyperCap) {
+			st.betaSupportOK = true
+			st.timers.hypersparseBtran()
+			for _, p := range st.hyperSeeds {
+				z[p] = 0
+			}
+			st.timers.add(phBtran, t0)
+			return
+		}
+	}
 	st.solveBT(z, st.beta)
 	for i := range z {
 		z[i] = 0
@@ -718,6 +841,7 @@ func (st *revisedState) reducedCost(q int) float64 {
 // preserving the pricing memory of the previous optimum.
 func (st *revisedState) initDevex(warm bool) {
 	total := st.n + st.m
+	st.primalCursor = 0
 	st.rvec = resizeF(st.rvec, total)
 	if !warm || len(st.weights) != total {
 		st.weights = resizeF(st.weights, total)
@@ -766,6 +890,9 @@ func (st *revisedState) priceDevex() int {
 	t0 := tick(st.timers)
 	defer st.timers.add(phPricing, t0)
 	total := st.n + st.m
+	if st.primalWindow > 0 && st.primalWindow < total {
+		return st.priceDevexWindow(total)
+	}
 	// Solve already forces workers to 1 below the parallel threshold.
 	if st.workers <= 1 {
 		best := -1
@@ -818,6 +945,57 @@ func (st *revisedState) priceDevex() int {
 		}
 	}
 	return best
+}
+
+// priceDevexWindow is the Devex scan over a rotating candidate window
+// (PricingCandidates > 0): the stored reduced costs are maintained for every
+// column by updateDevex, so restricting the argmax to st.primalWindow
+// consecutive columns starting at st.primalCursor stays exact with respect
+// to them — a narrower window trades scan time for possibly more pivots,
+// never for wrong ones. A window with no improving column extends one window
+// at a time (each a candidate refill) until a candidate appears or the whole
+// range certifies apparent optimality (-1, after which the pivot loop's
+// exact refresh re-checks as usual). Sequential and cursor-deterministic
+// like priceDualWindow.
+func (st *revisedState) priceDevexWindow(total int) int {
+	start := st.primalCursor
+	if start >= total {
+		start = 0
+	}
+	scanned := 0
+	chunkStart := start
+	for scanned < total {
+		n := st.primalWindow
+		if scanned+n > total {
+			n = total - scanned
+		}
+		best := -1
+		bestScore := 0.0
+		for k := 0; k < n; k++ {
+			j := chunkStart + k
+			if j >= total {
+				j -= total
+			}
+			r := st.rvec[j]
+			if r <= reducedTol {
+				continue
+			}
+			if score := r * r / st.weights[j]; score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		scanned += n
+		if best >= 0 {
+			st.primalCursor = chunkStart
+			return best
+		}
+		st.timers.candidateRefill()
+		chunkStart += n
+		if chunkStart >= total {
+			chunkStart -= total
+		}
+	}
+	return -1
 }
 
 // updateDevex performs the Forrest–Goldfarb update after choosing entering
@@ -886,23 +1064,25 @@ type dualRepairResult int
 const (
 	// repairOK: the basis is primal feasible (possibly after zero pivots).
 	repairOK dualRepairResult = iota
-	// repairStalled: no eligible entering column, a degenerate pivot row,
-	// or the pivot budget ran out — the infeasibility could not be fixed.
+	// repairStalled: the pivot budget ran out or the infeasibility mass
+	// stopped shrinking, even after a partial-warm cutover.
 	repairStalled
+	// repairUnbounded: a primal-infeasible row had no eligible entering
+	// column in either pricing tier, or its FTRAN'd pivot disagreed with the
+	// priced α — the dual is unbounded in that direction, which certifies
+	// the bounds primal infeasible up to numerics.
+	repairUnbounded
 	// repairSingular: a mid-repair refactorization failed numerically.
 	repairSingular
 )
 
-// dualPriceBlock is the fixed column-block width of the pooled dual pricing
-// pass. The dual ratio test's tolerance-band comparisons are not
-// associative, so the block decomposition is part of the deterministic
-// spec: per-block winners (computed by the sequential fold within each
-// block) merge in ascending block order under the same comparison, and both
-// the 1-worker and pooled paths run exactly this structure — the selected
-// column depends on the block width but never on the worker count. A
-// package variable so tests can shrink it to force multi-block merges on
-// small problems; the solver never mutates it.
-var dualPriceBlock = 8192
+// repairStallFloor is the minimum stall window: the repair declares a stall
+// only after max(repairStallFloor, m/2) consecutive pivots without a new
+// infeasibility-mass minimum. The m/2 scaling matters — on the |U|=4000
+// capacity workloads healthy repairs plateau (degenerate stretches, local
+// mass oscillation) for several hundred pivots before breaking through, so a
+// small fixed window would cut over mid-flight.
+const repairStallFloor = 256
 
 // dualRepair restores primal feasibility after a warm-start delta changed
 // the right-hand side (or a removed basic column was substituted by a
@@ -923,16 +1103,45 @@ var dualPriceBlock = 8192
 // (dse == false, kept as the "maxinfeas" knob) repeatedly drains
 // near-parallel rows and needs far more pivots for large deltas.
 //
+// The duals are maintained incrementally: one exact BTRAN at entry (and
+// after each refactorization), then y' = y + γβ per pivot with γ the priced
+// dual step and β the already-computed BTRAN'd pivot row — the per-pivot
+// dense Bᵀy = c_B solve this replaces was a third of the repair's wall time
+// on the capacity-shrink workloads.
+//
+// budget bounds the pivots per attempt, and a stall detector watches the
+// primal infeasibility mass Σ max(0, −x_B): if no new minimum appears over
+// the stall window, the attempt is cut short. Either trigger causes one
+// partial-warm cutover — keep the basis, refactorize it (shedding the eta
+// chain and its round-off), re-price the certificate with an exact BTRAN,
+// reset the steepest-edge framework, and grant a fresh budget — before the
+// repair gives up for good. The cutover preserves all progress the repair
+// made, where the previous policy discarded everything for an all-slack
+// cold start.
+//
 // Returns the pivot count and how the phase ended; on anything but repairOK
 // the caller falls back to a cold solve, so repair failure costs
 // correctness nothing.
-func (st *revisedState) dualRepair(maxPivots, refactorEvery int, dse bool) (int, dualRepairResult) {
+func (st *revisedState) dualRepair(budget, refactorEvery int, dse bool) (int, dualRepairResult) {
 	if dse {
 		st.dseW = resizeF(st.dseW, st.m)
 		for i := range st.dseW {
 			st.dseW[i] = 1
 		}
 	}
+	st.btran() // exact duals for the incremental y and red updates below
+	if st.usesDualRed() {
+		st.refreshDualRed()
+	}
+	st.dualCursor = 0
+	stallWindow := st.m / 2
+	if stallWindow < repairStallFloor {
+		stallWindow = repairStallFloor
+	}
+	budgetLimit := budget
+	bestMass := math.Inf(1)
+	sinceImprove := 0
+	cutovers := 0
 	for pivots := 0; ; pivots++ {
 		// Leaving row. Both rules break ties on the lowest basis position
 		// (strict improvement required), so the choice is deterministic.
@@ -964,24 +1173,48 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int, dse bool) (int,
 			}
 			return pivots, repairOK
 		}
-		if pivots >= maxPivots {
-			return pivots, repairStalled
+		if pivots >= budgetLimit || sinceImprove >= stallWindow {
+			if pivots >= budgetLimit {
+				st.timers.budgetExhausted()
+			}
+			if cutovers >= 1 {
+				return pivots, repairStalled
+			}
+			// Partial-warm cutover: keep the basis and every pivot of
+			// progress, shed the eta chain and dual drift, retry once.
+			cutovers++
+			st.timers.partialWarmCutover()
+			if st.refactorize() != nil {
+				return pivots, repairSingular
+			}
+			st.btran()
+			if st.usesDualRed() {
+				st.refreshDualRed()
+			}
+			if dse {
+				for i := range st.dseW {
+					st.dseW[i] = 1
+				}
+			}
+			budgetLimit = pivots + budget
+			bestMass = math.Inf(1)
+			sinceImprove = 0
 		}
 
-		// price row r: α_j = (B⁻¹)_r·a_j for every nonbasic j, and current
-		// reduced costs via one BTRAN
-		st.btran() // y = B⁻ᵀc_B (st.d is scratch here, reloaded below)
+		// price row r: α_j = (B⁻¹)_r·a_j for every nonbasic j against the
+		// incrementally maintained duals
 		st.btranUnit(r)
 		q := st.priceDual()
 		if q < 0 {
-			return pivots, repairStalled
+			return pivots, repairUnbounded
 		}
+		gamma := st.dualGamma
 
 		st.ftran(q)
 		dr := st.d[r]
 		if dr > -pivotTol {
 			// pivot row disagrees with its priced α: bail out
-			return pivots, repairStalled
+			return pivots, repairUnbounded
 		}
 		if dse {
 			// Forrest–Goldfarb-style steepest-edge update from the FTRAN
@@ -990,6 +1223,11 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int, dse bool) (int,
 			// rescales by 1/dr². The max() guards keep the approximation a
 			// valid upper-bound reference (weights never collapse below the
 			// framework), the standard safeguard for Devex-style updates.
+			// (The exact Forrest–Goldfarb update — true w_r = ‖β‖² plus a
+			// τ = B⁻¹β FTRAN — was measured here and LOST: from a
+			// unit-initialized reference it needed ~19% more pivots on the
+			// capacity-shrink repairs and paid an extra solve per pivot; the
+			// grow-only approximation's conservatism is what earns its keep.)
 			wr := st.dseW[r]
 			invDr := 1 / dr
 			for i, v := range st.d {
@@ -1007,26 +1245,84 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int, dse bool) (int,
 			st.dseW[r] = wNew
 		}
 		theta := st.xB[r] / dr // xB[r] < 0, dr < 0 ⇒ θ > 0
+		// The update sweep folds the post-pivot infeasibility-mass
+		// accumulation (Σ max(0, −x_B), read by the stall detector below)
+		// into the same pass; position r's term is appended after the loop.
+		mass := 0.0
 		for i := 0; i < st.m; i++ {
+			x := st.xB[i]
 			if v := st.d[i]; v != 0 && i != r {
-				st.xB[i] -= theta * v
+				x -= theta * v
+				st.xB[i] = x
+			}
+			if x < 0 && i != r {
+				mass -= x
 			}
 		}
 		st.xB[r] = theta
+		if theta < 0 {
+			mass -= theta
+		}
+		// dual step: y' = y + γβ keeps red_q' = 0 for the entering column
+		// without a fresh Bᵀy solve, and red' = red − γ·α folds the same
+		// step into the maintained reduced costs over exactly the α values
+		// the pricing pass produced (everything it did not visit has α = 0;
+		// basic slots pick up garbage nobody reads). Exact recompute happens
+		// at the next refactorization, so round-off cannot accumulate past
+		// one eta chain. Windowed pricing maintains nothing — it reprices on
+		// demand.
+		if gamma != 0 {
+			beta := st.beta
+			for i, v := range beta {
+				if v != 0 {
+					st.y[i] += gamma * v
+				}
+			}
+			if st.usesDualRed() {
+				if st.candDense {
+					red, al := st.dualRedVec, st.alphaVec
+					for j := range red {
+						red[j] -= gamma * al[j]
+					}
+				} else {
+					for _, j32 := range st.candList {
+						st.dualRedVec[j32] -= gamma * st.alphaVec[j32]
+					}
+				}
+			}
+		}
 		leaving := st.basis[r]
 		st.posOf[leaving] = -1
 		st.basis[r] = q
 		st.posOf[q] = r
 		st.cB[r] = st.objCoef(q)
+		if st.usesDualRed() {
+			// the entering column is basic now (red exactly 0); the leaving
+			// one picks up the textbook post-pivot reduced cost −γ
+			st.dualRedVec[q] = 0
+			st.dualRedVec[leaving] = -gamma
+		}
 		st.pushEta(r)
 		st.timers.repairPivotDone()
+		if mass < bestMass*(1-1e-6) {
+			bestMass = mass
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
 		if len(st.etas) >= refactorEvery {
 			if st.refactorize() != nil {
 				return pivots, repairSingular
 			}
+			st.btran() // fresh exact duals for the next incremental stretch
+			if st.usesDualRed() {
+				st.refreshDualRed()
+			}
 			if dse {
 				// fresh reference framework: the norms tracked the old
-				// product-form basis representation
+				// product-form basis representation (keeping the learned
+				// weights across the refactorization was measured and costs
+				// ~18% more pivots on the capacity-shrink repair)
 				for i := range st.dseW {
 					st.dseW[i] = 1
 				}
@@ -1035,79 +1331,376 @@ func (st *revisedState) dualRepair(maxPivots, refactorEvery int, dse bool) (int,
 	}
 }
 
-// priceDual runs the dual ratio test over all nonbasic columns: among
+// priceDual runs the dual ratio test with full candidate coverage: among
 // columns with pivot-row entry α_j < -pivotTol (computed against st.beta,
-// the BTRAN'd pivot row), pick the one minimizing reducedCost_j/α_j, with a
-// pivotTol tolerance band broken toward the steepest α. The scan is
-// cache-blocked — α_j and the reduced cost come out of one fused pass over
-// the column's nonzeros, so each column's CSC slice is streamed through the
-// cache exactly once per pivot instead of twice — and the fixed-width
-// blocks go to the worker pool; see dualPriceBlock for why the result is
-// worker-count invariant.
+// the BTRAN'd pivot row), pick the one minimizing red_j/α_j, with a pivotTol
+// tolerance band broken toward the steepest α.
+//
+// The pass exploits that only columns intersecting β's row support can have
+// α_j ≠ 0: it scatters α through the row-major mirror of A — for each row r
+// with β_r ≠ 0 (ascending), α_j += β_r·A[r,j] over the row — instead of a
+// dot product per column, so its cost is proportional to the nonzeros of
+// β's rows rather than to all of A, and columns the pivot row cannot touch
+// are never visited at all. Reduced costs come from the maintained
+// st.dualRedVec (exact-refreshed at repair entry and every refactorization,
+// updated per pivot from the same α values this pass produces), which
+// eliminates the second dot product per column the fused scan used to pay
+// (measured: computing them on demand per candidate was ~40% slower — the
+// short column dots chase pointers, the maintained read streams). The
+// candidate list is epoch-stamped, so the scratch needs no O(n) clearing
+// between pivots; when β is dense the whole pass switches to sequential
+// full-range sweeps instead (priceDualDense). The pass is sequential —
+// worker-count invariance is structural — and β is bit-identical whichever
+// triangular kernel produced it, so the hypersparse threshold cannot move a
+// pivot.
+//
+// Candidates split into two tiers. Columns whose reduced cost is within the
+// dual-feasibility tolerance (red ≤ reducedTol, negatives and boundary
+// stragglers) run the ordinary ratio test. Columns that are outright dual
+// infeasible — typically a delta's freshly appended columns, whose positive
+// reduced cost the entering dual prices have not met yet — are kept out of
+// the ratio test entirely: their ratio red/α is negative, so the min-ratio
+// rule would pick them eagerly at ratio ≈ 0, and their entry reverses the
+// dual objective and re-breaks primal feasibility elsewhere (measured on the
+// |U|=4000 bid-churn delta this exact poisoning diverged the repair: the
+// infeasibility mass oscillated up to 8·10⁷ and the repair burned its whole
+// budget before falling back cold). They are tracked as a second-tier
+// fallback — steepest α wins — used only when no feasible-tier candidate
+// exists anywhere, so a row whose only eligible entering columns are dual
+// infeasible still pivots instead of stalling the repair.
+//
+// The winner's reduced cost and α are recorded in st.dualGamma as the dual
+// step length γ = red_q/α_q, which dualRepair uses to update the duals
+// (y' = y + γβ) incrementally instead of re-solving Bᵀy = c_B every pivot.
 func (st *revisedState) priceDual() int {
 	t0 := tick(st.timers)
 	defer st.timers.add(phPricing, t0)
-	beta, y := st.beta, st.y
 	total := st.n + st.m
-	nBlocks := (total + dualPriceBlock - 1) / dualPriceBlock
-	if cap(st.dualBest) < nBlocks {
-		st.dualBest = make([]int, nBlocks)
-		st.dualRatio = make([]float64, nBlocks)
-		st.dualAlpha = make([]float64, nBlocks)
+	if st.dualWindow > 0 && st.dualWindow < total {
+		return st.priceDualWindow(total)
 	}
-	blockBest := st.dualBest[:nBlocks]
-	blockRatio := st.dualRatio[:nBlocks]
-	blockAlpha := st.dualAlpha[:nBlocks]
-	par.For(st.workers, nBlocks, 1, func(c int) {
-		lo, hi := c*dualPriceBlock, (c+1)*dualPriceBlock
-		if hi > total {
-			hi = total
+	st.buildARows()
+	beta := st.beta
+	bnnz := 0
+	for _, v := range beta {
+		if v != 0 {
+			bnnz++
 		}
-		q := -1
-		var bestRatio, bestAlpha float64
-		for j := lo; j < hi; j++ {
+	}
+	// Mode pick: past ~1/8 density the epoch-stamp bookkeeping costs more
+	// than clearing and sweeping the full column range with purely
+	// sequential accesses. β is bit-identical whichever triangular kernel
+	// produced it, so the mode — like everything downstream of it — cannot
+	// depend on the hypersparse threshold or the worker count.
+	if bnnz*8 > st.m {
+		return st.priceDualDense(total)
+	}
+	st.candDense = false
+	epoch := st.beginCandidates(total)
+	alphaVec, stamp := st.alphaVec, st.candStamp
+	cand := st.candList[:0]
+	for r := 0; r < st.m; r++ {
+		br := beta[r]
+		if br == 0 {
+			continue
+		}
+		for t := st.aRowPtr[r]; t < st.aRowPtr[r+1]; t++ {
+			j := st.aRowIdx[t]
+			if stamp[j] != epoch {
+				stamp[j] = epoch
+				alphaVec[j] = 0
+				cand = append(cand, j)
+			}
+			alphaVec[j] += br * st.aRowVal[t]
+		}
+		sj := int32(st.n + r) // the row's slack: α is β_r itself
+		stamp[sj] = epoch
+		alphaVec[sj] = br
+		cand = append(cand, sj)
+	}
+	st.candList = cand
+	q, relax := -1, -1
+	var bestRatio, bestAlpha, bestRed float64
+	var relaxAlpha, relaxRed float64
+	for _, j32 := range cand {
+		j := int(j32)
+		if st.posOf[j] >= 0 {
+			continue
+		}
+		alpha := alphaVec[j]
+		if alpha >= -pivotTol {
+			continue
+		}
+		red := st.dualRedVec[j]
+		if red > reducedTol {
+			if relax < 0 || alpha < relaxAlpha {
+				relax, relaxAlpha, relaxRed = j, alpha, red
+			}
+			continue
+		}
+		rc := red
+		if rc > 0 {
+			rc = 0 // boundary stragglers within tolerance: ratio 0
+		}
+		ratio := rc / alpha // ≥ 0
+		if q < 0 || ratio < bestRatio-pivotTol ||
+			(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
+			q, bestRatio, bestAlpha, bestRed = j, ratio, alpha, red
+		}
+	}
+	if q < 0 && relax >= 0 {
+		// No feasible-tier candidate anywhere: fall back to the steepest
+		// dual-infeasible column rather than stalling the whole repair.
+		q, bestAlpha, bestRed = relax, relaxAlpha, relaxRed
+	}
+	if q >= 0 {
+		st.dualGamma = bestRed / bestAlpha
+	}
+	return q
+}
+
+// priceDualDense is priceDual for a dense pivot row: the same α scatter and
+// two-tier ratio test, minus the candidate bookkeeping. Every auxiliary
+// access (alphaVec, posOf, dualRedVec) runs as a sequential sweep over the
+// full column range, which at ≥1/8 β density is cheaper than chasing an
+// almost-complete candidate list through the caches. The α accumulation
+// visits the same row entries in the same ascending order from the same zero
+// start as the stamped pass, so the two modes produce bit-identical α — the
+// mode flips per pivot on β's density without ever moving a result.
+func (st *revisedState) priceDualDense(total int) int {
+	st.beginCandidates(total) // sizing only; the epoch goes unused
+	st.candDense = true
+	alphaVec := st.alphaVec
+	for i := range alphaVec {
+		alphaVec[i] = 0
+	}
+	beta := st.beta
+	for r := 0; r < st.m; r++ {
+		br := beta[r]
+		if br == 0 {
+			continue
+		}
+		lo, hi := st.aRowPtr[r], st.aRowPtr[r+1]
+		idx := st.aRowIdx[lo:hi]
+		val := st.aRowVal[lo:hi]
+		for i, j := range idx {
+			alphaVec[j] += br * val[i]
+		}
+		alphaVec[st.n+r] = br // the row's slack
+	}
+	q, relax := -1, -1
+	var bestRatio, bestAlpha, bestRed float64
+	var relaxAlpha, relaxRed float64
+	for j := 0; j < total; j++ {
+		alpha := alphaVec[j]
+		if alpha >= -pivotTol {
+			continue
+		}
+		if st.posOf[j] >= 0 {
+			continue
+		}
+		red := st.dualRedVec[j]
+		if red > reducedTol {
+			if relax < 0 || alpha < relaxAlpha {
+				relax, relaxAlpha, relaxRed = j, alpha, red
+			}
+			continue
+		}
+		rc := red
+		if rc > 0 {
+			rc = 0 // boundary stragglers within tolerance: ratio 0
+		}
+		ratio := rc / alpha // ≥ 0
+		if q < 0 || ratio < bestRatio-pivotTol ||
+			(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
+			q, bestRatio, bestAlpha, bestRed = j, ratio, alpha, red
+		}
+	}
+	if q < 0 && relax >= 0 {
+		q, bestAlpha, bestRed = relax, relaxAlpha, relaxRed
+	}
+	if q >= 0 {
+		st.dualGamma = bestRed / bestAlpha
+	}
+	return q
+}
+
+// beginCandidates sizes the epoch-stamped candidate scratch for a pricing
+// pass over total columns and opens a fresh epoch, so the previous pivot's
+// α values and candidate stamps expire without any O(n) clearing.
+func (st *revisedState) beginCandidates(total int) int32 {
+	if cap(st.alphaVec) < total {
+		st.alphaVec = make([]float64, total)
+		st.candStamp = make([]int32, total)
+		st.candEpoch = 0
+	}
+	st.alphaVec = st.alphaVec[:total]
+	st.candStamp = st.candStamp[:total]
+	st.candEpoch++
+	if st.candEpoch == 0 { // wrapped: stale stamps could collide
+		for i := range st.candStamp {
+			st.candStamp[i] = -1
+		}
+		st.candEpoch = 1
+	}
+	return st.candEpoch
+}
+
+// buildARows constructs (or reuses) the row-major mirror of the structural
+// matrix for the scatter pricing pass. One counting pass plus one scatter
+// pass over the nonzeros; columns come out ascending within each row because
+// the scatter visits them in ascending order. Invalidated by rebind and by
+// structural deltas (column removal/addition) — bounds and objective deltas
+// leave the pattern and values untouched.
+func (st *revisedState) buildARows() {
+	if st.aRowsOK {
+		return
+	}
+	p := st.p
+	nnz := len(p.Rows)
+	st.aRowPtr = resize32(st.aRowPtr, st.m+1)
+	for i := range st.aRowPtr {
+		st.aRowPtr[i] = 0
+	}
+	for _, r := range p.Rows {
+		st.aRowPtr[r+1]++
+	}
+	st.aRowCur = resize32(st.aRowCur, st.m)
+	for i := 0; i < st.m; i++ {
+		st.aRowPtr[i+1] += st.aRowPtr[i]
+		st.aRowCur[i] = st.aRowPtr[i]
+	}
+	st.aRowIdx = resize32(st.aRowIdx, nnz)
+	st.aRowVal = resizeF(st.aRowVal, nnz)
+	for j := 0; j < st.n; j++ {
+		for t := p.ColPtr[j]; t < p.ColPtr[j+1]; t++ {
+			r := p.Rows[t]
+			slot := st.aRowCur[r]
+			st.aRowCur[r]++
+			st.aRowIdx[slot] = int32(j)
+			st.aRowVal[slot] = p.Vals[t]
+		}
+	}
+	st.aRowsOK = true
+}
+
+// usesDualRed reports whether the dual pricing passes read the maintained
+// st.dualRedVec: full-coverage pricing (scatter or dense) does, the rotating
+// window computes reduced costs on demand instead — so windowed repairs skip
+// the O(n) exact refreshes entirely.
+func (st *revisedState) usesDualRed() bool {
+	return st.dualWindow == 0 || st.dualWindow >= st.n+st.m
+}
+
+// refreshDualRed recomputes the maintained dual reduced costs exactly from
+// the current duals: red_j = c_j − yᵀa_j for nonbasic columns (basic slots
+// are left as-is — they are never read, and the incremental updates scribble
+// on them freely). Called whenever the duals themselves are recomputed
+// exactly (repair entry, refactorizations), so the incremental red updates
+// never drift further than one eta chain.
+func (st *revisedState) refreshDualRed() {
+	t0 := tick(st.timers)
+	total := st.n + st.m
+	st.dualRedVec = resizeF(st.dualRedVec, total)
+	for j := 0; j < total; j++ {
+		if st.posOf[j] < 0 {
+			st.dualRedVec[j] = st.reducedCost(j)
+		}
+	}
+	st.timers.add(phPricing, t0)
+}
+
+// priceDualWindow is priceDual over a rotating candidate window: the same
+// fused two-tier scan, restricted to st.dualWindow consecutive columns
+// starting at st.dualCursor. A window that yields a feasible-tier candidate
+// answers the ratio test from those columns alone — the primal finish after
+// repair restores whatever optimality the narrower view gave up, and any
+// out-of-window column whose reduced cost the shortened dual step turns
+// negative simply becomes a ratio-0 candidate when its window comes around.
+// On exhaustion (no feasible candidate in the window) the scan extends one
+// window at a time — each extension counted as a candidate refill — until a
+// candidate appears or the whole range has been covered, which is exactly
+// the full scan and certifies the relaxed-tier fallback the same way. The
+// cursor parks on the window that produced the winner, so productive
+// stretches stay hot and barren ones rotate out. Purely sequential, hence
+// trivially worker-count invariant; the cursor walk is a deterministic
+// function of the scan results.
+//
+// Like the scatter pass, the window computes each scanned column's α against
+// β directly and its reduced cost on demand against the maintained duals, so
+// every quantity it prices with is exact — narrowing the window trades pivot
+// quality (a shortened dual step), never pricing accuracy.
+func (st *revisedState) priceDualWindow(total int) int {
+	beta := st.beta
+	start := st.dualCursor
+	if start >= total {
+		start = 0
+	}
+	q, relax := -1, -1
+	var bestRatio, bestAlpha, bestRed float64
+	var relaxAlpha, relaxRed float64
+	scanned := 0
+	chunkStart := start
+	for scanned < total {
+		n := st.dualWindow
+		if scanned+n > total {
+			n = total - scanned
+		}
+		for k := 0; k < n; k++ {
+			j := chunkStart + k
+			if j >= total {
+				j -= total
+			}
 			if st.posOf[j] >= 0 {
 				continue
 			}
-			var alpha, red float64
+			var alpha float64
 			if j < st.n {
-				red = st.p.C[j]
-				for k := st.p.ColPtr[j]; k < st.p.ColPtr[j+1]; k++ {
-					row, v := st.p.Rows[k], st.p.Vals[k]
-					alpha += beta[row] * v
-					red -= y[row] * v
+				for t := st.p.ColPtr[j]; t < st.p.ColPtr[j+1]; t++ {
+					alpha += beta[st.p.Rows[t]] * st.p.Vals[t]
 				}
 			} else {
 				alpha = beta[j-st.n]
-				red = -y[j-st.n]
 			}
 			if alpha >= -pivotTol {
 				continue
 			}
-			if red > 0 {
-				red = 0 // dual-infeasible stragglers: treat as boundary
+			red := st.reducedCost(j)
+			if red > reducedTol {
+				if relax < 0 || alpha < relaxAlpha {
+					relax, relaxAlpha, relaxRed = j, alpha, red
+				}
+				continue
 			}
-			ratio := red / alpha // ≥ 0
+			rc := red
+			if rc > 0 {
+				rc = 0 // boundary stragglers within tolerance: ratio 0
+			}
+			ratio := rc / alpha // ≥ 0
 			if q < 0 || ratio < bestRatio-pivotTol ||
 				(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
-				q, bestRatio, bestAlpha = j, ratio, alpha
+				q, bestRatio, bestAlpha, bestRed = j, ratio, alpha, red
 			}
 		}
-		blockBest[c], blockRatio[c], blockAlpha[c] = q, bestRatio, bestAlpha
-	})
-	q := -1
-	var bestRatio, bestAlpha float64
-	for c := 0; c < nBlocks; c++ {
-		if blockBest[c] < 0 {
-			continue
+		scanned += n
+		if q >= 0 {
+			st.dualCursor = chunkStart
+			st.dualGamma = bestRed / bestAlpha
+			return q
 		}
-		ratio, alpha := blockRatio[c], blockAlpha[c]
-		if q < 0 || ratio < bestRatio-pivotTol ||
-			(ratio <= bestRatio+pivotTol && alpha < bestAlpha) {
-			q, bestRatio, bestAlpha = blockBest[c], ratio, alpha
+		st.timers.candidateRefill()
+		chunkStart += n
+		if chunkStart >= total {
+			chunkStart -= total
 		}
 	}
-	return q
+	if relax >= 0 {
+		// Full circle with no feasible-tier candidate: same certificate as
+		// the full scan's relaxed fallback.
+		st.dualGamma = relaxRed / relaxAlpha
+		return relax
+	}
+	return -1
 }
 
 // pricePartial scans a window of variables starting at cursor and returns

@@ -73,8 +73,21 @@ type SolverStats struct {
 	// factorize and fell back to a cold solve.
 	FallbackSingular int
 	// FallbackInfeasible counts Resolve calls whose patched basis was
-	// primal infeasible under the new bounds and fell back to a cold solve.
+	// primal infeasible under the new bounds and fell back to a cold solve —
+	// the aggregate of FallbackRepairStall and FallbackBoundInfeasible,
+	// retained for callers that only care that the warm path was abandoned.
 	FallbackInfeasible int
+	// FallbackRepairStall counts fallbacks where the dual repair exhausted
+	// its pivot budget or its stall window (even after the partial-warm
+	// cutover retry) without reaching primal feasibility.
+	FallbackRepairStall int
+	// FallbackBoundInfeasible counts fallbacks where a primal-infeasible row
+	// had no eligible entering column — the dual-unbounded certificate that
+	// the new bounds (numerically) admit no feasible point from this basis.
+	FallbackBoundInfeasible int
+	// FallbackError counts warm starts abandoned before the repair could
+	// run: a removed basic column with no substitutable slack.
+	FallbackError int
 	// WarmPivots is the total number of simplex iterations spent in warm
 	// re-solves (dual-repair pivots plus the primal finish) — the work
 	// metric the ≥5× speedup claim is about.
@@ -266,6 +279,9 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	cBasic := false
 	if warm {
 		basisSwaps, warm = s.substituteRemovedBasics(&d, oldN)
+		if !warm {
+			s.stats.FallbackError++
+		}
 	}
 	if warm {
 		// A c change on a basic column moves the duals, which invalidates
@@ -282,6 +298,9 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	// patched problem needs no O(nnz) re-validation here — full Check on
 	// every small delta would dominate the serving hot path.
 	s.applyDelta(&d, oldN)
+	if s.st != nil && (len(d.RemoveCols) > 0 || len(d.AddCols) > 0) {
+		s.st.aRowsOK = false // column structure changed under the row mirror
+	}
 	if !warm {
 		return s.cold()
 	}
@@ -314,15 +333,31 @@ func (s *Solver) Resolve(d ProblemDelta) (*Solution, error) {
 	}
 	// The patched basis is typically primal infeasible after bound shrinks
 	// or basic-column removals; a short dual-simplex phase repairs it in a
-	// few pivots. If the repair stalls, solve cold — correctness never
-	// depends on the warm path.
-	repairPivots, repair := st.dualRepair(4*st.m+16, refactorEvery, s.Config.dualDSE())
+	// few pivots. The pivot budget scales with the delta — a small delta
+	// that needs thousands of repair pivots has lost the warm-start race and
+	// should cut over early — capped at the old flat bound for bulk deltas.
+	// If the repair still fails after its partial-warm cutover, solve cold:
+	// correctness never depends on the warm path.
+	budget := s.Config.RepairBudget
+	if budget == 0 {
+		deltaSize := len(d.SetB) + len(d.SetC) + len(d.RemoveCols) + len(d.AddCols)
+		budget = 64 + 32*deltaSize
+		if flat := 4*st.m + 16; budget > flat {
+			budget = flat
+		}
+	}
+	repairPivots, repair := st.dualRepair(budget, refactorEvery, s.Config.dualDSE())
 	switch repair {
 	case repairSingular:
 		s.stats.FallbackSingular++
 		return s.cold()
 	case repairStalled:
 		s.stats.FallbackInfeasible++
+		s.stats.FallbackRepairStall++
+		return s.cold()
+	case repairUnbounded:
+		s.stats.FallbackInfeasible++
+		s.stats.FallbackBoundInfeasible++
 		return s.cold()
 	}
 	s.stats.WarmSolves++

@@ -17,6 +17,18 @@ import "time"
 type PhaseTimers struct {
 	Ftran, Btran, Pricing, Update, Factor time.Duration
 	Pivots, RepairPivots                  int64
+
+	// HypersparseFtran and HypersparseBtran count triangular solves served
+	// by the symbolic-reach kernels (hypersparse.go) instead of the dense
+	// sweeps — the coverage metric for the warm-resolve fast path.
+	HypersparseFtran, HypersparseBtran int64
+	// CandidateRefills counts pricing passes that exhausted their rotating
+	// candidate window and had to widen back toward a full scan.
+	CandidateRefills int64
+	// BudgetExhausted counts dual-repair attempts that ran out of their
+	// pivot budget; PartialWarmCutovers counts the keep-the-basis
+	// refactorize-and-retry recoveries those (and stalls) triggered.
+	BudgetExhausted, PartialWarmCutovers int64
 }
 
 // Reset zeroes all accumulators.
@@ -78,5 +90,35 @@ func (tm *PhaseTimers) pivotDone() {
 func (tm *PhaseTimers) repairPivotDone() {
 	if tm != nil {
 		tm.RepairPivots++
+	}
+}
+
+func (tm *PhaseTimers) hypersparseFtran() {
+	if tm != nil {
+		tm.HypersparseFtran++
+	}
+}
+
+func (tm *PhaseTimers) hypersparseBtran() {
+	if tm != nil {
+		tm.HypersparseBtran++
+	}
+}
+
+func (tm *PhaseTimers) candidateRefill() {
+	if tm != nil {
+		tm.CandidateRefills++
+	}
+}
+
+func (tm *PhaseTimers) budgetExhausted() {
+	if tm != nil {
+		tm.BudgetExhausted++
+	}
+}
+
+func (tm *PhaseTimers) partialWarmCutover() {
+	if tm != nil {
+		tm.PartialWarmCutovers++
 	}
 }

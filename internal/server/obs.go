@@ -64,25 +64,45 @@ type serverObs struct {
 
 // solverObs is one persistent LP solver's mirrored counter set.
 type solverObs struct {
-	cold, warm, fast, warmPivots  *obs.Counter
-	fallbackSing, fallbackInfeas  *obs.Counter
+	cold, warm, fast, warmPivots *obs.Counter
+
+	// warm-abandonment breakdown: igepa_lp_fallbacks_total{reason=...}.
+	// reason="singular" | "repair_stall" | "bound_infeasible" | "error";
+	// the legacy infeasible aggregate (stall+bound) is not re-exported —
+	// it is derivable by summing the two reasons.
+	fbSingular, fbStall, fbBound, fbError *obs.Counter
+
 	refactorizations              *obs.Counter
 	etaLen                        *obs.Gauge
+	hyperFtran, hyperBtran        *obs.Counter
+	candRefills, budgetExhausted  *obs.Counter
+	warmCutovers                  *obs.Counter
 	ftran, btran, pricing, update *obs.Counter
 	factor                        *obs.Counter
 }
 
 func newSolverObs(reg *obs.Registry, name string) solverObs {
 	l := obs.L("solver", name)
+	fb := func(reason string) *obs.Counter {
+		return reg.Counter("igepa_lp_fallbacks_total",
+			"Warm re-solves abandoned for a cold solve, by reason.", l, obs.L("reason", reason))
+	}
 	return solverObs{
 		cold:             reg.Counter("igepa_lp_cold_solves_total", "Cold (all-slack) LP solves.", l),
 		warm:             reg.Counter("igepa_lp_warm_solves_total", "Warm-started LP re-solves.", l),
 		fast:             reg.Counter("igepa_lp_fast_finishes_total", "Warm re-solves that skipped the primal pricing loop.", l),
 		warmPivots:       reg.Counter("igepa_lp_warm_pivots_total", "Simplex pivots spent in warm re-solves.", l),
-		fallbackSing:     reg.Counter("igepa_lp_fallback_singular_total", "Warm re-solves that fell back cold on a singular basis.", l),
-		fallbackInfeas:   reg.Counter("igepa_lp_fallback_infeasible_total", "Warm re-solves that fell back cold on primal infeasibility.", l),
+		fbSingular:       fb("singular"),
+		fbStall:          fb("repair_stall"),
+		fbBound:          fb("bound_infeasible"),
+		fbError:          fb("error"),
 		refactorizations: reg.Counter("igepa_lp_refactorizations_total", "LU rebuilds on the solver state.", l),
 		etaLen:           reg.Gauge("igepa_lp_eta_chain_length", "Product-form updates since the last refactorization.", l),
+		hyperFtran:       reg.Counter("igepa_lp_hypersparse_solves_total", "Triangular solves served by the symbolic-reach kernels.", l, obs.L("kernel", "ftran")),
+		hyperBtran:       reg.Counter("igepa_lp_hypersparse_solves_total", "Triangular solves served by the symbolic-reach kernels.", l, obs.L("kernel", "btran")),
+		candRefills:      reg.Counter("igepa_lp_candidate_refills_total", "Pricing passes that exhausted their rotating candidate window.", l),
+		budgetExhausted:  reg.Counter("igepa_lp_repair_budget_exhausted_total", "Dual repairs that ran out of their pivot budget.", l),
+		warmCutovers:     reg.Counter("igepa_lp_partial_warm_cutovers_total", "Keep-the-basis refactorize-and-retry recoveries after a repair stall.", l),
 		ftran:            reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "ftran")),
 		btran:            reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "btran")),
 		pricing:          reg.Counter("igepa_lp_phase_ns_total", "Cumulative LP phase time in nanoseconds.", l, obs.L("phase", "pricing")),
@@ -98,10 +118,17 @@ func (so *solverObs) mirror(st lp.SolverStats, t lp.PhaseTimers) {
 	so.warm.Store(int64(st.WarmSolves))
 	so.fast.Store(int64(st.FastFinishes))
 	so.warmPivots.Store(int64(st.WarmPivots))
-	so.fallbackSing.Store(int64(st.FallbackSingular))
-	so.fallbackInfeas.Store(int64(st.FallbackInfeasible))
+	so.fbSingular.Store(int64(st.FallbackSingular))
+	so.fbStall.Store(int64(st.FallbackRepairStall))
+	so.fbBound.Store(int64(st.FallbackBoundInfeasible))
+	so.fbError.Store(int64(st.FallbackError))
 	so.refactorizations.Store(st.Refactorizations)
 	so.etaLen.Set(float64(st.EtaLen))
+	so.hyperFtran.Store(t.HypersparseFtran)
+	so.hyperBtran.Store(t.HypersparseBtran)
+	so.candRefills.Store(t.CandidateRefills)
+	so.budgetExhausted.Store(t.BudgetExhausted)
+	so.warmCutovers.Store(t.PartialWarmCutovers)
 	so.ftran.Store(t.Ftran.Nanoseconds())
 	so.btran.Store(t.Btran.Nanoseconds())
 	so.pricing.Store(t.Pricing.Nanoseconds())

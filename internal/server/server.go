@@ -1096,16 +1096,29 @@ type BoundReport struct {
 	ColdSolves  int         `json:"cold_solves"`
 }
 
-// SolverReport is one persistent LP solver's /statsz row.
+// SolverReport is one persistent LP solver's /statsz row. The fallback_*
+// fields break the warm-abandonment count down by reason (singular patched
+// basis, repair stall, dual-unbounded bound infeasibility, structural
+// error); fallback_infeasible stays the stall+bound aggregate for existing
+// dashboards.
 type SolverReport struct {
-	ColdSolves         int   `json:"cold_solves"`
-	WarmSolves         int   `json:"warm_solves"`
-	FastFinishes       int   `json:"fast_finishes"`
-	WarmPivots         int   `json:"warm_pivots"`
-	FallbackSingular   int   `json:"fallback_singular"`
-	FallbackInfeasible int   `json:"fallback_infeasible"`
-	Refactorizations   int64 `json:"refactorizations"`
-	EtaChainLength     int   `json:"eta_chain_length"`
+	ColdSolves              int   `json:"cold_solves"`
+	WarmSolves              int   `json:"warm_solves"`
+	FastFinishes            int   `json:"fast_finishes"`
+	WarmPivots              int   `json:"warm_pivots"`
+	FallbackSingular        int   `json:"fallback_singular"`
+	FallbackInfeasible      int   `json:"fallback_infeasible"`
+	FallbackRepairStall     int   `json:"fallback_repair_stall"`
+	FallbackBoundInfeasible int   `json:"fallback_bound_infeasible"`
+	FallbackError           int   `json:"fallback_error"`
+	Refactorizations        int64 `json:"refactorizations"`
+	EtaChainLength          int   `json:"eta_chain_length"`
+
+	HypersparseFtran    int64 `json:"hypersparse_ftran"`
+	HypersparseBtran    int64 `json:"hypersparse_btran"`
+	CandidateRefills    int64 `json:"candidate_refills"`
+	BudgetExhausted     int64 `json:"budget_exhausted"`
+	PartialWarmCutovers int64 `json:"partial_warm_cutovers"`
 
 	FtranNS   int64 `json:"ftran_ns"`
 	BtranNS   int64 `json:"btran_ns"`
@@ -1116,19 +1129,27 @@ type SolverReport struct {
 
 func solverReport(st lp.SolverStats, t lp.PhaseTimers) SolverReport {
 	return SolverReport{
-		ColdSolves:         st.ColdSolves,
-		WarmSolves:         st.WarmSolves,
-		FastFinishes:       st.FastFinishes,
-		WarmPivots:         st.WarmPivots,
-		FallbackSingular:   st.FallbackSingular,
-		FallbackInfeasible: st.FallbackInfeasible,
-		Refactorizations:   st.Refactorizations,
-		EtaChainLength:     st.EtaLen,
-		FtranNS:            t.Ftran.Nanoseconds(),
-		BtranNS:            t.Btran.Nanoseconds(),
-		PricingNS:          t.Pricing.Nanoseconds(),
-		UpdateNS:           t.Update.Nanoseconds(),
-		FactorNS:           t.Factor.Nanoseconds(),
+		ColdSolves:              st.ColdSolves,
+		WarmSolves:              st.WarmSolves,
+		FastFinishes:            st.FastFinishes,
+		WarmPivots:              st.WarmPivots,
+		FallbackSingular:        st.FallbackSingular,
+		FallbackInfeasible:      st.FallbackInfeasible,
+		FallbackRepairStall:     st.FallbackRepairStall,
+		FallbackBoundInfeasible: st.FallbackBoundInfeasible,
+		FallbackError:           st.FallbackError,
+		Refactorizations:        st.Refactorizations,
+		EtaChainLength:          st.EtaLen,
+		HypersparseFtran:        t.HypersparseFtran,
+		HypersparseBtran:        t.HypersparseBtran,
+		CandidateRefills:        t.CandidateRefills,
+		BudgetExhausted:         t.BudgetExhausted,
+		PartialWarmCutovers:     t.PartialWarmCutovers,
+		FtranNS:                 t.Ftran.Nanoseconds(),
+		BtranNS:                 t.Btran.Nanoseconds(),
+		PricingNS:               t.Pricing.Nanoseconds(),
+		UpdateNS:                t.Update.Nanoseconds(),
+		FactorNS:                t.Factor.Nanoseconds(),
 	}
 }
 

@@ -91,35 +91,45 @@ func BenchmarkLPPhases(b *testing.B) {
 				}
 				b.StopTimer()
 				st := s.Stats()
-				fallbacks := st.FallbackSingular + st.FallbackInfeasible -
-					before.FallbackSingular - before.FallbackInfeasible
+				fallbacks := totalFallbacks(st) - totalFallbacks(before)
 				b.ReportMetric(float64(fallbacks)/float64(b.N), "fallbacks/op")
 				reportPhases(b, tm, b.N)
 			})
 
-			// Bound-shrink delta: always warm (repair-driven), so this is the
-			// per-phase profile of the repair + re-optimize hot path at scale.
+			// Bound-churn delta: capacities move on a slice of the event rows
+			// (every 8th), the shape of serving-side capacity updates between
+			// resolves. Always warm (repair-driven): each op is ONE Resolve,
+			// alternating shrink/restore like warm_bids, so ns/op compares
+			// directly against cold. The full-width all-rows shrink stress
+			// case is covered by BenchmarkDualRepairPricing below.
 			b.Run("warm_bounds", func(b *testing.B) {
-				shrink, restore := capacityShrinkDeltas(f.probA, sc.users, sc.events, 0.75)
+				shrink, restore := capacityChurnDeltas(f.probA, sc.users, sc.events, 0.75, 8)
 				tm := &lp.PhaseTimers{}
 				s := lp.NewSolver(lp.Revised{Timers: tm})
 				defer s.Release()
 				if _, err := s.Solve(f.probA); err != nil {
 					b.Fatal(err)
 				}
+				// prime the toggle so the timed loop alternates steady-state
+				if _, err := s.Resolve(shrink); err != nil {
+					b.Fatal(err)
+				}
+				toRestore := true
 				tm.Reset()
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := s.Resolve(shrink); err != nil {
+					d := shrink
+					if toRestore {
+						d = restore
+					}
+					if _, err := s.Resolve(d); err != nil {
 						b.Fatal(err)
 					}
-					if _, err := s.Resolve(restore); err != nil {
-						b.Fatal(err)
-					}
+					toRestore = !toRestore
 				}
 				b.StopTimer()
-				if st := s.Stats(); st.FallbackSingular+st.FallbackInfeasible > 0 {
+				if st := s.Stats(); totalFallbacks(st) > 0 {
 					b.Fatalf("bound toggle fell back to cold solves: %+v", st)
 				}
 				reportPhases(b, tm, b.N)
@@ -128,12 +138,25 @@ func BenchmarkLPPhases(b *testing.B) {
 	}
 }
 
+// totalFallbacks sums the per-reason cold-fallback counters.
+func totalFallbacks(st lp.SolverStats) int {
+	return st.FallbackSingular + st.FallbackInfeasible + st.FallbackRepairStall +
+		st.FallbackBoundInfeasible + st.FallbackError
+}
+
 // capacityShrinkDeltas builds a delta cutting every event capacity to
 // floor(frac·b) — turning the optimal basis primal infeasible across many
 // interacting rows at once, so the repair's leaving-row choice matters —
 // and its inverse restoring the original bounds (warm, repair-free).
 func capacityShrinkDeltas(p *lp.Problem, users, events int, frac float64) (shrink, restore lp.ProblemDelta) {
-	for v := 0; v < events; v++ {
+	return capacityChurnDeltas(p, users, events, frac, 1)
+}
+
+// capacityChurnDeltas is capacityShrinkDeltas restricted to every `every`-th
+// event row — a bounded perturbation matching incremental capacity updates
+// between serving resolves, rather than an all-rows shock.
+func capacityChurnDeltas(p *lp.Problem, users, events int, frac float64, every int) (shrink, restore lp.ProblemDelta) {
+	for v := 0; v < events; v += every {
 		row := users + v
 		old := p.B[row]
 		shrink.SetB = append(shrink.SetB, lp.BoundChange{Row: row, B: math.Floor(old * frac)})

@@ -1,0 +1,74 @@
+package igepa_test
+
+// Deterministic warm-resolve regression fixture at |U| = 1500: a capacity
+// churn on every 8th event row must stay on the budgeted dual-repair path —
+// zero cold fallbacks, strictly fewer pivots than the cold solve, and less
+// wall time — and the restored problem must land back on the cold optimum.
+// This pins the tentpole claim that Resolve never loses to a cold solve on
+// the serving-shaped deltas it exists for.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ebsn/igepa/internal/lp"
+)
+
+func TestWarmResolveBeatsColdAt1500(t *testing.T) {
+	const users, events = 1500, 150
+	f := buildWarmFixtureAt(t, users, events, 10)
+	shrink, restore := capacityChurnDeltas(f.probA, users, events, 0.75, 8)
+
+	tm := &lp.PhaseTimers{}
+	s := lp.NewSolver(lp.Revised{Timers: tm})
+	defer s.Release()
+
+	t0 := time.Now()
+	coldSol, err := s.Solve(f.probA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(t0)
+	coldPivots := tm.Pivots
+
+	tm.Reset()
+	t0 = time.Now()
+	if _, err := s.Resolve(shrink); err != nil {
+		t.Fatal(err)
+	}
+	warmSol, err := s.Resolve(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(t0) / 2 // per-resolve
+	t.Logf("cold %v (%d pivots) vs warm %v/resolve (%d repair pivots over 2 resolves)",
+		coldDur, coldPivots, warmDur, tm.RepairPivots)
+
+	st := s.Stats()
+	if n := totalFallbacks(st); n != 0 {
+		t.Fatalf("warm resolves fell back cold %d times: %+v", n, st)
+	}
+	if tm.BudgetExhausted != 0 {
+		t.Fatalf("repair budget exhausted: %+v", tm)
+	}
+	if tm.RepairPivots == 0 {
+		t.Fatal("churn delta did not exercise the budgeted dual repair")
+	}
+	if tm.RepairPivots >= coldPivots {
+		t.Errorf("warm repair needed %d pivots across both resolves, cold needed %d — warm must pivot less",
+			tm.RepairPivots, coldPivots)
+	}
+	if warmDur >= coldDur {
+		t.Errorf("warm resolve took %v, cold solve %v — budgeted repair must beat cold", warmDur, coldDur)
+	}
+	if err := lp.Verify(s.Problem(), warmSol, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// restoring the bounds returns to the original problem: the warm optimum
+	// must match the cold objective (bases may differ under degeneracy)
+	if diff := math.Abs(warmSol.Objective - coldSol.Objective); diff > 1e-6*(1+math.Abs(coldSol.Objective)) {
+		t.Errorf("restored warm objective %g differs from cold %g by %g",
+			warmSol.Objective, coldSol.Objective, diff)
+	}
+}
